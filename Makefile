@@ -1,0 +1,36 @@
+# Convenience targets for the unXpec reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments report quick-report examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments all
+
+report:
+	$(PYTHON) -m repro.experiments report --out REPORT.md
+
+quick-report:
+	$(PYTHON) -m repro.experiments report --quick --out REPORT.md
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/asm_victim.py
+	$(PYTHON) examples/spectre_vs_cleanupspec.py
+	$(PYTHON) examples/eviction_set_construction.py
+	$(PYTHON) examples/timeline_visualizer.py
+	$(PYTHON) examples/covert_channel_demo.py
+	$(PYTHON) examples/mitigation_tradeoff.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis build dist *.egg-info REPORT.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,29 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark regenerates one paper table/figure (at quick scale) inside
+the timed region and asserts the experiment's paper-vs-measured checks
+pass — so ``pytest benchmarks/ --benchmark-only`` both times the harness
+and re-validates the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment_once():
+    """Run one experiment exactly once under the benchmark timer."""
+
+    def _run(benchmark, experiment_id: str, quick: bool = True, seed: int = 0):
+        from repro.experiments import get
+
+        def runner():
+            return get(experiment_id).run(quick=quick, seed=seed)
+
+        result = benchmark.pedantic(runner, rounds=1, iterations=1)
+        failures = [str(c) for c in result.checks if not c.passed]
+        assert not failures, "\n".join(failures)
+        return result
+
+    return _run

@@ -1,0 +1,41 @@
+"""Benchmarks: ablation experiments (design-choice studies)."""
+
+
+def test_abl_cleanup_mode(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "abl_cleanup_mode")
+    assert result.metrics["l1l2_diff_1_load"] > result.metrics["l1_only_diff_1_load"]
+
+
+def test_abl_window(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "abl_window")
+    assert result.metrics["diff_min"] >= 18
+
+
+def test_abl_samples(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "abl_samples")
+    assert result.metrics["accuracy_7_samples"] >= result.metrics["accuracy_1_sample"]
+
+
+def test_abl_capacity(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "abl_capacity")
+    assert result.metrics["mi_evsets"] > result.metrics["mi_plain"]
+
+
+def test_abl_replacement(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "abl_replacement")
+    assert result.metrics["lru_accuracy"] > result.metrics["random_accuracy"]
+
+
+def test_abl_train(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "abl_train")
+    assert result.metrics["kbps_min_train"] > result.metrics["kbps_max_train"]
+
+
+def test_abl_geometry(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "abl_geometry")
+    assert result.metrics["diff_min"] >= 18
+
+
+def test_abl_significance(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "abl_significance")
+    assert result.metrics["cohens_d_plain"] > 0.8

@@ -1,0 +1,5 @@
+"""Benchmark: extension B — fuzzy-cleanup defense trade-off."""
+
+def test_ext_fuzzy(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "ext_fuzzy")
+    assert result.metrics["accuracy_max_dummy"] < result.metrics["accuracy_no_dummy"]

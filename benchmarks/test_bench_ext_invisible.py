@@ -1,0 +1,5 @@
+"""Benchmark: extension C — Invisible vs Undo three-way comparison."""
+
+def test_ext_invisible(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "ext_invisible")
+    assert result.metrics["overhead_cleanupspec_pct"] < result.metrics["overhead_delay_on_miss_pct"]

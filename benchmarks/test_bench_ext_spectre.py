@@ -1,0 +1,6 @@
+"""Benchmark: extension A — Spectre vs CleanupSpec vs unXpec contrast."""
+
+def test_ext_spectre(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "ext_spectre")
+    assert result.metrics["spectre_cleanupspec_footprints"] == 0
+    assert result.metrics["unxpec_diff_on_cleanupspec"] >= 15

@@ -1,0 +1,5 @@
+"""Benchmark: Figure 1 — measured CleanupSpec timeline."""
+
+def test_fig1(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "fig1")
+    assert result.metrics["t5_secret1"] >= 20

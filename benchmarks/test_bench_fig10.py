@@ -1,0 +1,5 @@
+"""Benchmark: Figure 10 — secret leakage without eviction sets."""
+
+def test_fig10(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "fig10")
+    assert result.metrics["accuracy"] >= 0.78  # paper: 86.7%

@@ -1,0 +1,5 @@
+"""Benchmark: Figure 11 — secret leakage with eviction sets."""
+
+def test_fig11(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "fig11")
+    assert result.metrics["accuracy"] >= 0.85  # paper: 91.6%

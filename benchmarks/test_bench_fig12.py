@@ -1,0 +1,5 @@
+"""Benchmark: Figure 12 — constant-time rollback overhead sweep."""
+
+def test_fig12(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "fig12")
+    assert result.metrics["avg_const65_pct"] > result.metrics["avg_const25_pct"]

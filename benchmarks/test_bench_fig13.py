@@ -1,0 +1,5 @@
+"""Benchmark: Figure 13 — real-CPU branch resolution model."""
+
+def test_fig13(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "fig13")
+    assert result.metrics["level_N2"] > result.metrics["level_N1"]

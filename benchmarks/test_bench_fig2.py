@@ -1,0 +1,6 @@
+"""Benchmark: Figure 2 — branch-resolution-time sweep."""
+
+def test_fig2(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "fig2")
+    # Linear growth in N: one DRAM access (~122 cycles) per extra level.
+    assert result.metrics["mean_N2"] - result.metrics["mean_N1"] > 60

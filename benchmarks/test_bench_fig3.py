@@ -1,0 +1,5 @@
+"""Benchmark: Figure 3 — timing difference without eviction sets."""
+
+def test_fig3(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "fig3")
+    assert result.metrics["diff_1_load"] == 22  # the paper's number

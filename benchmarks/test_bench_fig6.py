@@ -1,0 +1,5 @@
+"""Benchmark: Figure 6 — timing difference with eviction sets."""
+
+def test_fig6(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "fig6")
+    assert result.metrics["diff_1_load"] == 32  # the paper's number

@@ -1,0 +1,5 @@
+"""Benchmark: Figure 7 — latency PDF (no eviction sets)."""
+
+def test_fig7(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "fig7")
+    assert 15 <= result.metrics["mean_difference"] <= 29

@@ -1,0 +1,5 @@
+"""Benchmark: Figure 8 — latency PDF (with eviction sets)."""
+
+def test_fig8(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "fig8")
+    assert result.metrics["mean_difference"] > result.metrics["mean_difference_no_evsets"]

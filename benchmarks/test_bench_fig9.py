@@ -1,0 +1,5 @@
+"""Benchmark: Figure 9 — secret bitstring generation."""
+
+def test_fig9(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "fig9")
+    assert 0.44 <= result.metrics["ones_fraction"] <= 0.56

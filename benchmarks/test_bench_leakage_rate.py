@@ -1,0 +1,5 @@
+"""Benchmark: §VI-B — leakage rate (samples/second at 2 GHz)."""
+
+def test_leakage_rate(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "leakage_rate")
+    assert result.metrics["matched_kbps"] >= 90  # paper: ~140 Kbps

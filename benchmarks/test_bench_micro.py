@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the simulator substrates.
+
+These time the hot paths the figure harnesses are built on — cache
+accesses, attack rounds, synthetic-workload execution — so performance
+regressions in the simulator itself are visible independently of the
+figure-level benchmarks.
+"""
+
+from repro.attack import GadgetParams, UnxpecAttack
+from repro.cache import CacheHierarchy
+from repro.cpu import Core
+from repro.defense import CleanupSpec, UnsafeBaseline
+from repro.workloads import get_profile, synthesize
+
+
+def test_cache_access_throughput(benchmark):
+    h = CacheHierarchy(seed=0)
+    addrs = [0x100000 + (i % 256) * 64 for i in range(2048)]
+
+    def touch_all():
+        for i, addr in enumerate(addrs):
+            h.access(addr, i)
+
+    benchmark(touch_all)
+    assert h.l1.stats.hits > 0
+
+
+def test_attack_round_latency(benchmark):
+    attack = UnxpecAttack(params=GadgetParams(), seed=0)
+    attack.prepare()
+
+    samples = benchmark.pedantic(
+        lambda: (attack.sample(0), attack.sample(1)), rounds=5, iterations=2
+    )
+    assert samples[1].latency - samples[0].latency == 22
+
+
+def test_attack_round_latency_with_eviction_sets(benchmark):
+    attack = UnxpecAttack(params=GadgetParams(), use_eviction_sets=True, seed=0)
+    attack.prepare()
+
+    samples = benchmark.pedantic(
+        lambda: (attack.sample(0), attack.sample(1)), rounds=5, iterations=2
+    )
+    assert samples[1].latency - samples[0].latency == 32
+
+
+def test_synthetic_workload_simulation(benchmark):
+    workload = synthesize(get_profile("gcc_r"), instructions=3000, seed=0)
+
+    def run():
+        h = CacheHierarchy(seed=0)
+        return Core(h, CleanupSpec(h)).run(
+            workload.program, max_instructions=10_000_000
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Taken branches skip their shadows, so fewer instructions commit than
+    # the program holds.
+    assert 0 < result.instructions <= len(workload.program)
+
+
+def test_core_instruction_throughput(benchmark):
+    from repro.isa import ProgramBuilder
+
+    b = ProgramBuilder("alu-stream")
+    b.li("r1", 1)
+    for i in range(2000):
+        b.addi(f"r{2 + i % 20}", "r1", i)
+    b.halt()
+    program = b.build()
+
+    def run():
+        h = CacheHierarchy(seed=0)
+        return Core(h, UnsafeBaseline(h)).run(program)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.instructions == len(program)

@@ -1,0 +1,5 @@
+"""Benchmark: Table I regeneration (configuration validation)."""
+
+def test_table1(benchmark, run_experiment_once):
+    result = run_experiment_once(benchmark, "table1")
+    assert result.metrics["frequency_ghz"] == 2.0

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Write the victim in assembly text, then attack it.
+
+The other examples build programs through the Python DSL; this one uses
+the textual assembler (`repro.isa.assemble`) to define a Spectre-style
+victim the way a real PoC would be written, runs it under CleanupSpec, and
+shows the rollback stall leaking the secret — useful as a template for
+experimenting with your own gadget variants.
+
+Run:  python examples/asm_victim.py
+"""
+
+from repro import CacheHierarchy, CleanupSpec, Core, assemble
+
+VICTIM_ASM = """
+# registers: r1=A, r2=P, r3=&bound, r6=index, r30/r31=timestamps
+start:
+  li    r1, 0x10000        # A array
+  li    r2, 0x20000        # P probe array
+  li    r3, 0x50400        # &bound (the flushed condition load)
+
+  # --- mistrain: two in-bounds invocations of the bounds check ---
+  li    r6, 0
+  ld    r9, 0(r3)
+  bge   r6, r9, skip1      # in bounds: not taken -> trains not-taken
+  shli  r7, r6, 3
+  add   r7, r1, r7
+  ld    r10, 0(r7)         # secret = A[0] = 0
+  shli  r11, r10, 6
+  add   r12, r2, r11
+  ld    r13, 0(r12)        # touch P[0]
+skip1:
+  li    r6, 0
+  ld    r9, 0(r3)
+  bge   r6, r9, skip2
+  nop
+skip2:
+
+  # --- preparation: flush the bound and the secret=1 target ---
+  clflush 0(r3)
+  clflush 64(r2)
+  mfence
+  rdtscp r30
+
+  # --- the attack invocation: out-of-bounds index 4176 -> the secret ---
+  li    r6, 4176
+  ld    r9, 0(r3)          # slow bound load opens the window
+  bge   r6, r9, done       # actually taken; predicted not-taken
+  shli  r7, r6, 3
+  add   r7, r1, r7
+  ld    r10, 0(r7)         # transient: secret = A[4176]
+  shli  r11, r10, 6
+  add   r12, r2, r11
+  ld    r13, 0(r12)        # transient: P[secret*64]
+done:
+  rdtscp r31
+  halt
+"""
+
+
+def run_round(secret_bit: int) -> int:
+    hierarchy = CacheHierarchy(seed=1)
+    core = Core(hierarchy, CleanupSpec(hierarchy))
+    program = assemble(VICTIM_ASM, name="asm-victim")
+    # Victim memory: bound = 16, A[0] = 0, the secret at A + 4176*8.
+    hierarchy.dram.poke(0x50400, 16)
+    hierarchy.dram.poke(0x10000, 0)
+    hierarchy.dram.poke(0x10000 + 4176 * 8, secret_bit)
+    hierarchy.warm([0x10000 + 4176 * 8, 0x20000, 0x10000])
+    result = core.run(program)
+    return result.timer_delta("r30", "r31")
+
+
+def main() -> None:
+    print("victim written in assembly, attacked under CleanupSpec:")
+    lat0 = run_round(0)
+    lat1 = run_round(1)
+    print(f"  secret=0 : {lat0} cycles")
+    print(f"  secret=1 : {lat1} cycles")
+    print(f"  leak     : {lat1 - lat0} cycles of rollback — "
+          "edit VICTIM_ASM above and re-run to explore your own gadgets")
+
+
+if __name__ == "__main__":
+    main()

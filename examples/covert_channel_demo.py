@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Covert channel: exfiltrate an ASCII message through rollback timing.
+
+The scenario the paper's attacker model describes (§III-B): sender and
+receiver share a core and its CleanupSpec-protected cache; the sender
+encodes one bit per round through the rollback duration; the receiver
+calibrates a threshold and decodes. Under the calibrated noise model the
+per-bit error rate matches the paper (≈8-13%), so the demo also applies
+3-sample majority voting to deliver the message intact.
+
+Run:  python examples/covert_channel_demo.py
+"""
+
+from repro import LeakageCampaign, UnxpecAttack, campaign_noise
+from repro.attack.secrets import bits_to_bytes, bytes_to_bits
+
+MESSAGE = b"UNDO IS NOT ENOUGH"
+
+
+def leak(message: bytes, samples_per_bit: int, use_eviction_sets: bool):
+    bits = bytes_to_bits(message, len(message) * 8)
+    attack = UnxpecAttack(
+        use_eviction_sets=use_eviction_sets, noise=campaign_noise(), seed=11
+    )
+    campaign = LeakageCampaign(
+        attack, samples_per_bit=samples_per_bit, calibration_rounds=120
+    )
+    result = campaign.run(bits)
+    recovered = bits_to_bytes([r.guess for r in result.records])
+    return result, recovered
+
+
+def printable(data: bytes) -> str:
+    return "".join(chr(b) if 32 <= b < 127 else "?" for b in data)
+
+
+def main() -> None:
+    print(f"message to exfiltrate: {MESSAGE.decode()} ({len(MESSAGE) * 8} bits)")
+    print("=" * 70)
+
+    for evset in (False, True):
+        label = "with eviction sets" if evset else "without eviction sets"
+        result, recovered = leak(MESSAGE, samples_per_bit=1, use_eviction_sets=evset)
+        print(f"[{label}] 1 sample/bit")
+        print(f"  threshold     : {result.threshold:.0f} cycles")
+        print(f"  bit accuracy  : {result.accuracy:.1%} (paper: 86.7% / 91.6%)")
+        print(f"  leakage rate  : {result.leakage.kbps:.0f} Kbps at 2 GHz")
+        print(f"  received text : {printable(recovered)}")
+        print()
+
+    # Noise suppression through repetition (paper §VI-D third point).
+    result, recovered = leak(MESSAGE, samples_per_bit=9, use_eviction_sets=True)
+    print("[with eviction sets] 9-sample majority voting")
+    print(f"  bit accuracy  : {result.accuracy:.1%}")
+    print(f"  effective rate: {result.leakage.kbps:.0f} Kbps (9 samples/bit)")
+    print(f"  received text : {printable(recovered)}")
+    if recovered == MESSAGE:
+        print("  message delivered intact through the rollback-timing channel.")
+
+
+if __name__ == "__main__":
+    main()

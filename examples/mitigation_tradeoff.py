@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Mitigation trade-off study: what does closing the channel cost?
+
+Compares, on the same SPEC-like workloads and against the same attack:
+
+* plain CleanupSpec               (fast, fully leaky),
+* relaxed constant-time rollback  (paper §VI-E; closes the common case at
+                                   22-73% slowdown),
+* fuzzy dummy-delay cleanup       (paper §VII future work; degrades the
+                                   attack at lower average cost).
+
+Run:  python examples/mitigation_tradeoff.py   (takes a minute or two)
+"""
+
+from repro import (
+    CleanupSpec,
+    ConstantTimeRollback,
+    FuzzyCleanup,
+    UnxpecAttack,
+    campaign_noise,
+    synthesize,
+)
+from repro.attack import ThresholdDecoder, calibrate, random_bits
+from repro.cache import CacheHierarchy
+from repro.common import render_table
+from repro.cpu import Core
+from repro.defense import UnsafeBaseline
+from repro.workloads import get_profile
+
+WORKLOADS = ("gcc_r", "mcf_r", "leela_r")
+BITS = 120
+
+
+def attack_accuracy(defense_factory) -> float:
+    attack = UnxpecAttack(
+        defense_factory=defense_factory, noise=campaign_noise(), seed=17
+    )
+    cal = calibrate(attack, rounds_per_class=80)
+    decoder = ThresholdDecoder(cal.threshold)
+    secret = random_bits(BITS, seed=17, tag="mitigation-demo")
+    correct = sum(
+        1 for bit in secret if decoder.decode(attack.sample(bit).latency) == bit
+    )
+    return correct / BITS
+
+
+def workload_overhead(defense_factory) -> float:
+    total = 0.0
+    for name in WORKLOADS:
+        workload = synthesize(get_profile(name), instructions=6000, seed=1)
+
+        def run(factory):
+            h = CacheHierarchy(seed=1)
+            return Core(h, factory(h)).run(
+                workload.program, max_instructions=20_000_000
+            )
+
+        base = run(lambda h: UnsafeBaseline(h))
+        protected = run(defense_factory)
+        total += protected.cycles / base.cycles - 1.0
+    return total / len(WORKLOADS)
+
+
+def main() -> None:
+    schemes = [
+        ("CleanupSpec (no mitigation)", lambda h: CleanupSpec(h)),
+        ("ConstantTime 25 cyc", lambda h: ConstantTimeRollback(h, 25)),
+        ("ConstantTime 65 cyc", lambda h: ConstantTimeRollback(h, 65)),
+        ("FuzzyCleanup <=32 cyc", lambda h: FuzzyCleanup(h, 32, seed=17)),
+        ("FuzzyCleanup <=96 cyc", lambda h: FuzzyCleanup(h, 96, seed=17)),
+    ]
+    rows = []
+    for name, factory in schemes:
+        acc = attack_accuracy(factory)
+        overhead = workload_overhead(factory)
+        rows.append((name, f"{acc:.1%}", f"{100 * overhead:.1f}%"))
+        print(f"  measured {name}...")
+
+    print()
+    print(
+        render_table(
+            ["defense", "unXpec accuracy (1 sample/bit)", "avg workload overhead"],
+            rows,
+            title=f"Mitigation trade-off over {', '.join(WORKLOADS)}",
+        )
+    )
+    print()
+    print(
+        "Reading: 50% accuracy = coin flip = channel closed. Constant-time\n"
+        "rollback buys security with a large unconditional slowdown; fuzzy\n"
+        "dummy delays approach the same attack degradation far cheaper —\n"
+        "the trade-off the paper's future-work section anticipates."
+    )
+
+
+if __name__ == "__main__":
+    main()

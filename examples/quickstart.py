@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: observe the unXpec timing channel in five minutes.
+
+Builds a CleanupSpec-protected machine, mounts the unXpec attack on it, and
+shows the secret-dependent timing difference the whole paper is about —
+22 cycles from a single transient load, 32 with the eviction-set
+optimisation — then leaks a byte through it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GadgetParams, ThresholdDecoder, UnxpecAttack
+
+
+def main() -> None:
+    print("unXpec quickstart")
+    print("=" * 60)
+
+    # --- 1. the basic channel -------------------------------------------------
+    attack = UnxpecAttack(params=GadgetParams(n_loads=1), seed=0)
+    attack.prepare()  # mistraining targets, memory image, warmup
+
+    lat0 = attack.sample(0).latency  # victim's secret bit = 0
+    lat1 = attack.sample(1).latency  # victim's secret bit = 1
+    print(f"latency with secret=0 : {lat0} cycles")
+    print(f"latency with secret=1 : {lat1} cycles")
+    print(f"timing difference     : {lat1 - lat0} cycles (paper: 22)")
+    print()
+
+    # What happened under the hood: with secret=1 the transient load missed,
+    # installed a line, and CleanupSpec's rollback had to invalidate it.
+    s1 = attack.sample(1)
+    print(
+        f"rollback ground truth : {s1.invalidated_l1} L1 + {s1.invalidated_l2} L2 "
+        f"invalidations, {s1.restored_l1} restorations, "
+        f"{s1.rollback_cycles}-cycle rollback stall"
+    )
+    print()
+
+    # --- 2. the eviction-set optimisation (paper SV-B) -------------------------
+    optimised = UnxpecAttack(use_eviction_sets=True, seed=0)
+    optimised.prepare()  # also constructs and primes eviction sets
+    diff = optimised.sample(1).latency - optimised.sample(0).latency
+    print(f"with eviction sets    : {diff} cycles (paper: 32)")
+    print(
+        f"eviction sets built   : {len(optimised.prime_addresses)} primed lines"
+    )
+    print()
+
+    # --- 3. leak a byte -------------------------------------------------------
+    secret_byte = 0b10110010
+    threshold = (lat0 + lat1) / 2
+    decoder = ThresholdDecoder(threshold)
+    leaked = 0
+    for bit_index in range(7, -1, -1):
+        bit = (secret_byte >> bit_index) & 1
+        guess = decoder.decode(attack.sample(bit).latency)
+        leaked = (leaked << 1) | guess
+    print(f"planted byte          : {secret_byte:#010b}")
+    print(f"leaked byte           : {leaked:#010b}")
+    print("byte recovered!" if leaked == secret_byte else "byte mismatch")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — a Python reproduction of *unXpec: Breaking Undo-based Safe
+Speculation* (HPCA 2022).
+
+The package provides, from the bottom up:
+
+* :mod:`repro.isa` — a small register ISA (loads, flushes, fences,
+  serialising timer reads, branches) for writing attacker/victim programs;
+* :mod:`repro.memory` / :mod:`repro.cache` — DRAM, MSHR, and a two-level
+  Undo-protected cache hierarchy (NoMo-partitioned random-replacement L1,
+  CEASER-randomised L2, speculative-state tracking);
+* :mod:`repro.cpu` — a trace-driven out-of-order core with wrong-path
+  (transient) execution and a calibrated noise model;
+* :mod:`repro.defense` — UnsafeBaseline, CleanupSpec (invalidation +
+  restoration rollback), constant-time rollback, fuzzy cleanup;
+* :mod:`repro.attack` — the unXpec attack (gadgets, eviction sets,
+  calibration, covert channel, leakage campaigns) plus classic Spectre v1;
+* :mod:`repro.workloads` — synthetic SPEC CPU 2017-like programs;
+* :mod:`repro.experiments` — one runnable experiment per paper table and
+  figure (``python -m repro.experiments list``).
+
+Quickstart::
+
+    from repro import UnxpecAttack
+
+    attack = UnxpecAttack(use_eviction_sets=True)
+    attack.prepare()
+    diff = attack.sample(1).latency - attack.sample(0).latency
+    print(f"secret-dependent timing difference: {diff} cycles")
+"""
+
+from .attack import (
+    GadgetParams,
+    LeakageCampaign,
+    SpectreV1Attack,
+    ThresholdDecoder,
+    UnxpecAttack,
+    calibrate,
+    find_eviction_set,
+    random_bits,
+)
+from .cache import CacheHierarchy
+from .common import SystemConfig, paper_system_config
+from .cpu import BimodalPredictor, Core, NoiseModel, campaign_noise
+from .defense import (
+    CleanupMode,
+    CleanupSpec,
+    CleanupTimingModel,
+    ConstantTimeRollback,
+    FuzzyCleanup,
+    UnsafeBaseline,
+)
+from .isa import Program, ProgramBuilder, assemble
+from .realcpu import RealCpuModel
+from .workloads import SPEC2017_PROFILES, synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "UnxpecAttack",
+    "GadgetParams",
+    "LeakageCampaign",
+    "SpectreV1Attack",
+    "ThresholdDecoder",
+    "calibrate",
+    "find_eviction_set",
+    "random_bits",
+    "CacheHierarchy",
+    "SystemConfig",
+    "paper_system_config",
+    "Core",
+    "BimodalPredictor",
+    "NoiseModel",
+    "campaign_noise",
+    "CleanupSpec",
+    "CleanupMode",
+    "CleanupTimingModel",
+    "ConstantTimeRollback",
+    "FuzzyCleanup",
+    "UnsafeBaseline",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "RealCpuModel",
+    "SPEC2017_PROFILES",
+    "synthesize",
+]

@@ -1,0 +1,29 @@
+"""Information-theoretic channel analysis."""
+
+from .validation import (
+    BootstrapCI,
+    SeparationTest,
+    bootstrap_accuracy_ci,
+    bootstrap_mean_difference_ci,
+    separation_test,
+)
+from .channel_capacity import (
+    ChannelReport,
+    analyze_channel,
+    binary_entropy,
+    bsc_capacity,
+    empirical_mutual_information,
+)
+
+__all__ = [
+    "SeparationTest",
+    "separation_test",
+    "BootstrapCI",
+    "bootstrap_accuracy_ci",
+    "bootstrap_mean_difference_ci",
+    "ChannelReport",
+    "analyze_channel",
+    "binary_entropy",
+    "bsc_capacity",
+    "empirical_mutual_information",
+]

@@ -1,0 +1,135 @@
+"""Secret-leakage campaign (paper §VI-B/C, Figs. 9-11).
+
+A campaign calibrates a threshold, then leaks an n-bit secret one bit per
+round (or ``samples_per_bit`` rounds per bit with majority decoding),
+recording per-bit latency, guess, and correctness — the raw series behind
+Figures 10 and 11 — plus the leakage-rate accounting of §VI-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..common.errors import AttackError
+from ..common.stats import decode_accuracy
+from ..common.units import PAPER_FREQUENCY_HZ, LeakageRate
+from .calibration import CalibrationResult, calibrate
+from .channel import ThresholdDecoder
+from .unxpec import UnxpecAttack
+
+
+@dataclass(frozen=True)
+class BitRecord:
+    """One leaked bit (one row of the Fig. 10/11 scatter)."""
+
+    index: int
+    secret: int
+    latencies: tuple
+    guess: int
+
+    @property
+    def correct(self) -> bool:
+        return self.guess == self.secret
+
+    @property
+    def latency(self) -> float:
+        """First (usually only) sample — what the figures plot."""
+        return self.latencies[0]
+
+
+@dataclass
+class CampaignResult:
+    """Everything the effectiveness/speed experiments report."""
+
+    records: List[BitRecord]
+    threshold: float
+    samples_per_bit: int
+    cycles_total: int
+    frequency_hz: float = PAPER_FREQUENCY_HZ
+
+    @property
+    def bits(self) -> int:
+        return len(self.records)
+
+    @property
+    def accuracy(self) -> float:
+        return decode_accuracy(
+            [r.guess for r in self.records], [r.secret for r in self.records]
+        )
+
+    @property
+    def cycles_per_bit(self) -> float:
+        if not self.records:
+            raise AttackError("empty campaign")
+        return self.cycles_total / self.bits
+
+    @property
+    def cycles_per_sample(self) -> float:
+        return self.cycles_per_bit / self.samples_per_bit
+
+    @property
+    def leakage(self) -> LeakageRate:
+        return LeakageRate(self.cycles_per_bit, self.frequency_hz)
+
+    def errors(self) -> List[BitRecord]:
+        return [r for r in self.records if not r.correct]
+
+
+class LeakageCampaign:
+    """Calibrate once, then leak an arbitrary bitstring."""
+
+    def __init__(
+        self,
+        attack: UnxpecAttack,
+        samples_per_bit: int = 1,
+        calibration_rounds: int = 200,
+    ) -> None:
+        if samples_per_bit < 1:
+            raise AttackError("samples_per_bit must be >= 1")
+        self.attack = attack
+        self.samples_per_bit = samples_per_bit
+        self.calibration_rounds = calibration_rounds
+        self.calibration: Optional[CalibrationResult] = None
+
+    def calibrate(self) -> CalibrationResult:
+        if self.calibration is None:
+            self.calibration = calibrate(self.attack, self.calibration_rounds)
+        return self.calibration
+
+    @property
+    def decoder(self) -> ThresholdDecoder:
+        return self.calibrate().decoder
+
+    def run_bytes(self, secret: bytes) -> "tuple[CampaignResult, bytes]":
+        """Leak a byte string; returns the campaign and the recovered bytes.
+
+        Convenience wrapper for message-exfiltration scenarios (see
+        ``examples/covert_channel_demo.py``): bits are packed MSB-first.
+        """
+        from .secrets import bits_to_bytes, bytes_to_bits
+
+        bits = bytes_to_bits(secret, len(secret) * 8)
+        result = self.run(bits)
+        return result, bits_to_bytes([r.guess for r in result.records])
+
+    def run(self, secret_bits: Sequence[int]) -> CampaignResult:
+        """Leak ``secret_bits``; the decoder never sees the planted values."""
+        decoder = self.decoder
+        records: List[BitRecord] = []
+        cycles_total = 0
+        for index, secret in enumerate(secret_bits):
+            samples = self.attack.sample_many(secret & 1, self.samples_per_bit)
+            latencies = tuple(s.latency for s in samples)
+            cycles_total += sum(s.total_cycles for s in samples)
+            guess = decoder.decode_majority(latencies)
+            records.append(
+                BitRecord(index=index, secret=secret & 1, latencies=latencies, guess=guess)
+            )
+        return CampaignResult(
+            records=records,
+            threshold=decoder.threshold,
+            samples_per_bit=self.samples_per_bit,
+            cycles_total=cycles_total,
+            frequency_hz=self.attack.hierarchy.config.core.frequency_hz,
+        )

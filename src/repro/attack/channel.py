@@ -1,0 +1,53 @@
+"""Covert-channel decoding.
+
+The receiver turns latency samples into secret bits with a threshold
+(paper §VI-A picks 178 / 183 cycles by inspecting the calibration
+distributions): a sample above the threshold decodes as 1 — the rollback
+was long, so the transient loads must have modified cache state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..common.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class ThresholdDecoder:
+    """Single-threshold bit decoder."""
+
+    threshold: float
+
+    def decode(self, latency: float) -> int:
+        """One sample -> one bit (above threshold = 1)."""
+        return 1 if latency > self.threshold else 0
+
+    def decode_majority(self, samples: Sequence[float]) -> int:
+        """Multiple samples of the same bit -> majority vote.
+
+        The paper's noise-robustness argument (§VI-D): more samples per
+        secret suppress noise. Ties decode by the mean.
+        """
+        if not samples:
+            raise CalibrationError("cannot decode an empty sample set")
+        ones = sum(self.decode(s) for s in samples)
+        zeros = len(samples) - ones
+        if ones != zeros:
+            return 1 if ones > zeros else 0
+        mean = sum(samples) / len(samples)
+        return self.decode(mean)
+
+    def decode_stream(self, samples: Sequence[float], samples_per_bit: int = 1) -> List[int]:
+        """Decode a flat sample stream into bits."""
+        if samples_per_bit < 1:
+            raise CalibrationError("samples_per_bit must be >= 1")
+        if len(samples) % samples_per_bit:
+            raise CalibrationError(
+                f"{len(samples)} samples do not divide into groups of {samples_per_bit}"
+            )
+        return [
+            self.decode_majority(samples[i : i + samples_per_bit])
+            for i in range(0, len(samples), samples_per_bit)
+        ]

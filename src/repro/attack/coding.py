@@ -1,0 +1,103 @@
+"""Error-correcting coding for the covert channel.
+
+The paper suppresses noise by taking more samples per bit (§VI-D). Coding
+theory does the same job cheaper: a Hamming(7,4) code corrects any single
+bit error per 7-bit block, so at the paper's ~8-13% single-sample error
+rates it delivers messages with far less redundancy than N-sample majority
+voting (1.75x vs 5-9x). The extension experiments and the covert-channel
+example use it to compare the two strategies.
+
+Implementation: the classic (7,4) code with parity bits at positions
+1, 2, 4 (1-indexed). Encoding places data bits d1..d4 at positions
+3, 5, 6, 7; decoding computes the syndrome, flips the indicated position,
+and extracts the data bits. Two errors in a block decode incorrectly —
+the usual Hamming trade-off, visible in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..common.errors import AttackError
+
+BLOCK_DATA_BITS = 4
+BLOCK_CODE_BITS = 7
+
+#: 1-indexed positions of data bits inside a codeword.
+_DATA_POSITIONS = (3, 5, 6, 7)
+_PARITY_POSITIONS = (1, 2, 4)
+
+
+def _parity(codeword: Sequence[int], parity_pos: int) -> int:
+    """Even parity over the positions whose index has bit `parity_pos` set."""
+    total = 0
+    for pos in range(1, BLOCK_CODE_BITS + 1):
+        if pos & parity_pos and pos != parity_pos:
+            total ^= codeword[pos - 1]
+    return total
+
+
+def encode_block(data: Sequence[int]) -> List[int]:
+    """Encode 4 data bits into a 7-bit Hamming codeword."""
+    if len(data) != BLOCK_DATA_BITS:
+        raise AttackError(f"block needs {BLOCK_DATA_BITS} bits, got {len(data)}")
+    code = [0] * BLOCK_CODE_BITS
+    for bit, pos in zip(data, _DATA_POSITIONS):
+        code[pos - 1] = bit & 1
+    for pos in _PARITY_POSITIONS:
+        code[pos - 1] = _parity(code, pos)
+    return code
+
+
+def decode_block(code: Sequence[int]) -> "tuple[List[int], int]":
+    """Decode one codeword; returns ``(data_bits, corrected_position)``.
+
+    ``corrected_position`` is 0 when the block was clean, else the
+    1-indexed position that was flipped.
+    """
+    if len(code) != BLOCK_CODE_BITS:
+        raise AttackError(f"codeword needs {BLOCK_CODE_BITS} bits, got {len(code)}")
+    word = [b & 1 for b in code]
+    syndrome = 0
+    for pos in _PARITY_POSITIONS:
+        if _parity(word, pos) != word[pos - 1]:
+            syndrome |= pos
+    if syndrome:
+        word[syndrome - 1] ^= 1
+    return [word[pos - 1] for pos in _DATA_POSITIONS], syndrome
+
+
+def encode_bits(bits: Sequence[int]) -> List[int]:
+    """Encode a bitstring (zero-padded to a multiple of 4)."""
+    padded = list(bits) + [0] * (-len(bits) % BLOCK_DATA_BITS)
+    out: List[int] = []
+    for i in range(0, len(padded), BLOCK_DATA_BITS):
+        out.extend(encode_block(padded[i : i + BLOCK_DATA_BITS]))
+    return out
+
+
+def decode_bits(code_bits: Sequence[int], data_length: int) -> "tuple[List[int], int]":
+    """Decode a stream of codewords; returns ``(data_bits, corrections)``."""
+    if len(code_bits) % BLOCK_CODE_BITS:
+        raise AttackError(
+            f"{len(code_bits)} coded bits do not divide into {BLOCK_CODE_BITS}-bit blocks"
+        )
+    data: List[int] = []
+    corrections = 0
+    for i in range(0, len(code_bits), BLOCK_CODE_BITS):
+        block, fixed = decode_block(code_bits[i : i + BLOCK_CODE_BITS])
+        data.extend(block)
+        corrections += int(fixed != 0)
+    if data_length > len(data):
+        raise AttackError(f"stream holds {len(data)} bits, wanted {data_length}")
+    return data[:data_length], corrections
+
+
+def code_rate() -> float:
+    """Data bits per coded bit (4/7 for Hamming(7,4))."""
+    return BLOCK_DATA_BITS / BLOCK_CODE_BITS
+
+
+def expansion_factor() -> float:
+    """Coded bits per data bit (1.75 for Hamming(7,4))."""
+    return BLOCK_CODE_BITS / BLOCK_DATA_BITS

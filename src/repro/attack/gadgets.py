@@ -1,0 +1,226 @@
+"""Attack gadget builders (paper Algorithms 1 & 2, Figure 4).
+
+:class:`UnxpecGadget` produces two programs:
+
+* a **setup** program, run once, that warms the lines whose residency the
+  round code depends on (the secret word, ``P[0]``, the index table) and
+  optionally primes the eviction sets;
+* a **round** program, run once per leaked bit, structured as the paper's
+  Figure 4: ``train_iters`` invocations of the sender with in-bounds
+  indices (mistraining the bounds-check branch toward *not taken*), then
+  one invocation with the out-of-bounds index whose end-to-end latency —
+  bracketed by two serialising timer reads around the sender — is the
+  covert-channel sample.
+
+The sender's bounds check loads its bound through an ``condition_accesses``
+-deep pointer chase (the paper's ``f(N)``); every chase line is flushed in
+the preparation part of each invocation, so resolving the branch takes a
+(constant) main-memory round trip — the speculation window the transient
+loads execute in. The in-branch body performs ``n_loads`` loads of
+``P[secret*64*k]``: every load hits ``P[0]`` when the secret bit is 0 and
+misses (installing ``P[64k]``) when it is 1.
+
+All invocations share one code path, so the bounds-check branch trains and
+mis-predicts at a single PC, exactly like a real sender function invoked
+repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..common.errors import AttackError
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from ..memory.dram import WORD_SIZE, Dram
+from .layout import DEFAULT_LAYOUT, DEFAULT_REGS, AttackLayout, Regs, chain_pointers
+
+
+@dataclass(frozen=True)
+class GadgetParams:
+    """Tunable knobs of the unXpec round (paper §V-C parameterisation)."""
+
+    #: In-branch transient loads (1..8; paper Figs. 3/6 sweep this).
+    n_loads: int = 1
+    #: Dependent memory accesses in the branch condition f(N) (paper Fig. 2).
+    condition_accesses: int = 1
+    #: Chained ALU ops appended to the condition — the paper's f(N) tuning
+    #: that guarantees the window covers the transient loads.
+    condition_pad: int = 4
+    #: Sender invocations with in-bounds indices before the attack one.
+    train_iters: int = 16
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_loads <= 8:
+            raise AttackError("n_loads must be in 1..8")
+        if self.condition_accesses < 1:
+            raise AttackError("condition_accesses must be >= 1")
+        if self.condition_pad < 0:
+            raise AttackError("condition_pad must be non-negative")
+        if self.train_iters < 1:
+            raise AttackError("need at least one training invocation")
+
+
+class UnxpecGadget:
+    """Builds setup/round programs for one parameterisation."""
+
+    def __init__(
+        self,
+        params: GadgetParams = GadgetParams(),
+        layout: AttackLayout = DEFAULT_LAYOUT,
+        regs: Regs = DEFAULT_REGS,
+        prime_addresses: Sequence[int] = (),
+    ) -> None:
+        self.params = params
+        self.layout = layout
+        self.regs = regs
+        #: Eviction-set lines loaded during setup (the §V-B optimisation).
+        self.prime_addresses: List[int] = list(prime_addresses)
+        #: PC of the sender's bounds-check branch, set by :meth:`build_round`
+        #: (used to pick the attack squash out of a round's squash events).
+        self.bounds_branch_pc: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # victim memory image
+    # ------------------------------------------------------------------
+
+    def init_memory(self, dram: Dram, secret_bit: int = 0) -> None:
+        """Write the victim/attacker data structures into memory."""
+        lay = self.layout
+        # A[0] = 0: in-bounds training accesses resolve to P[0].
+        dram.poke(lay.a_base, 0)
+        dram.poke(lay.secret_addr, secret_bit & 1)
+        # Index table: train_iters in-bounds entries, then the OOB index,
+        # then a tail of in-bounds entries covering wrong-path overruns.
+        total = self.params.train_iters
+        for i in range(total):
+            dram.poke(lay.table_entry(i), 0)
+        dram.poke(lay.table_entry(total), lay.out_of_bounds_index)
+        for i in range(total + 1, total + 64):
+            dram.poke(lay.table_entry(i), 0)
+        # f(N) pointer chase.
+        for i, word in enumerate(chain_pointers(lay, self.params.condition_accesses)):
+            dram.poke(lay.chain_entry(i), word)
+
+    def set_secret(self, dram: Dram, secret_bit: int) -> None:
+        """The victim's secret changes between rounds; only it is rewritten."""
+        dram.poke(self.layout.secret_addr, secret_bit & 1)
+
+    # ------------------------------------------------------------------
+    # setup program (run once)
+    # ------------------------------------------------------------------
+
+    def build_setup(self) -> Program:
+        """Warm every line the round code expects resident, prime eviction sets."""
+        lay, r = self.layout, self.regs
+        b = ProgramBuilder("unxpec-setup")
+        b.li(r.a_base, lay.a_base)
+        b.li(r.p_base, lay.p_base)
+        b.li(r.table, lay.table_base)
+        # Warm A[0], the secret word (the victim uses it, so it is cached),
+        # and P[0].
+        b.load(r.scratch2, r.a_base, 0)
+        b.li(r.tmp, lay.secret_addr)
+        b.load(r.scratch2, r.tmp, 0)
+        b.load(r.scratch2, r.p_base, 0)
+        # Warm the whole index table (one load per line) so wrong-path
+        # overruns never install table lines.
+        table_words = self.params.train_iters + 64
+        table_lines = (table_words * WORD_SIZE + 63) // 64
+        for line in range(table_lines):
+            b.load(r.scratch2, r.table, line * 64)
+        # Prime eviction sets (paper Fig. 5 step 1). The targets are flushed
+        # first so the primed partition is *full* with no invalid way left —
+        # otherwise the transient install would fill the hole instead of
+        # evicting (and nothing would need restoring). Restoration puts the
+        # primed lines back after every squash, so priming once suffices
+        # (paper §VI-B).
+        if self.prime_addresses:
+            for k in range(1, self.params.n_loads + 1):
+                b.flush(r.p_base, 64 * k)
+        for addr in self.prime_addresses:
+            b.li(r.tmp, addr)
+            b.load(r.tmp2, r.tmp, 0)
+        b.fence()
+        b.halt()
+        return b.build()
+
+    # ------------------------------------------------------------------
+    # round program (run once per bit)
+    # ------------------------------------------------------------------
+
+    def build_round(self) -> Program:
+        """One attack round: train_iters sender calls, then the measured one.
+
+        Every iteration executes the *same* sender code (same branch PC):
+        read the iteration's index from the table, flush the f(N) chain and
+        the P[64k] targets, fence, timestamp, run the bounds check and
+        (transiently or not) the in-branch loads, timestamp. The final
+        iteration's index is out of bounds; its ts2-ts1 is the sample.
+        """
+        p, lay, r = self.params, self.layout, self.regs
+        b = ProgramBuilder(
+            f"unxpec-round[n={p.n_loads},N={p.condition_accesses},train={p.train_iters}]"
+        )
+        b.li(r.a_base, lay.a_base)
+        b.li(r.p_base, lay.p_base)
+        b.li(r.chain, lay.chain_base)
+        b.li(r.table, lay.table_base)
+        b.li(r.iters, p.train_iters + 1)
+        b.li(r.i, 0)
+
+        b.label("invoke")
+        # index = table[i]
+        b.shli(r.scratch_addr, r.i, 3)
+        b.add(r.scratch_addr, r.table, r.scratch_addr)
+        b.load(r.index, r.scratch_addr, 0)
+        # Preparation: flush the chain lines and the P[64k] targets
+        # (Algorithm 2 lines 20-21 / Fig. 4 preparation stage).
+        for i in range(p.condition_accesses):
+            b.li(r.tmp, lay.chain_entry(i))
+            b.flush(r.tmp, 0)
+        for k in range(1, p.n_loads + 1):
+            b.flush(r.p_base, 64 * k)
+        b.fence()
+        b.rdtscp(r.ts1)
+        # Branch condition: bound = f(N) pointer chase.
+        b.load(r.bound, r.chain, 0)
+        for _ in range(p.condition_accesses - 1):
+            b.load(r.bound, r.bound, 0)
+        for _ in range(p.condition_pad):
+            b.addi(r.bound, r.bound, 0)
+        # if index >= bound: skip the body (taken on the attack iteration).
+        self.bounds_branch_pc = b.here
+        b.branch("ge", r.index, r.bound, "after_body")
+        # -- sender body (transient on the attack iteration) --
+        b.shli(r.scratch_addr, r.index, 3)
+        b.add(r.scratch_addr, r.a_base, r.scratch_addr)
+        b.load(r.secret, r.scratch_addr, 0)  # secret = A[index]
+        b.shli(r.secret_off, r.secret, 6)  # secret * 64
+        for k in range(1, p.n_loads + 1):
+            addr_reg = r.addr_dst(k)
+            if k == 1:
+                b.add(addr_reg, r.p_base, r.secret_off)
+            else:
+                b.opi("mul", addr_reg, r.secret_off, k)
+                b.add(addr_reg, r.p_base, addr_reg)
+            b.load(r.transient_dst(k), addr_reg, 0)  # load P[secret*64*k]
+        b.label("after_body")
+        b.rdtscp(r.ts2)
+        b.addi(r.i, r.i, 1)
+        b.branch("lt", r.i, r.iters, "invoke")
+        b.halt()
+        return b.build()
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    @property
+    def ts_regs(self) -> tuple:
+        return (self.regs.ts1, self.regs.ts2)
+
+    def target_sets_needed(self) -> List[int]:
+        """Addresses whose L1 sets the eviction-set optimisation must prime."""
+        return [self.layout.p_entry(k) for k in range(1, self.params.n_loads + 1)]

@@ -1,0 +1,128 @@
+"""Memory layout and register conventions shared by the attack gadgets.
+
+The gadgets place each data structure so that its L1 set is known and the
+structures cannot accidentally evict each other (which would contaminate
+the rollback counts the channel is built on):
+
+==============  ==========  =================================================
+structure        address     L1D set (64 sets x 64 B lines)
+==============  ==========  =================================================
+A array          0x10000     set 0 (only A[0] is touched in-bounds)
+secret word      0x18280     set 10
+P probe array    0x20000     sets 0..n (P + 64k lands in set k, n <= 8)
+index table      0x40800     sets 32.. (one word per round iteration)
+f(N) chain       0x50400     sets 16.. (one line per chain step)
+eviction pool    0x400000    all sets (candidates for eviction sets)
+==============  ==========  =================================================
+
+The sets the attack primes (1..8, those of ``P[64k]``) hold *nothing but*
+flushed P lines and eviction-set lines; the secret, chain and table lines
+live in disjoint sets so priming and transient installs can never evict
+them — which would contaminate the rollback counts the channel encodes.
+
+The out-of-bounds index is chosen so that ``A + index*8`` is exactly the
+secret word, as in Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..common.config import LINE_SIZE
+from ..common.errors import AttackError
+from ..memory.dram import WORD_SIZE
+
+
+@dataclass(frozen=True)
+class AttackLayout:
+    """Addresses of every structure the gadgets reference."""
+
+    a_base: int = 0x10000  # L1 set 0
+    secret_addr: int = 0x18280  # L1 set 10 — clear of the P sets (1..8)
+    p_base: int = 0x20000  # L1 set 0; P + 64k lands in set k
+    table_base: int = 0x40800  # L1 sets 32.. — clear of P and chain sets
+    chain_base: int = 0x50400  # L1 sets 16.. (one line per f(N) step)
+    eviction_pool_base: int = 0x400000
+    eviction_pool_size: int = 0x200000
+    bound_value: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("a_base", "secret_addr", "p_base", "table_base", "chain_base"):
+            if getattr(self, name) % WORD_SIZE:
+                raise AttackError(f"{name} must be word aligned")
+        if (self.secret_addr - self.a_base) % WORD_SIZE:
+            raise AttackError("secret must be word-indexable from A")
+        if self.out_of_bounds_index < self.bound_value:
+            raise AttackError("secret index must be out of bounds")
+
+    @property
+    def out_of_bounds_index(self) -> int:
+        """Index i with ``A + 8*i == secret_addr`` (Algorithm 2's ``i``)."""
+        return (self.secret_addr - self.a_base) // WORD_SIZE
+
+    def p_entry(self, k: int) -> int:
+        """Address of ``P[64*k]`` — the k-th transient-load target."""
+        return self.p_base + LINE_SIZE * k
+
+    def chain_entry(self, i: int) -> int:
+        """Address of the i-th pointer-chase step of f(N) (one line apart)."""
+        return self.chain_base + LINE_SIZE * i
+
+    def table_entry(self, i: int) -> int:
+        return self.table_base + WORD_SIZE * i
+
+
+@dataclass(frozen=True)
+class Regs:
+    """Register allocation used by every gadget (names, not values)."""
+
+    a_base: str = "r1"
+    p_base: str = "r2"
+    chain: str = "r3"
+    iters: str = "r4"
+    i: str = "r5"
+    index: str = "r6"
+    scratch_addr: str = "r7"
+    scratch2: str = "r8"
+    bound: str = "r9"
+    secret: str = "r10"
+    secret_off: str = "r11"
+    table: str = "r21"
+    tmp: str = "r24"
+    tmp2: str = "r25"
+    ts1: str = "r30"
+    ts2: str = "r31"
+
+    def transient_dst(self, k: int) -> str:
+        """Destination register of the k-th in-branch load (k = 1..8)."""
+        if not 1 <= k <= 8:
+            raise AttackError("supports at most 8 in-branch loads")
+        return f"r{12 + k}"  # r13..r20
+
+    def addr_dst(self, k: int) -> str:
+        """Scratch register holding the k-th in-branch load address.
+
+        Round-robin over r26..r28: the address register is consumed by the
+        load immediately following its computation, so three scratch
+        registers cover any number of in-branch loads.
+        """
+        if not 1 <= k <= 8:
+            raise AttackError("supports at most 8 in-branch loads")
+        return f"r{26 + (k % 3)}"
+
+
+DEFAULT_LAYOUT = AttackLayout()
+DEFAULT_REGS = Regs()
+
+
+def chain_pointers(layout: AttackLayout, n_accesses: int) -> List[int]:
+    """Memory words implementing the f(N) pointer chase.
+
+    ``chain[i]`` holds the address of step ``i+1``; the last step holds the
+    bounds value itself, so resolving the branch condition requires exactly
+    ``n_accesses`` dependent memory loads.
+    """
+    if n_accesses < 1:
+        raise AttackError("f(N) needs at least one memory access")
+    return [layout.chain_entry(i + 1) for i in range(n_accesses - 1)] + [layout.bound_value]

@@ -1,0 +1,112 @@
+"""Replacement-state side-channel probe (why CleanupSpec uses random L1).
+
+CleanupSpec adopts **random replacement** in the protected L1 specifically
+to close side channels over replacement metadata (paper §II-B, citing
+LRU-state attacks [5, 43]). This module makes that design decision
+testable: an *age probe* that infers whether a victim touched a target
+line purely from which line a subsequent fill evicts.
+
+Probe protocol (attacker's view, one trial):
+
+1. prime the target's L1 set with the attacker's own lines, oldest-first,
+   with the **target line primed first** (so it is the LRU line);
+2. let the victim run — it either touches the target (refreshing its
+   recency) or not;
+3. insert one more conflicting line and check which primed line vanished.
+
+Under LRU the evicted line is the set's oldest: the target itself if the
+victim did *not* touch it, an attacker line if it did — one trial leaks
+one bit. Under random replacement the evicted way is independent of the
+victim's access, and the probe's advantage collapses to chance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..cache.hierarchy import CacheHierarchy
+from .eviction_sets import congruent_candidates, partition_ways
+from .layout import DEFAULT_LAYOUT, AttackLayout
+
+
+@dataclass(frozen=True)
+class AgeProbeResult:
+    """Outcome of repeated age-probe trials against one hierarchy."""
+
+    trials: int
+    correct: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.trials if self.trials else 0.0
+
+
+class ReplacementAgeProbe:
+    """Infers victim accesses from replacement behaviour."""
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        target: int,
+        layout: AttackLayout = DEFAULT_LAYOUT,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.target = target
+        ways = partition_ways(hierarchy)
+        # Enough conflicting lines to fill the partition minus the target,
+        # plus one inserter per trial (rotated to stay distinct from the
+        # resident fillers).
+        self._fillers: List[int] = congruent_candidates(target, ways - 1, layout)
+        self._inserters: List[int] = congruent_candidates(
+            target, 64, layout
+        )[ways - 1 :]
+        self._next_inserter = 0
+        self._last_inserter: int | None = None
+
+    def _prime(self, cycle: int) -> None:
+        """Target first (oldest under LRU), then the fillers."""
+        self.hierarchy.flush_line(self.target)
+        for filler in self._fillers:
+            self.hierarchy.flush_line(filler)
+        if self._last_inserter is not None:
+            # Leftover from the previous trial would steal a way and force
+            # an unintended eviction during priming.
+            self.hierarchy.flush_line(self._last_inserter)
+        self.hierarchy.access(self.target, cycle)
+        for i, filler in enumerate(self._fillers):
+            self.hierarchy.access(filler, cycle + 1 + i)
+
+    def trial(self, victim_touches_target: bool, cycle: int) -> bool:
+        """One probe round; returns the probe's guess for the victim bit."""
+        self._prime(cycle)
+        if victim_touches_target:
+            self.hierarchy.access(self.target, cycle + 100)  # victim access
+        inserter = self._inserters[self._next_inserter % len(self._inserters)]
+        self._next_inserter += 1
+        self._last_inserter = inserter
+        self.hierarchy.access(inserter, cycle + 200)
+        # Guess "victim touched it" iff the target survived the insertion.
+        return self.hierarchy.in_l1(self.target)
+
+    def run(self, trials: int, seed_pattern: int = 0xB5) -> AgeProbeResult:
+        """Alternating victim behaviour; count correct inferences."""
+        correct = 0
+        for t in range(trials):
+            truth = bool((seed_pattern >> (t % 8)) & 1)
+            guess = self.trial(truth, cycle=t * 1000)
+            correct += int(guess == truth)
+        return AgeProbeResult(trials=trials, correct=correct)
+
+
+def probe_accuracy_under_policy(use_lru: bool, trials: int = 64, seed: int = 0) -> float:
+    """Age-probe accuracy against an L1 with LRU or random replacement."""
+    from ..cache.replacement import LruReplacement
+
+    if use_lru:
+        hierarchy = CacheHierarchy(seed=seed, l1_policy=LruReplacement(), nomo_threads=1)
+    else:
+        hierarchy = CacheHierarchy(seed=seed, nomo_threads=1)
+    target = DEFAULT_LAYOUT.p_entry(1)
+    probe = ReplacementAgeProbe(hierarchy, target)
+    return probe.run(trials).accuracy

@@ -1,0 +1,56 @@
+"""Secret bitstring utilities (paper Fig. 9).
+
+The effectiveness experiment leaks a randomly generated 1,000-bit secret.
+Bits come from a seeded generator so Figures 9–11 are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..common.rng import derive_rng
+
+#: Seed tag for the canonical 1,000-bit secret of Figs. 9-11.
+FIG9_TAG = "fig9-secret"
+
+
+def random_bits(count: int, seed: int = 0, tag: str = FIG9_TAG) -> List[int]:
+    """``count`` uniform random bits from a derived stream."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = derive_rng(seed, tag)
+    return [int(b) for b in rng.integers(0, 2, size=count)]
+
+
+def bits_to_text(bits: Sequence[int], width: int = 100) -> str:
+    """Render a bitstring in rows of ``width`` (Fig. 9-style dump)."""
+    chars = "".join("1" if b else "0" for b in bits)
+    return "\n".join(chars[i : i + width] for i in range(0, len(chars), width))
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Pack bits MSB-first into bytes (padded with zeros)."""
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        value = 0
+        for b in bits[i : i + 8]:
+            value = (value << 1) | (b & 1)
+        value <<= max(0, 8 - len(bits[i : i + 8]))
+        out.append(value)
+    return bytes(out)
+
+
+def bytes_to_bits(data: bytes, count: int) -> List[int]:
+    """Inverse of :func:`bits_to_bytes` (first ``count`` bits)."""
+    bits: List[int] = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    return bits[:count]
+
+
+def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Number of positions where two equal-length bitstrings differ."""
+    if len(a) != len(b):
+        raise ValueError("bitstrings must have equal length")
+    return sum(1 for x, y in zip(a, b) if (x & 1) != (y & 1))

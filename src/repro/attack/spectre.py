@@ -1,0 +1,165 @@
+"""Classic Spectre v1 (paper Algorithm 1) with a Flush+Reload probe.
+
+This attack is the *motivation* for CleanupSpec: the transient load's cache
+footprint survives the squash on an unprotected machine, so probing the
+array ``P`` recovers ``A[i]``. Against CleanupSpec the rollback erases the
+footprint and the probe finds nothing — while unXpec (same machine, same
+gadget family) still leaks through the rollback *duration*. The extension
+experiment pairs the two to make that contrast explicit.
+
+Structure mirrors :class:`~repro.attack.gadgets.UnxpecGadget`: a training
+loop over one shared sender, a final out-of-bounds invocation, then a probe
+phase timing each ``P[64*j]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..cache.hierarchy import CacheHierarchy
+from ..common.config import SystemConfig
+from ..common.errors import AttackError
+from ..cpu.core import Core
+from ..defense.base import Defense
+from ..defense.unsafe import UnsafeBaseline
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .layout import DEFAULT_LAYOUT, DEFAULT_REGS, AttackLayout, Regs, chain_pointers
+from .unxpec import DefenseFactory
+
+#: Sentinel A-value used by wrong-path overrun iterations: it maps outside
+#: the probed alphabet so speculative overruns cannot pollute the probe.
+_SENTINEL_INDEX = 1
+
+
+@dataclass(frozen=True)
+class ProbeReading:
+    value: int
+    latency: int
+    cached: bool
+
+
+@dataclass(frozen=True)
+class SpectreResult:
+    """Outcome of one Spectre round + probe."""
+
+    secret: int
+    readings: tuple
+    guess: Optional[int]
+
+    @property
+    def success(self) -> bool:
+        return self.guess == self.secret
+
+    @property
+    def hot_values(self) -> List[int]:
+        return [r.value for r in self.readings if r.cached]
+
+
+class SpectreV1Attack:
+    """Algorithm 1 against a configurable defense (default: unsafe)."""
+
+    def __init__(
+        self,
+        defense_factory: Optional[DefenseFactory] = None,
+        alphabet: int = 16,
+        train_iters: int = 8,
+        layout: AttackLayout = DEFAULT_LAYOUT,
+        regs: Regs = DEFAULT_REGS,
+        config: Optional[SystemConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if not 2 <= alphabet <= 63:
+            raise AttackError("alphabet must be in 2..63 (one L1 set per entry)")
+        self.alphabet = alphabet
+        self.train_iters = train_iters
+        self.layout = layout
+        self.regs = regs
+        self.hierarchy = CacheHierarchy(config=config, seed=seed)
+        factory = defense_factory or (lambda h: UnsafeBaseline(h))
+        self.defense: Defense = factory(self.hierarchy)
+        self.core = Core(self.hierarchy, self.defense, config=self.hierarchy.config.core)
+        self._round: Optional[Program] = None
+
+    # ------------------------------------------------------------------
+
+    def _init_memory(self, secret_value: int) -> None:
+        lay = self.layout
+        dram = self.hierarchy.dram
+        dram.poke(lay.a_base, 0)  # training value -> P[0]
+        # Wrong-path overrun sentinel: A[1] maps past the probed alphabet.
+        dram.poke(lay.a_base + 8 * _SENTINEL_INDEX, self.alphabet)
+        dram.poke(lay.secret_addr, secret_value % self.alphabet)
+        for i in range(self.train_iters):
+            dram.poke(lay.table_entry(i), 0)
+        dram.poke(lay.table_entry(self.train_iters), lay.out_of_bounds_index)
+        for i in range(self.train_iters + 1, self.train_iters + 64):
+            dram.poke(lay.table_entry(i), _SENTINEL_INDEX)
+        for i, word in enumerate(chain_pointers(lay, 1)):
+            dram.poke(lay.chain_entry(i), word)
+
+    def _build_round(self) -> Program:
+        lay, r = self.layout, self.regs
+        b = ProgramBuilder(f"spectre-v1[alphabet={self.alphabet}]")
+        b.li(r.a_base, lay.a_base)
+        b.li(r.p_base, lay.p_base)
+        b.li(r.chain, lay.chain_base)
+        b.li(r.table, lay.table_base)
+        b.li(r.iters, self.train_iters + 1)
+        b.li(r.i, 0)
+        b.label("invoke")
+        b.shli(r.scratch_addr, r.i, 3)
+        b.add(r.scratch_addr, r.table, r.scratch_addr)
+        b.load(r.index, r.scratch_addr, 0)
+        # FLUSH(): evict the whole probe array and the bound (Alg. 1 l. 19).
+        for j in range(self.alphabet):
+            b.flush(r.p_base, 64 * j)
+        b.li(r.tmp, lay.chain_entry(0))
+        b.flush(r.tmp, 0)
+        b.fence()
+        # VICTIM(index): bounds check + dependent probe-array load.
+        b.load(r.bound, r.chain, 0)
+        b.branch("ge", r.index, r.bound, "after_body")
+        b.shli(r.scratch_addr, r.index, 3)
+        b.add(r.scratch_addr, r.a_base, r.scratch_addr)
+        b.load(r.secret, r.scratch_addr, 0)
+        b.shli(r.secret_off, r.secret, 6)
+        b.add(r.scratch_addr, r.p_base, r.secret_off)
+        b.load(r.transient_dst(1), r.scratch_addr, 0)  # y = P[64 * A[index]]
+        b.label("after_body")
+        b.addi(r.i, r.i, 1)
+        b.branch("lt", r.i, r.iters, "invoke")
+        b.halt()
+        return b.build()
+
+    # ------------------------------------------------------------------
+
+    def run(self, secret_value: int) -> SpectreResult:
+        """POISON + VICTIM(i), then PROBE by timing each P entry."""
+        secret_value %= self.alphabet
+        self._init_memory(secret_value)
+        if self._round is None:
+            self._round = self._build_round()
+        # Warm the secret line (the victim uses it) and the index table.
+        lay = self.layout
+        self.hierarchy.warm([lay.secret_addr, lay.a_base])
+        table_lines = ((self.train_iters + 64) * 8 + 63) // 64
+        self.hierarchy.warm(lay.table_base + 64 * i for i in range(table_lines))
+        self.core.run(self._round)
+        readings = self._probe()
+        hot = [r.value for r in readings if r.cached]
+        guess = hot[0] if len(hot) == 1 else None
+        return SpectreResult(secret=secret_value, readings=tuple(readings), guess=guess)
+
+    def _probe(self) -> List[ProbeReading]:
+        """Flush+Reload: time a load of every probe entry (Alg. 1 l. 14-17)."""
+        lat = self.hierarchy.latency
+        threshold = (lat.l2_total + lat.memory_total) // 2
+        readings = []
+        for j in range(self.alphabet):
+            access = self.hierarchy.access(self.layout.p_entry(j), cycle=0)
+            readings.append(
+                ProbeReading(value=j, latency=access.latency, cached=access.latency < threshold)
+            )
+        return readings

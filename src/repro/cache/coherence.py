@@ -1,0 +1,109 @@
+"""Coherence-facing protection strategies of the Undo-protected cache.
+
+Two of CleanupSpec's speculation-window strategies (paper §II-B) concern
+what *other* agents (threads/cores) observe while a window is open:
+
+1. **Delayed coherence downgrade** — a request that would downgrade a line
+   from M/E to S is deferred until the speculation window resolves, so a
+   cross-core attacker cannot time coherence transitions of speculatively
+   touched lines.
+2. **Dummy cache miss** — a request from another thread/core that hits a
+   *speculatively installed* line is served as if it missed (full miss
+   latency, no state change visible), hiding transient installs.
+
+The main unXpec attack is same-thread and does not rely on these, but they
+are part of the protected-cache model and are exercised by tests showing the
+window itself does not leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .line import CacheLine, CoherenceState
+
+
+@dataclass
+class DowngradeRequest:
+    """A deferred M/E -> S downgrade."""
+
+    line_addr: int
+    requested_at: int
+
+
+@dataclass
+class CoherenceGuardStats:
+    delayed_downgrades: int = 0
+    served_downgrades: int = 0
+    dummy_misses: int = 0
+    true_misses: int = 0
+    shared_hits: int = 0
+
+
+class CoherenceGuard:
+    """Implements delayed downgrades and dummy-miss servicing for one cache."""
+
+    def __init__(self, miss_latency: int, hit_latency: int) -> None:
+        if miss_latency < hit_latency:
+            raise ValueError("miss latency must be >= hit latency")
+        self.miss_latency = miss_latency
+        self.hit_latency = hit_latency
+        self._pending: List[DowngradeRequest] = []
+        self.stats = CoherenceGuardStats()
+
+    # -- downgrade handling -----------------------------------------------------
+
+    def request_downgrade(
+        self, line: Optional[CacheLine], cycle: int, window_open: bool
+    ) -> bool:
+        """Handle an external downgrade request for ``line``.
+
+        Returns True if the downgrade was applied immediately, False if it
+        was deferred (speculation window open and the line was touched
+        speculatively) or the line is absent.
+        """
+        if line is None or not line.valid:
+            return False
+        if line.state not in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE):
+            return True  # already shared; nothing to do
+        if window_open and line.speculative:
+            self._pending.append(DowngradeRequest(line.line_addr, cycle))
+            self.stats.delayed_downgrades += 1
+            return False
+        line.state = CoherenceState.SHARED
+        self.stats.served_downgrades += 1
+        return True
+
+    def resolve_window(self, lines_by_addr: dict, cycle: int) -> int:
+        """Serve deferred downgrades once the window resolves; count served."""
+        served = 0
+        for req in self._pending:
+            line = lines_by_addr.get(req.line_addr)
+            if line is not None and line.valid:
+                line.state = CoherenceState.SHARED
+                self.stats.served_downgrades += 1
+                served += 1
+        self._pending.clear()
+        return served
+
+    @property
+    def pending_downgrades(self) -> int:
+        return len(self._pending)
+
+    # -- cross-agent probe servicing -------------------------------------------
+
+    def probe_latency(self, line: Optional[CacheLine]) -> int:
+        """Latency another thread/core observes when probing ``line``.
+
+        A hit on a speculatively installed line is served as a *dummy miss*
+        (full miss latency) so the probe cannot distinguish it from absence.
+        """
+        if line is None or not line.valid:
+            self.stats.true_misses += 1
+            return self.miss_latency
+        if line.speculative:
+            self.stats.dummy_misses += 1
+            return self.miss_latency
+        self.stats.shared_hits += 1
+        return self.hit_latency

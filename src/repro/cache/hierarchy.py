@@ -1,0 +1,373 @@
+"""Two-level cache hierarchy with DRAM backing and speculative tracking.
+
+This is the Undo-protected cache model of paper §III-A:
+
+* private **L1D** — way-partitioned (NoMo) random replacement,
+* shared **L2** — CEASER-style randomized indexing, random replacement,
+* **DRAM** — fixed round-trip latency,
+* an **MSHR** file shared by the levels (one per-core file, as in the
+  CleanupSpec artifact), and
+* a :class:`SpeculationTracker` recording, per speculation epoch, every
+  install and every L1 eviction performed by speculative loads.
+
+The hierarchy is *functional*: installs, evictions, invalidations,
+restorations and flushes really change which lines are resident, so repeated
+attack rounds observe exactly the cache states CleanupSpec's rollback leaves
+behind. Timing is returned to the caller per access; the hierarchy itself
+holds no clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common.config import LatencyConfig, SystemConfig
+from ..common.errors import ConfigError
+from ..common.rng import derive_rng
+from ..memory.dram import Dram
+from ..memory.mshr import MshrFile
+from .coherence import CoherenceGuard
+from .randomized import RandomizedIndexing
+from .replacement import NoMoPartition, RandomReplacement, ReplacementPolicy
+from .setassoc import Eviction, SetAssociativeCache
+from .spec_tracker import EpochDelta, SpecEviction, SpeculationTracker
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one data access."""
+
+    addr: int
+    latency: int
+    level: str  # "L1", "L2", or "MEM" — where the access was served
+    is_write: bool
+    speculative: bool
+    #: Levels at which the access installed a new line ("L1"/"L2").
+    installed: tuple = ()
+    #: L1 victim line address if the install evicted one, else None.
+    l1_victim: Optional[int] = None
+
+    @property
+    def l1_hit(self) -> bool:
+        return self.level == "L1"
+
+
+class CacheHierarchy:
+    """L1D + shared L2 + DRAM with speculative-state tracking."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        seed: int = 0,
+        l1_policy: Optional[ReplacementPolicy] = None,
+        l2_policy: Optional[ReplacementPolicy] = None,
+        randomize_l2: bool = True,
+        nomo_threads: int = 2,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.latency: LatencyConfig = self.config.latency
+        self.seed = seed
+
+        if l1_policy is None:
+            base = RandomReplacement(derive_rng(seed, "l1-replacement"))
+            l1_policy = NoMoPartition(base, threads=nomo_threads) if nomo_threads > 1 else base
+        if l2_policy is None:
+            l2_policy = RandomReplacement(derive_rng(seed, "l2-replacement"))
+
+        randomizer = None
+        if randomize_l2:
+            key = int(derive_rng(seed, "ceaser-key").integers(1 << 62))
+            randomizer = RandomizedIndexing(key=key)
+
+        self.l1 = SetAssociativeCache(self.config.l1d, l1_policy)
+        self.l2 = SetAssociativeCache(self.config.l2, l2_policy, randomizer=randomizer)
+        self.dram = Dram(latency=self.latency.memory)
+        self.mshr = MshrFile(capacity=self.config.core.mshr_entries)
+        self.tracker = SpeculationTracker()
+        self.l1_guard = CoherenceGuard(
+            miss_latency=self.latency.memory_total, hit_latency=self.latency.l1_hit
+        )
+
+    # ------------------------------------------------------------------
+    # demand accesses
+    # ------------------------------------------------------------------
+
+    def access(
+        self,
+        addr: int,
+        cycle: int,
+        is_write: bool = False,
+        speculative: bool = False,
+        epoch: Optional[int] = None,
+        thread: int = 0,
+    ) -> AccessResult:
+        """Perform one data access; mutate state; return timing and outcome.
+
+        ``speculative`` accesses stamp installed lines with ``epoch`` and
+        record installs/evictions with the tracker so a later squash can
+        roll them back.
+        """
+        if speculative and epoch is None:
+            raise ConfigError("speculative access requires an epoch")
+        self.mshr.retire_completed(cycle)
+
+        line1 = self.l1.lookup(addr, cycle)
+        if line1 is not None:
+            if is_write:
+                line1.write(cycle)
+            return AccessResult(
+                addr=addr,
+                latency=self.latency.l1_hit,
+                level="L1",
+                is_write=is_write,
+                speculative=speculative,
+            )
+
+        line2 = self.l2.lookup(addr, cycle)
+        installed: List[str] = []
+        if line2 is not None:
+            latency = self.latency.l2_total
+            level = "L2"
+        else:
+            latency = self.latency.memory_total
+            level = "MEM"
+            self.dram.read_word(self.l2.line_addr_of(addr))
+            ev2 = self._install_l2(addr, cycle, speculative, epoch, thread)
+            installed.append("L2")
+            del ev2  # L2 evictions recorded inside _install_l2
+
+        l1_victim = self._install_l1(addr, cycle, is_write, speculative, epoch, thread)
+        installed.insert(0, "L1")
+
+        if self.mshr.can_allocate(self.l1.line_addr_of(addr)):
+            self.mshr.allocate(
+                self.l1.line_addr_of(addr),
+                issue_cycle=cycle,
+                complete_cycle=cycle + latency,
+                speculative=speculative,
+                victim_line=l1_victim.line_addr if l1_victim else None,
+                victim_dirty=l1_victim.dirty if l1_victim else False,
+            )
+        else:
+            # MSHR file full: the miss queues behind an existing entry.
+            self.mshr.stats.stall_events += 1
+            latency += self.latency.mshr_full_penalty
+
+        if is_write:
+            resident = self.l1.get_line(addr)
+            if resident is not None:
+                resident.write(cycle)
+
+        return AccessResult(
+            addr=addr,
+            latency=latency,
+            level=level,
+            is_write=is_write,
+            speculative=speculative,
+            installed=tuple(installed),
+            l1_victim=l1_victim.line_addr if l1_victim else None,
+        )
+
+    def probe_latency(self, addr: int) -> "tuple[int, str]":
+        """Latency and serving level an access *would* see, without side
+        effects. The core uses this to decide whether a wrong-path load's
+        fill lands before the squash (install + rollback) or is cancelled in
+        the MSHR (T3) without ever installing."""
+        if self.l1.contains(addr):
+            return self.latency.l1_hit, "L1"
+        if self.l2.contains(addr):
+            return self.latency.l2_total, "L2"
+        return self.latency.memory_total, "MEM"
+
+    def _install_l1(
+        self,
+        addr: int,
+        cycle: int,
+        is_write: bool,
+        speculative: bool,
+        epoch: Optional[int],
+        thread: int,
+    ) -> Optional[Eviction]:
+        line, eviction = self.l1.install(
+            addr,
+            cycle,
+            dirty=is_write,
+            speculative=speculative,
+            epoch=epoch,
+            thread=thread,
+        )
+        if eviction is not None and eviction.dirty:
+            # Writeback into L2 (data already in DRAM functional store).
+            self.l2.install(eviction.line_addr, cycle, dirty=True, thread=thread)
+        if speculative and epoch is not None:
+            set_index = self.l1.set_index_of(addr)
+            way = self.l1.way_of(addr)
+            self.tracker.record_install(
+                epoch, "L1", self.l1.line_addr_of(addr), set_index, way if way is not None else -1
+            )
+            if eviction is not None:
+                self.tracker.record_eviction(
+                    epoch,
+                    "L1",
+                    eviction.line_addr,
+                    eviction.dirty,
+                    eviction.set_index,
+                    eviction.way,
+                    was_speculative=eviction.was_speculative,
+                )
+        return eviction
+
+    def _install_l2(
+        self,
+        addr: int,
+        cycle: int,
+        speculative: bool,
+        epoch: Optional[int],
+        thread: int,
+    ) -> Optional[Eviction]:
+        line, eviction = self.l2.install(
+            addr, cycle, dirty=False, speculative=speculative, epoch=epoch, thread=thread
+        )
+        if eviction is not None:
+            # L2 victims leave the hierarchy entirely; the inclusive-ish
+            # model also drops any L1 copy of the victim.
+            self.l1.invalidate(eviction.line_addr)
+            if eviction.dirty:
+                self.dram.writeback_line(eviction.line_addr)
+        if speculative and epoch is not None:
+            set_index = self.l2.set_index_of(addr)
+            way = self.l2.way_of(addr)
+            self.tracker.record_install(
+                epoch, "L2", self.l2.line_addr_of(addr), set_index, way if way is not None else -1
+            )
+            if eviction is not None:
+                self.tracker.record_eviction(
+                    epoch,
+                    "L2",
+                    eviction.line_addr,
+                    eviction.dirty,
+                    eviction.set_index,
+                    eviction.way,
+                    was_speculative=eviction.was_speculative,
+                )
+        return eviction
+
+    # ------------------------------------------------------------------
+    # flush (clflush)
+    # ------------------------------------------------------------------
+
+    def flush_line(self, addr: int) -> bool:
+        """Evict ``addr``'s line hierarchy-wide; True if it was resident."""
+        present = False
+        l1_line = self.l1.flush(addr)
+        if l1_line is not None:
+            present = True
+            if l1_line.dirty:
+                self.dram.writeback_line(self.l1.line_addr_of(addr))
+        l2_line = self.l2.flush(addr)
+        if l2_line is not None:
+            present = True
+            if l2_line.dirty:
+                self.dram.writeback_line(self.l2.line_addr_of(addr))
+        return present
+
+    # ------------------------------------------------------------------
+    # speculation epochs
+    # ------------------------------------------------------------------
+
+    def open_epoch(self) -> int:
+        return self.tracker.open_epoch()
+
+    def commit_epoch(self, epoch: int) -> EpochDelta:
+        """Window resolved correct: clear speculative marks, keep state."""
+        delta = self.tracker.close_epoch(epoch)
+        self.l1.commit_epoch(epoch)
+        self.l2.commit_epoch(epoch)
+        self.l1_guard.resolve_window(self._l1_lines_by_addr(), cycle=0)
+        return delta
+
+    def squash_epoch_delta(self, epoch: int) -> EpochDelta:
+        """Window mis-speculated: hand the delta to the defense.
+
+        The defense decides what (if anything) to roll back; state mutation
+        happens through :meth:`rollback_invalidate` / :meth:`rollback_restore`.
+        """
+        return self.tracker.close_epoch(epoch)
+
+    # ------------------------------------------------------------------
+    # rollback primitives (used by the Undo defense)
+    # ------------------------------------------------------------------
+
+    def rollback_invalidate(self, level: str, line_addr: int) -> bool:
+        """Invalidate one transiently installed line at ``level``.
+
+        Returns True if a (still speculative) line was actually removed —
+        a transient line may already have been displaced by later traffic.
+        """
+        cache = self.l1 if level == "L1" else self.l2
+        resident = cache.get_line(line_addr)
+        if resident is None or not resident.speculative:
+            return False
+        cache.invalidate(line_addr)
+        return True
+
+    def rollback_restore(self, eviction: SpecEviction) -> bool:
+        """Restore one L1 victim evicted by a transient install.
+
+        The line is re-fetched from L2 (CleanupSpec services restorations
+        from L2) and re-installed into the way the transient line vacated.
+        Returns True if a restore actually happened.
+        """
+        if eviction.level != "L1":
+            raise ConfigError("only L1 evictions are restorable")
+        if eviction.was_speculative:
+            return False
+        if self.l1.contains(eviction.line_addr):
+            return False  # already back (e.g. re-demanded meanwhile)
+        # Ensure L2 has the line to serve the restore from.
+        if not self.l2.contains(eviction.line_addr):
+            self.l2.install(eviction.line_addr, cycle=0, dirty=eviction.dirty)
+        self.l1.install(
+            eviction.line_addr,
+            cycle=0,
+            dirty=eviction.dirty,
+            preferred_way=eviction.way,
+        )
+        self.l1.stats.restorations += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # cross-agent probing (coherence-facing strategies)
+    # ------------------------------------------------------------------
+
+    def probe_as_other_agent(self, addr: int) -> int:
+        """Latency another thread/core observes probing ``addr`` in L1.
+
+        Served through the :class:`CoherenceGuard`: hits on speculative
+        lines are dummy misses.
+        """
+        return self.l1_guard.probe_latency(self.l1.get_line(addr))
+
+    def request_downgrade(self, addr: int, cycle: int, window_open: bool) -> bool:
+        return self.l1_guard.request_downgrade(
+            self.l1.get_line(addr), cycle, window_open
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _l1_lines_by_addr(self) -> dict:
+        return {line.line_addr: line for line in self.l1.resident_lines()}
+
+    def in_l1(self, addr: int) -> bool:
+        return self.l1.contains(addr)
+
+    def in_l2(self, addr: int) -> bool:
+        return self.l2.contains(addr)
+
+    def warm(self, addrs, cycle: int = 0) -> None:
+        """Bring each address in ``addrs`` into the hierarchy (test helper)."""
+        for addr in addrs:
+            self.access(addr, cycle)

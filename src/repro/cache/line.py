@@ -1,0 +1,64 @@
+"""Cache line and coherence state.
+
+Lines carry a MESI-lite coherence state. CleanupSpec's "delay unsafe
+coherence downgrade" strategy (paper §II-B) needs M/E vs S to be explicit;
+the rest of the simulator mostly cares about valid/invalid and dirty.
+
+A line installed by a speculatively executed (potentially transient) load is
+marked ``speculative`` and stamped with the speculation *epoch* that
+installed it, so the rollback engine can find exactly the lines a squashed
+window brought in.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CoherenceState(enum.Enum):
+    """MESI-lite state of a cache line."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class CacheLine:
+    """One cache line (tag store entry); data lives in the DRAM model."""
+
+    line_addr: int
+    state: CoherenceState = CoherenceState.EXCLUSIVE
+    dirty: bool = False
+    speculative: bool = False
+    epoch: Optional[int] = None
+    #: Insertion timestamp (cycle), used by tests and debugging.
+    installed_at: int = 0
+    #: Last-touch timestamp for LRU bookkeeping.
+    last_access: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.state is not CoherenceState.INVALID
+
+    def touch(self, cycle: int) -> None:
+        self.last_access = cycle
+
+    def commit(self) -> None:
+        """Clear speculative marking (the installing window committed)."""
+        self.speculative = False
+        self.epoch = None
+
+    def write(self, cycle: int) -> None:
+        """Mark the line written: dirty, M state."""
+        self.dirty = True
+        self.state = CoherenceState.MODIFIED
+        self.touch(cycle)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        spec = f" spec@{self.epoch}" if self.speculative else ""
+        dirty = " dirty" if self.dirty else ""
+        return f"<Line {self.line_addr:#x} {self.state.value}{dirty}{spec}>"

@@ -1,0 +1,237 @@
+"""Set-associative cache (tag store).
+
+One level of the hierarchy: lookup, install with victim selection,
+invalidation, flush. Data values live in the DRAM model; the cache tracks
+presence, dirtiness, coherence state, and speculative marking.
+
+The cache optionally routes set indexing through a
+:class:`~repro.cache.randomized.RandomizedIndexing` permutation (CEASER-like,
+used for the shared L2) and restricts allocation ways per thread through the
+replacement policy's ``allowed_ways`` (NoMo partition, used for the L1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common.config import CacheGeometry
+from ..memory.address import AddressMapper
+from .line import CacheLine, CoherenceState
+from .randomized import RandomizedIndexing
+from .replacement import ReplacementPolicy
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    installs: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations: int = 0
+    restorations: int = 0
+    flushes: int = 0
+
+
+@dataclass
+class Eviction:
+    """Record of a line evicted to make room for an install."""
+
+    line_addr: int
+    dirty: bool
+    set_index: int
+    way: int
+    was_speculative: bool
+
+
+class SetAssociativeCache:
+    """One cache level."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: ReplacementPolicy,
+        randomizer: Optional[RandomizedIndexing] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.mapper = AddressMapper(geometry)
+        self.policy = policy
+        self.randomizer = randomizer
+        self._sets: List[List[Optional[CacheLine]]] = [
+            [None] * geometry.ways for _ in range(geometry.sets)
+        ]
+        self.stats = CacheStats()
+
+    # -- indexing ---------------------------------------------------------------
+
+    def set_index_of(self, addr: int) -> int:
+        """Set index of ``addr``, honouring the randomized mapping if present."""
+        line_number = addr >> self.geometry.offset_bits
+        if self.randomizer is not None:
+            line_number = self.randomizer.permute(
+                line_number & ((1 << self.randomizer.bits) - 1)
+            )
+        return line_number & (self.geometry.sets - 1)
+
+    def line_addr_of(self, addr: int) -> int:
+        return self.mapper.line(addr)
+
+    # -- lookup -------------------------------------------------------------------
+
+    def _find(self, addr: int) -> tuple:
+        """Return ``(set_index, way, line)`` or ``(set_index, None, None)``."""
+        line_addr = self.line_addr_of(addr)
+        set_index = self.set_index_of(addr)
+        for way, line in enumerate(self._sets[set_index]):
+            if line is not None and line.valid and line.line_addr == line_addr:
+                return set_index, way, line
+        return set_index, None, None
+
+    def lookup(self, addr: int, cycle: int = 0, touch: bool = True) -> Optional[CacheLine]:
+        """Hit check with stats and (optionally) recency update."""
+        _, way, line = self._find(addr)
+        if line is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if touch:
+            line.touch(cycle)
+        return line
+
+    def contains(self, addr: int) -> bool:
+        """Presence probe without statistics or recency side effects."""
+        _, way, _line = self._find(addr)
+        return way is not None
+
+    def get_line(self, addr: int) -> Optional[CacheLine]:
+        """The resident line for ``addr`` with no side effects, or None."""
+        _, _, line = self._find(addr)
+        return line
+
+    # -- install ---------------------------------------------------------------
+
+    def install(
+        self,
+        addr: int,
+        cycle: int,
+        dirty: bool = False,
+        speculative: bool = False,
+        epoch: Optional[int] = None,
+        thread: int = 0,
+        preferred_way: Optional[int] = None,
+    ) -> tuple:
+        """Install the line for ``addr``; return ``(line, eviction_or_None)``.
+
+        Invalid ways are filled first; otherwise the replacement policy picks
+        a victim among the ways the accessing ``thread`` may allocate into.
+        ``preferred_way`` pins the destination way (used by restoration to
+        put a victim back where the transient line was invalidated).
+        """
+        line_addr = self.line_addr_of(addr)
+        set_index, way, existing = self._find(addr)
+        if existing is not None:
+            # Already present — refresh rather than duplicate.
+            existing.touch(cycle)
+            if dirty:
+                existing.write(cycle)
+            return existing, None
+
+        ways = self._sets[set_index]
+        eviction: Optional[Eviction] = None
+        if preferred_way is not None:
+            target = preferred_way
+        else:
+            allowed = self.policy.allowed_ways(thread, self.geometry.ways)
+            invalid = [w for w in allowed if ways[w] is None or not ways[w].valid]
+            if invalid:
+                target = invalid[0]
+            else:
+                candidates = [w for w in allowed if ways[w] is not None]
+                target = self.policy.choose_victim(set_index, ways, candidates)
+
+        victim = ways[target]
+        if victim is not None and victim.valid:
+            eviction = Eviction(
+                line_addr=victim.line_addr,
+                dirty=victim.dirty,
+                set_index=set_index,
+                way=target,
+                was_speculative=victim.speculative,
+            )
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+
+        state = CoherenceState.MODIFIED if dirty else CoherenceState.EXCLUSIVE
+        new_line = CacheLine(
+            line_addr=line_addr,
+            state=state,
+            dirty=dirty,
+            speculative=speculative,
+            epoch=epoch,
+            installed_at=cycle,
+            last_access=cycle,
+        )
+        ways[target] = new_line
+        self.stats.installs += 1
+        return new_line, eviction
+
+    # -- removal -----------------------------------------------------------------
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Remove the line for ``addr``; return it (pre-invalidation) or None."""
+        set_index, way, line = self._find(addr)
+        if line is None or way is None:
+            return None
+        removed = line
+        self._sets[set_index][way] = None
+        self.stats.invalidations += 1
+        return removed
+
+    def way_of(self, addr: int) -> Optional[int]:
+        """Way currently holding ``addr``'s line, if resident."""
+        _, way, _ = self._find(addr)
+        return way
+
+    def flush(self, addr: int) -> Optional[CacheLine]:
+        """clflush semantics at this level: invalidate, report the line."""
+        line = self.invalidate(addr)
+        if line is not None:
+            self.stats.flushes += 1
+        return line
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def commit_epoch(self, epoch: int) -> int:
+        """Clear speculative marks of ``epoch`` (window committed); count them."""
+        cleared = 0
+        for ways in self._sets:
+            for line in ways:
+                if line is not None and line.speculative and line.epoch == epoch:
+                    line.commit()
+                    cleared += 1
+        return cleared
+
+    def speculative_lines(self, epoch: Optional[int] = None) -> List[CacheLine]:
+        """All speculative lines (optionally of one epoch)."""
+        out = []
+        for ways in self._sets:
+            for line in ways:
+                if line is not None and line.speculative:
+                    if epoch is None or line.epoch == epoch:
+                        out.append(line)
+        return out
+
+    def resident_lines(self) -> List[CacheLine]:
+        return [l for ways in self._sets for l in ways if l is not None and l.valid]
+
+    def set_occupancy(self, set_index: int) -> int:
+        """Number of valid lines currently in ``set_index``."""
+        return sum(
+            1 for l in self._sets[set_index] if l is not None and l.valid
+        )
+
+    def clear(self) -> None:
+        for s in range(self.geometry.sets):
+            self._sets[s] = [None] * self.geometry.ways

@@ -1,0 +1,121 @@
+"""Speculative-state tracking for Undo rollback.
+
+During a speculation window (an *epoch*), the hierarchy records every cache
+state change made by speculatively executed loads:
+
+* lines **installed** at L1 and/or L2 (invalidation targets), and
+* L1 lines **evicted** by those installs (restoration targets; the paper
+  notes these addresses are held in the load queue / MSHR).
+
+At squash, CleanupSpec walks the epoch's delta; at commit the marks are
+simply cleared. L2 evictions are recorded too — not for restoration (the
+paper's CleanupSpec never restores below L1) but for statistics and for the
+security argument tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class SpecInstall:
+    """A line speculatively installed at one cache level."""
+
+    level: str  # "L1" or "L2"
+    line_addr: int
+    set_index: int
+    way: int
+
+
+@dataclass(frozen=True)
+class SpecEviction:
+    """A line evicted (at ``level``) by a speculative install."""
+
+    level: str
+    line_addr: int
+    dirty: bool
+    set_index: int
+    way: int
+    #: True if the victim was itself a speculative install (then it is not
+    #: an "original" line and must not be restored).
+    was_speculative: bool = False
+
+
+@dataclass
+class EpochDelta:
+    """All speculative cache-state changes of one epoch."""
+
+    epoch: int
+    installs: List[SpecInstall] = field(default_factory=list)
+    evictions: List[SpecEviction] = field(default_factory=list)
+
+    def installs_at(self, level: str) -> List[SpecInstall]:
+        return [i for i in self.installs if i.level == level]
+
+    def evictions_at(self, level: str) -> List[SpecEviction]:
+        return [e for e in self.evictions if e.level == level]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.installs and not self.evictions
+
+
+class SpeculationTracker:
+    """Allocates epochs and accumulates per-epoch deltas."""
+
+    def __init__(self) -> None:
+        self._next_epoch = 1
+        self._open: Dict[int, EpochDelta] = {}
+
+    def open_epoch(self) -> int:
+        """Start a new speculation window; returns its epoch id."""
+        epoch = self._next_epoch
+        self._next_epoch += 1
+        self._open[epoch] = EpochDelta(epoch=epoch)
+        return epoch
+
+    def record_install(
+        self, epoch: int, level: str, line_addr: int, set_index: int, way: int
+    ) -> None:
+        self._delta(epoch).installs.append(
+            SpecInstall(level=level, line_addr=line_addr, set_index=set_index, way=way)
+        )
+
+    def record_eviction(
+        self,
+        epoch: int,
+        level: str,
+        line_addr: int,
+        dirty: bool,
+        set_index: int,
+        way: int,
+        was_speculative: bool = False,
+    ) -> None:
+        self._delta(epoch).evictions.append(
+            SpecEviction(
+                level=level,
+                line_addr=line_addr,
+                dirty=dirty,
+                set_index=set_index,
+                way=way,
+                was_speculative=was_speculative,
+            )
+        )
+
+    def close_epoch(self, epoch: int) -> EpochDelta:
+        """Remove and return the epoch's delta (squash or commit)."""
+        return self._open.pop(epoch)
+
+    def peek(self, epoch: int) -> EpochDelta:
+        return self._delta(epoch)
+
+    def open_epochs(self) -> List[int]:
+        return sorted(self._open)
+
+    def _delta(self, epoch: int) -> EpochDelta:
+        try:
+            return self._open[epoch]
+        except KeyError as exc:
+            raise KeyError(f"epoch {epoch} is not open") from exc

@@ -1,0 +1,174 @@
+"""System configuration (the paper's Table I) as validated dataclasses.
+
+Every simulator component takes its geometry and latencies from these
+objects; :func:`paper_system_config` reproduces Table I exactly:
+
+==============  =============================================
+Module          Configuration
+==============  =============================================
+Processor       1 core, 2 GHz, out-of-order 192-entry ROB
+L1 I-cache      32 KB, 4-way, 128-set (private)
+L1 D-cache      32 KB, 8-way, 64-set (private)
+L2 cache        2 MB, 16-way, 2048-set (shared)
+Memory          50 ns round trip after L2
+==============  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+from .units import PAPER_FREQUENCY_HZ, ns_to_cycles
+
+#: Cache line size used throughout (bytes). The paper's probe array strides
+#: by 64 bytes precisely to touch one line per element.
+LINE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    sets: int
+    line_size: int = LINE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ConfigError(f"{self.name}: line size must be a power of two")
+        if self.ways <= 0:
+            raise ConfigError(f"{self.name}: ways must be positive, got {self.ways}")
+        if self.sets <= 0 or self.sets & (self.sets - 1):
+            raise ConfigError(f"{self.name}: set count must be a positive power of two")
+        expected = self.ways * self.sets * self.line_size
+        if expected != self.size_bytes:
+            raise ConfigError(
+                f"{self.name}: size {self.size_bytes} B != ways({self.ways}) *"
+                f" sets({self.sets}) * line({self.line_size}) = {expected} B"
+            )
+
+    @property
+    def offset_bits(self) -> int:
+        return self.line_size.bit_length() - 1
+
+    @property
+    def index_bits(self) -> int:
+        return self.sets.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Access latencies (cycles) of the memory hierarchy.
+
+    ``l1_hit`` and ``l2_hit`` follow the CleanupSpec gem5 configuration;
+    ``memory`` is Table I's "50 ns RT after L2" converted at the core clock.
+    """
+
+    l1_hit: int = 2
+    l2_hit: int = 20
+    memory: int = ns_to_cycles(50.0, PAPER_FREQUENCY_HZ)  # 100 cycles @ 2 GHz
+    #: Queueing penalty charged to a miss that finds the MSHR file full.
+    mshr_full_penalty: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0 < self.l1_hit <= self.l2_hit:
+            raise ConfigError("need 0 < l1_hit <= l2_hit")
+        if self.memory <= 0:
+            raise ConfigError("memory latency must be positive")
+        if self.mshr_full_penalty < 0:
+            raise ConfigError("mshr_full_penalty must be non-negative")
+
+    @property
+    def l2_total(self) -> int:
+        """Latency of an access served by L2 (L1 miss, L2 hit)."""
+        return self.l1_hit + self.l2_hit
+
+    @property
+    def memory_total(self) -> int:
+        """Latency of an access served by DRAM (misses both levels)."""
+        return self.l1_hit + self.l2_hit + self.memory
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (Table I processor row + O3 defaults)."""
+
+    frequency_hz: float = PAPER_FREQUENCY_HZ
+    rob_entries: int = 192
+    dispatch_width: int = 4
+    mispredict_penalty: int = 10
+    branch_latency: int = 1
+    alu_latency: int = 1
+    mul_latency: int = 3
+    flush_latency: int = 40
+    timer_latency: int = 6
+    mshr_entries: int = 16
+    lsq_entries: int = 64
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        if self.rob_entries < 2:
+            raise ConfigError("ROB must hold at least 2 entries")
+        if self.dispatch_width < 1:
+            raise ConfigError("dispatch width must be at least 1")
+        for attr in (
+            "mispredict_penalty",
+            "branch_latency",
+            "alu_latency",
+            "mul_latency",
+            "flush_latency",
+            "timer_latency",
+        ):
+            if getattr(self, attr) < 0:
+                raise ConfigError(f"{attr} must be non-negative")
+        if self.mshr_entries < 1 or self.lsq_entries < 1:
+            raise ConfigError("MSHR and LSQ need at least one entry")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full system: core + cache geometries + latencies."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1i: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry("L1I", 32 * 1024, ways=4, sets=128)
+    )
+    l1d: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry("L1D", 32 * 1024, ways=8, sets=64)
+    )
+    l2: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry("L2", 2 * 1024 * 1024, ways=16, sets=2048)
+    )
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+
+    def __post_init__(self) -> None:
+        if not (self.l1i.line_size == self.l1d.line_size == self.l2.line_size):
+            raise ConfigError("all cache levels must share one line size")
+
+    def table1_rows(self) -> list:
+        """Rows of the paper's Table I for this configuration."""
+        core = self.core
+        ghz = core.frequency_hz / 1e9
+        return [
+            ("Processor", f"1 core, {ghz:g} GHz, out-of-order {core.rob_entries}-entry ROB"),
+            ("Private L1 I cache", self._geom_str(self.l1i)),
+            ("Private L1 D cache", self._geom_str(self.l1d)),
+            ("Shared L2 cache", self._geom_str(self.l2)),
+            ("Memory", f"{self.latency.memory} cycles RT after L2"),
+        ]
+
+    @staticmethod
+    def _geom_str(g: CacheGeometry) -> str:
+        kb = g.size_bytes // 1024
+        if kb >= 1024:
+            return f"{kb // 1024} MB, {g.ways}-way, {g.sets}-set"
+        return f"{kb} KB, {g.ways}-way, {g.sets}-set"
+
+
+def paper_system_config() -> SystemConfig:
+    """The exact configuration of the paper's Table I."""
+    return SystemConfig()

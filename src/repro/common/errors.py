@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent.
+
+    Raised eagerly at construction time (e.g. a cache whose size is not
+    ``line_size * ways * sets``) rather than later during simulation.
+    """
+
+
+class IsaError(ReproError):
+    """An instruction or program is malformed."""
+
+
+class AssemblerError(IsaError):
+    """Textual assembly could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid state.
+
+    This always indicates a bug in either the simulated program (e.g. a load
+    from an unmapped address) or the simulator itself; it is never part of
+    normal control flow.
+    """
+
+
+class MemoryError_(SimulationError):
+    """An access touched an address outside the simulated memory map."""
+
+
+class MshrFullError(SimulationError):
+    """An allocation was attempted on a full MSHR file.
+
+    The core is expected to check :meth:`MshrFile.can_allocate` and stall
+    instead of triggering this.
+    """
+
+
+class AttackError(ReproError):
+    """An attack primitive could not be constructed or executed."""
+
+
+class EvictionSetError(AttackError):
+    """No eviction set could be constructed for the requested target."""
+
+
+class CalibrationError(AttackError):
+    """Threshold calibration failed (e.g. indistinguishable distributions)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was misconfigured or produced inconsistent output."""

@@ -1,0 +1,163 @@
+"""Statistics helpers: summaries, kernel density estimation, accuracy.
+
+The paper's Figures 7 and 8 are kernel-density estimates of latency
+distributions; Figures 10 and 11 report threshold-decoder accuracy.
+This module provides those primitives without any plotting dependency —
+experiments emit the raw series the figures are drawn from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.2f} std={self.std:.2f} "
+            f"min={self.minimum:.1f} p50={self.median:.1f} max={self.maximum:.1f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``samples`` (must be non-empty)."""
+    if len(samples) == 0:
+        raise ValueError("cannot summarize an empty sample")
+    arr = np.asarray(samples, dtype=float)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        p25=float(np.percentile(arr, 25)),
+        median=float(np.percentile(arr, 50)),
+        p75=float(np.percentile(arr, 75)),
+        maximum=float(arr.max()),
+    )
+
+
+def silverman_bandwidth(samples: Sequence[float]) -> float:
+    """Silverman's rule-of-thumb bandwidth for Gaussian KDE.
+
+    Matches what MATLAB's ``ksdensity`` (used by the paper's artifact)
+    defaults to for 1-D data.
+    """
+    arr = np.asarray(samples, dtype=float)
+    n = arr.size
+    if n < 2:
+        raise ValueError("bandwidth needs at least two samples")
+    std = arr.std(ddof=1)
+    iqr = np.percentile(arr, 75) - np.percentile(arr, 25)
+    sigma = min(std, iqr / 1.349) if iqr > 0 else std
+    if sigma <= 0:
+        sigma = max(abs(arr.mean()), 1.0) * 1e-3  # degenerate: all equal
+    return 0.9 * sigma * n ** (-1 / 5)
+
+
+def gaussian_kde(
+    samples: Sequence[float],
+    grid: Sequence[float],
+    bandwidth: float | None = None,
+) -> np.ndarray:
+    """Evaluate a Gaussian KDE of ``samples`` on ``grid``.
+
+    Returns densities (integrating to ~1 over the real line), the same
+    estimator the paper's ``kde.m`` uses for Figures 7 and 8.
+    """
+    arr = np.asarray(samples, dtype=float)
+    pts = np.asarray(grid, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot estimate a density from zero samples")
+    h = silverman_bandwidth(arr) if bandwidth is None else float(bandwidth)
+    if h <= 0:
+        raise ValueError(f"bandwidth must be positive, got {h}")
+    z = (pts[:, None] - arr[None, :]) / h
+    kernel = np.exp(-0.5 * z * z) / math.sqrt(2 * math.pi)
+    return kernel.sum(axis=1) / (arr.size * h)
+
+
+@dataclass(frozen=True)
+class DensityCurve:
+    """A sampled probability-density curve (one line of Fig. 7 / Fig. 8)."""
+
+    grid: tuple
+    density: tuple
+
+    @property
+    def mode(self) -> float:
+        """Location of the density peak."""
+        idx = int(np.argmax(self.density))
+        return self.grid[idx]
+
+
+def density_curve(
+    samples: Sequence[float],
+    lo: float | None = None,
+    hi: float | None = None,
+    points: int = 200,
+    bandwidth: float | None = None,
+) -> DensityCurve:
+    """Build a :class:`DensityCurve` over ``[lo, hi]`` (auto range by default)."""
+    arr = np.asarray(samples, dtype=float)
+    if lo is None:
+        lo = float(arr.min()) - 3 * silverman_bandwidth(arr)
+    if hi is None:
+        hi = float(arr.max()) + 3 * silverman_bandwidth(arr)
+    if not lo < hi:
+        raise ValueError(f"invalid density range [{lo}, {hi}]")
+    grid = np.linspace(lo, hi, points)
+    dens = gaussian_kde(arr, grid, bandwidth=bandwidth)
+    return DensityCurve(grid=tuple(grid.tolist()), density=tuple(dens.tolist()))
+
+
+def decode_accuracy(guesses: Sequence[int], truth: Sequence[int]) -> float:
+    """Fraction of positions where ``guesses`` matches ``truth``."""
+    if len(guesses) != len(truth):
+        raise ValueError(f"length mismatch: {len(guesses)} guesses vs {len(truth)} bits")
+    if not guesses:
+        raise ValueError("cannot score an empty guess sequence")
+    correct = sum(1 for g, t in zip(guesses, truth) if g == t)
+    return correct / len(guesses)
+
+
+def optimal_threshold(zeros: Sequence[float], ones: Sequence[float]) -> float:
+    """Threshold minimising single-sample decode error between two samples.
+
+    Scans candidate thresholds at the midpoints of the pooled sorted sample
+    and returns the one with the fewest misclassifications (``x > threshold``
+    decodes as 1). Used by attack calibration; the paper picks 178 / 183 by
+    inspecting Figures 7 / 8.
+    """
+    z = np.sort(np.asarray(zeros, dtype=float))
+    o = np.sort(np.asarray(ones, dtype=float))
+    if z.size == 0 or o.size == 0:
+        raise ValueError("both classes need at least one sample")
+    pooled = np.unique(np.concatenate([z, o]))
+    candidates = (pooled[:-1] + pooled[1:]) / 2.0
+    if candidates.size == 0:
+        return float(pooled[0])
+    best_thr = float(candidates[0])
+    best_err = float("inf")
+    for thr in candidates:
+        # errors: zeros above thr decode as 1; ones at/below thr decode as 0
+        err = int((z > thr).sum()) + int((o <= thr).sum())
+        if err < best_err:
+            best_err = err
+            best_thr = float(thr)
+    return best_thr

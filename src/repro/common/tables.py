@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment reports.
+
+Experiments print the same rows/series the paper's tables and figures
+report; this module renders them as aligned monospace tables so console
+output is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one table cell: floats get 2 decimals, everything else str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(cells)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_line(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[tuple], title: str | None = None) -> str:
+    """Render key/value pairs, one per line, keys left-aligned."""
+    items = [(str(k), format_cell(v)) for k, v in pairs]
+    if not items:
+        return title or ""
+    width = max(len(k) for k, _ in items)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * max(len(title), width + 2))
+    lines.extend(f"{k.ljust(width)}  {v}" for k, v in items)
+    return "\n".join(lines)

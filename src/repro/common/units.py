@@ -1,0 +1,61 @@
+"""Cycle/time/rate unit helpers.
+
+The simulator counts in integer **cycles**. Experiments convert between
+cycles and wall-clock time at a configured core frequency (the paper's
+system runs at 2 GHz), and express covert-channel throughput in bits per
+second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GHZ = 1_000_000_000
+
+#: Core frequency used throughout the paper's evaluation (Table I).
+PAPER_FREQUENCY_HZ = 2 * GHZ
+
+
+def cycles_to_seconds(cycles: int, frequency_hz: float = PAPER_FREQUENCY_HZ) -> float:
+    """Convert a cycle count to seconds at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float = PAPER_FREQUENCY_HZ) -> int:
+    """Convert seconds to a (rounded) cycle count at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return round(seconds * frequency_hz)
+
+
+def ns_to_cycles(nanoseconds: float, frequency_hz: float = PAPER_FREQUENCY_HZ) -> int:
+    """Convert nanoseconds to cycles; Table I gives memory latency in ns."""
+    return seconds_to_cycles(nanoseconds * 1e-9, frequency_hz)
+
+
+def samples_per_second(cycles_per_sample: float, frequency_hz: float = PAPER_FREQUENCY_HZ) -> float:
+    """Samples/second achievable when one sample costs ``cycles_per_sample``."""
+    if cycles_per_sample <= 0:
+        raise ValueError(f"cycles per sample must be positive, got {cycles_per_sample}")
+    return frequency_hz / cycles_per_sample
+
+
+@dataclass(frozen=True)
+class LeakageRate:
+    """Covert-channel throughput expressed several equivalent ways."""
+
+    cycles_per_bit: float
+    frequency_hz: float = PAPER_FREQUENCY_HZ
+
+    @property
+    def bits_per_second(self) -> float:
+        return samples_per_second(self.cycles_per_bit, self.frequency_hz)
+
+    @property
+    def kbps(self) -> float:
+        return self.bits_per_second / 1000.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kbps:.1f} Kbps ({self.cycles_per_bit:.0f} cycles/bit)"

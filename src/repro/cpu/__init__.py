@@ -1,0 +1,36 @@
+"""Out-of-order core: predictor, ROB/LSQ models, noise, trace-driven executor."""
+
+from .core import DEFAULT_SQUASH_DELAY, NEVER, Core
+from .lsq import InflightMemTracker, LsqStats
+from .noise import NoiseModel, campaign_noise
+from .predictor import (
+    STRONG_NOT_TAKEN,
+    STRONG_TAKEN,
+    WEAK_NOT_TAKEN,
+    WEAK_TAKEN,
+    BimodalPredictor,
+    PredictorStats,
+)
+from .rob import RobModel, RobStats
+from .timing import InstructionTiming, RunResult, SquashEvent
+
+__all__ = [
+    "Core",
+    "DEFAULT_SQUASH_DELAY",
+    "NEVER",
+    "BimodalPredictor",
+    "PredictorStats",
+    "STRONG_NOT_TAKEN",
+    "WEAK_NOT_TAKEN",
+    "WEAK_TAKEN",
+    "STRONG_TAKEN",
+    "RobModel",
+    "RobStats",
+    "InflightMemTracker",
+    "LsqStats",
+    "NoiseModel",
+    "campaign_noise",
+    "InstructionTiming",
+    "RunResult",
+    "SquashEvent",
+]

@@ -1,0 +1,467 @@
+"""Trace-driven out-of-order core with speculative (wrong-path) execution.
+
+The core executes a :class:`~repro.isa.program.Program` functionally while
+computing per-instruction *timestamps* with dataflow scheduling:
+
+* instructions dispatch in order, ``dispatch_width`` per cycle, subject to
+  ROB-occupancy back-pressure (:class:`~repro.cpu.rob.RobModel`);
+* an instruction starts once its source registers are ready (plus the fence
+  barrier for memory ops) and completes after its unit latency — loads get
+  their latency from the cache hierarchy, *mutating* it;
+* a conditional branch resolves when its operands are ready. On a
+  misprediction the core executes the **wrong path**: instructions from the
+  predicted target issue (and loads really install cache lines, marked
+  speculative) until the squash point, exactly the transient-execution
+  behaviour Undo defenses must roll back. The attached
+  :class:`~repro.defense.base.Defense` then observes the speculative delta
+  and returns a stall; fetch resumes after
+  ``squash_point + mispredict_penalty + stall``.
+
+This reproduces the properties the attack rests on (paper §IV): branch
+resolution time is set by the condition's dependence chain, independent of
+the in-branch loads that execute concurrently; and the post-resolve stall is
+set by the defense's rollback work.
+
+The model is deliberately not cycle-stepped: timestamps are computed in one
+pass, which keeps thousand-round attack campaigns and 10⁵-instruction
+synthetic SPEC runs fast while preserving the timing relations that matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cache.hierarchy import CacheHierarchy
+from ..common.config import CoreConfig
+from ..common.errors import SimulationError
+from ..common.rng import derive_rng
+from ..defense.base import Defense, SquashContext
+from ..isa.instructions import (
+    Branch,
+    Fence,
+    Flush,
+    Halt,
+    IntOp,
+    IntOpImm,
+    Jump,
+    Load,
+    LoadImm,
+    Nop,
+    ReadTimer,
+    Store,
+    alu_eval,
+)
+from ..isa.program import Program
+from ..isa.registers import RegisterFile
+from .lsq import InflightMemTracker
+from .noise import NoiseModel
+from .predictor import BimodalPredictor, WEAK_TAKEN
+from .rob import RobModel
+from .timing import InstructionTiming, RunResult, SquashEvent
+
+#: Sentinel completion time for wrong-path results that never arrive.
+NEVER = 1 << 60
+
+#: Cycles between branch resolution and the squash taking effect (walking
+#: the ROB, broadcasting the squash). Transient loads completing within this
+#: window still install and are then rolled back.
+DEFAULT_SQUASH_DELAY = 12
+
+
+@dataclass
+class _WrongPathResult:
+    executed: int = 0
+    loads_issued: int = 0
+    inflight: int = 0
+
+
+class Core:
+    """One out-of-order core bound to a hierarchy and a defense.
+
+    The predictor and hierarchy persist across :meth:`run` calls — an attack
+    campaign runs one program per round against the same core, exactly like
+    repeated invocations of sender/receiver code on real hardware.
+    """
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        defense: Defense,
+        config: Optional[CoreConfig] = None,
+        predictor: Optional[BimodalPredictor] = None,
+        noise: Optional[NoiseModel] = None,
+        squash_delay: int = DEFAULT_SQUASH_DELAY,
+        noise_seed: int = 0,
+        record_timeline: bool = False,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.defense = defense
+        self.config = config or CoreConfig()
+        self.predictor = predictor or BimodalPredictor()
+        self.noise = noise or NoiseModel()
+        if squash_delay < 0:
+            raise SimulationError("squash_delay must be non-negative")
+        self.squash_delay = squash_delay
+        self._noise_rng: np.random.Generator = derive_rng(noise_seed, "core-noise")
+        self.record_timeline = record_timeline
+        #: Wrong-path execution is bounded by the ROB (an instruction can
+        #: only issue speculatively if it fits behind the branch).
+        self.max_wrong_path = self.config.rob_entries
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        program: Program,
+        registers: Optional[RegisterFile] = None,
+        max_instructions: int = 1_000_000,
+    ) -> RunResult:
+        """Execute ``program`` to its ``Halt``; return timing and state."""
+        cfg = self.config
+        regs = registers or RegisterFile()
+        ready: Dict[str, int] = {}
+        rob = RobModel(cfg.rob_entries, cfg.dispatch_width)
+        mem = InflightMemTracker()
+        result = RunResult(program_name=program.name, cycles=0, instructions=0, registers=regs)
+
+        fetch_available = 0
+        last_complete_all = 0
+        pc = 0
+        committed = 0
+        # Latest branch-resolution time seen so far: a load starting before
+        # this is speculative w.r.t. an older branch (delay-on-miss uses it).
+        max_branch_resolve = 0
+        delay_misses = getattr(self.defense, "delay_speculative_misses", False)
+
+        def reg_ready(name: str) -> int:
+            return ready.get(name, 0)
+
+        while True:
+            if committed >= max_instructions:
+                raise SimulationError(
+                    f"{program.name}: exceeded {max_instructions} instructions"
+                )
+            if not 0 <= pc < len(program):
+                raise SimulationError(f"{program.name}: pc {pc} out of range")
+            inst = program[pc]
+            dispatch = rob.next_dispatch_cycle(fetch_available)
+
+            if self.noise.enabled:
+                event = self.noise.system_event(self._noise_rng)
+                if event:
+                    result.noise_event_cycles += event
+                    dispatch += event
+                    fetch_available = max(fetch_available, dispatch)
+
+            start = dispatch
+            complete = dispatch
+            level: Optional[str] = None
+            next_pc = pc + 1
+
+            if isinstance(inst, Halt):
+                rob.record_commit(dispatch)
+                committed += 1
+                last_complete_all = max(last_complete_all, dispatch)
+                break
+
+            elif isinstance(inst, LoadImm):
+                complete = dispatch + cfg.alu_latency
+                regs.write(inst.dst, inst.imm)
+                ready[inst.dst] = complete
+
+            elif isinstance(inst, IntOp):
+                start = max(dispatch, reg_ready(inst.src1), reg_ready(inst.src2))
+                latency = cfg.mul_latency if inst.op == "mul" else cfg.alu_latency
+                complete = start + latency
+                regs.write(inst.dst, alu_eval(inst.op, regs.read(inst.src1), regs.read(inst.src2)))
+                ready[inst.dst] = complete
+
+            elif isinstance(inst, IntOpImm):
+                start = max(dispatch, reg_ready(inst.src1))
+                latency = cfg.mul_latency if inst.op == "mul" else cfg.alu_latency
+                complete = start + latency
+                regs.write(inst.dst, alu_eval(inst.op, regs.read(inst.src1), inst.imm))
+                ready[inst.dst] = complete
+
+            elif isinstance(inst, Load):
+                start = max(dispatch, reg_ready(inst.base), mem.fence_barrier)
+                addr = (regs.read(inst.base) + inst.offset) & ((1 << 64) - 1)
+                if delay_misses and start < max_branch_resolve:
+                    # Invisible-family delay-on-miss: an L1 miss issued under
+                    # an unresolved branch waits for the branch to resolve.
+                    _, probe_level = self.hierarchy.probe_latency(addr)
+                    if probe_level != "L1":
+                        start = max_branch_resolve
+                access = self.hierarchy.access(addr, cycle=start)
+                latency = access.latency
+                if access.level == "MEM":
+                    latency = max(1, latency + self.noise.mem_jitter(self._noise_rng))
+                complete = start + latency
+                level = access.level
+                regs.write(inst.dst, self.hierarchy.dram.peek(addr))
+                ready[inst.dst] = complete
+                mem.record_load(complete)
+
+            elif isinstance(inst, Store):
+                start = max(
+                    dispatch, reg_ready(inst.src), reg_ready(inst.base), mem.fence_barrier
+                )
+                addr = (regs.read(inst.base) + inst.offset) & ((1 << 64) - 1)
+                access = self.hierarchy.access(addr, cycle=start, is_write=True)
+                self.hierarchy.dram.poke(addr, regs.read(inst.src))
+                complete = start + access.latency
+                level = access.level
+                mem.record_store(complete)
+
+            elif isinstance(inst, Flush):
+                start = max(dispatch, reg_ready(inst.base), mem.fence_barrier)
+                addr = (regs.read(inst.base) + inst.offset) & ((1 << 64) - 1)
+                self.hierarchy.flush_line(addr)
+                complete = start + cfg.flush_latency
+                mem.record_flush(complete)
+
+            elif isinstance(inst, Fence):
+                complete = mem.drain_time(at_least=dispatch)
+                mem.record_fence(complete)
+
+            elif isinstance(inst, ReadTimer):
+                # Serialising: waits for every older instruction.
+                start = max(dispatch, last_complete_all)
+                complete = start + cfg.timer_latency
+                regs.write(inst.dst, complete)
+                ready[inst.dst] = complete
+
+            elif isinstance(inst, Jump):
+                complete = dispatch
+                next_pc = program.resolve(inst.target)
+
+            elif isinstance(inst, Nop):
+                complete = dispatch
+
+            elif isinstance(inst, Branch):
+                a = regs.read(inst.src1)
+                b = regs.read(inst.src2)
+                predicted = self.predictor.predict(pc)
+                actual = inst.taken(a, b)
+                resolve = (
+                    max(dispatch, reg_ready(inst.src1), reg_ready(inst.src2))
+                    + cfg.branch_latency
+                )
+                complete = resolve
+                max_branch_resolve = max(max_branch_resolve, resolve)
+                self.predictor.update(pc, actual, mispredicted=predicted != actual)
+                correct_next = program.resolve(inst.target) if actual else pc + 1
+                if predicted != actual:
+                    wrong_pc = program.resolve(inst.target) if predicted else pc + 1
+                    squash_point = resolve + self.squash_delay
+                    epoch = self.hierarchy.open_epoch()
+                    wp = self._run_wrong_path(
+                        program,
+                        wrong_pc,
+                        regs,
+                        ready,
+                        branch_dispatch=dispatch,
+                        squash_point=squash_point,
+                        epoch=epoch,
+                        fence_barrier=mem.fence_barrier,
+                    )
+                    delta = self.hierarchy.squash_epoch_delta(epoch)
+                    ctx = SquashContext(
+                        resolve_cycle=squash_point,
+                        delta=delta,
+                        inflight_transient=wp.inflight,
+                        older_mem_complete=mem.drain_time(),
+                    )
+                    outcome = self.defense.on_squash(ctx)
+                    fetch_resume = (
+                        squash_point + cfg.mispredict_penalty + outcome.stall_cycles
+                    )
+                    fetch_available = max(fetch_available, fetch_resume)
+                    result.squashes.append(
+                        SquashEvent(
+                            branch_pc=pc,
+                            resolve_cycle=resolve,
+                            squash_cycle=squash_point,
+                            fetch_resume=fetch_resume,
+                            wrong_path_executed=wp.executed,
+                            transient_loads=wp.loads_issued,
+                            inflight_transient=wp.inflight,
+                            outcome=outcome,
+                        )
+                    )
+                next_pc = correct_next
+
+            else:  # pragma: no cover - exhaustive over the ISA
+                raise SimulationError(f"unhandled instruction: {inst!r}")
+
+            rob.record_commit(complete)
+            last_complete_all = max(last_complete_all, complete)
+            committed += 1
+            if self.record_timeline:
+                result.timeline.append(
+                    InstructionTiming(
+                        index=committed - 1,
+                        pc=pc,
+                        text=str(inst),
+                        dispatch=dispatch,
+                        start=start,
+                        complete=complete,
+                        level=level,
+                    )
+                )
+            pc = next_pc
+
+        result.cycles = max(last_complete_all, fetch_available)
+        result.instructions = committed
+        return result
+
+    # ------------------------------------------------------------------
+    # wrong-path (transient) execution
+    # ------------------------------------------------------------------
+
+    def _run_wrong_path(
+        self,
+        program: Program,
+        pc: int,
+        regs: RegisterFile,
+        ready: Dict[str, int],
+        branch_dispatch: int,
+        squash_point: int,
+        epoch: int,
+        fence_barrier: int,
+    ) -> _WrongPathResult:
+        """Execute the mispredicted path until the squash point.
+
+        Uses a speculative copy of register values/ready-times. Loads whose
+        address is ready before the squash issue real (speculative) cache
+        accesses — they install lines, evict victims, and are recorded under
+        ``epoch`` for the defense to roll back. Stores, flushes and timer
+        reads have no speculative side effects (they only perform at
+        retirement on the modelled machine). Nested branches follow their
+        predicted direction without opening nested epochs: the outer squash
+        discards everything at once.
+        """
+        cfg = self.config
+        spec_values: Dict[str, int] = {}
+        spec_ready = dict(ready)
+        barrier = fence_barrier
+        out = _WrongPathResult()
+
+        def value_of(name: str) -> int:
+            return spec_values.get(name, regs.read(name))
+
+        def ready_of(name: str) -> int:
+            return spec_ready.get(name, 0)
+
+        count = 0
+        while 0 <= pc < len(program) and count < self.max_wrong_path:
+            inst = program[pc]
+            dispatch = branch_dispatch + 1 + count // cfg.dispatch_width
+            if dispatch >= squash_point:
+                break
+            count += 1
+            next_pc = pc + 1
+
+            if isinstance(inst, Halt):
+                break
+
+            elif isinstance(inst, LoadImm):
+                spec_values[inst.dst] = inst.imm
+                spec_ready[inst.dst] = dispatch + cfg.alu_latency
+
+            elif isinstance(inst, IntOp):
+                start = max(dispatch, ready_of(inst.src1), ready_of(inst.src2))
+                latency = cfg.mul_latency if inst.op == "mul" else cfg.alu_latency
+                spec_values[inst.dst] = alu_eval(
+                    inst.op, value_of(inst.src1), value_of(inst.src2)
+                )
+                spec_ready[inst.dst] = start + latency
+
+            elif isinstance(inst, IntOpImm):
+                start = max(dispatch, ready_of(inst.src1))
+                latency = cfg.mul_latency if inst.op == "mul" else cfg.alu_latency
+                spec_values[inst.dst] = alu_eval(inst.op, value_of(inst.src1), inst.imm)
+                spec_ready[inst.dst] = start + latency
+
+            elif isinstance(inst, Load):
+                start = max(dispatch, ready_of(inst.base), barrier)
+                if start >= squash_point or ready_of(inst.base) >= NEVER:
+                    spec_ready[inst.dst] = NEVER
+                elif not getattr(self.defense, "allows_speculative_install", True):
+                    # Invisible-family defense: L1 hits proceed, misses are
+                    # deferred past the squash and die without any cache
+                    # state change.
+                    addr = (value_of(inst.base) + inst.offset) & ((1 << 64) - 1)
+                    latency, level = self.hierarchy.probe_latency(addr)
+                    if level == "L1":
+                        out.loads_issued += 1
+                        spec_values[inst.dst] = self.hierarchy.dram.peek(addr)
+                        spec_ready[inst.dst] = start + latency
+                    else:
+                        spec_ready[inst.dst] = NEVER
+                else:
+                    addr = (value_of(inst.base) + inst.offset) & ((1 << 64) - 1)
+                    latency, level = self.hierarchy.probe_latency(addr)
+                    if level == "MEM":
+                        latency = max(1, latency + self.noise.mem_jitter(self._noise_rng))
+                    complete = start + latency
+                    out.loads_issued += 1
+                    if complete <= squash_point or level == "L1":
+                        # The access (and, on a miss, its fill) lands before
+                        # the squash: it really installs and must be rolled
+                        # back. L1 hits never occupy the MSHR.
+                        self.hierarchy.access(
+                            addr, cycle=start, speculative=True, epoch=epoch
+                        )
+                        spec_values[inst.dst] = self.hierarchy.dram.peek(addr)
+                        spec_ready[inst.dst] = complete
+                    else:
+                        # Fill still in flight at squash: CleanupSpec cleans
+                        # it out of the MSHR (T3); the line never installs.
+                        out.inflight += 1
+                        spec_ready[inst.dst] = NEVER
+
+            elif isinstance(inst, Store):
+                # Speculative stores do not perform; they sit in the store
+                # queue and are squashed.
+                pass
+
+            elif isinstance(inst, Flush):
+                # clflush is ordered; it does not perform speculatively.
+                pass
+
+            elif isinstance(inst, Fence):
+                barrier = max(
+                    barrier,
+                    dispatch,
+                    max(
+                        (t for t in spec_ready.values() if t < NEVER),
+                        default=dispatch,
+                    ),
+                )
+
+            elif isinstance(inst, ReadTimer):
+                # Serialising: younger wrong-path work would not execute
+                # before the squash anyway; the destination never readies.
+                spec_ready[inst.dst] = NEVER
+
+            elif isinstance(inst, Jump):
+                next_pc = program.resolve(inst.target)
+
+            elif isinstance(inst, Nop):
+                pass
+
+            elif isinstance(inst, Branch):
+                # Peek the counter without polluting prediction statistics.
+                predicted = self.predictor.counter(pc) >= WEAK_TAKEN
+                next_pc = program.resolve(inst.target) if predicted else pc + 1
+
+            out.executed += 1
+            pc = next_pc
+
+        return out

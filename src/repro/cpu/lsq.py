@@ -1,0 +1,74 @@
+"""Load/store-queue bookkeeping: in-flight memory operations and fences.
+
+The core needs two queries the paper's timeline depends on:
+
+* **Fence drain** — a `Fence` makes younger memory ops wait until every
+  older memory op has completed; unXpec uses this to zero T4.
+* **T4 at squash** — CleanupSpec delays rollback until in-flight
+  *correct-path* loads retire; the extra wait is
+  ``max(0, latest_older_completion - resolve_time)``.
+
+Both reduce to tracking the maximum completion time over issued memory
+operations (and its reset point at a fence), plus counters for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LsqStats:
+    loads: int = 0
+    stores: int = 0
+    flushes: int = 0
+    fences: int = 0
+
+
+class InflightMemTracker:
+    """Monotonic summary of outstanding memory-op completion times."""
+
+    def __init__(self) -> None:
+        self._max_complete = 0
+        self._fence_barrier = 0
+        self.stats = LsqStats()
+
+    # -- recording -------------------------------------------------------------
+
+    def record_load(self, complete_cycle: int) -> None:
+        self.stats.loads += 1
+        self._max_complete = max(self._max_complete, complete_cycle)
+
+    def record_store(self, complete_cycle: int) -> None:
+        self.stats.stores += 1
+        self._max_complete = max(self._max_complete, complete_cycle)
+
+    def record_flush(self, complete_cycle: int) -> None:
+        self.stats.flushes += 1
+        self._max_complete = max(self._max_complete, complete_cycle)
+
+    def record_fence(self, ready_cycle: int) -> None:
+        """All memory ops ordered before the fence completed by ``ready_cycle``."""
+        self.stats.fences += 1
+        self._fence_barrier = max(self._fence_barrier, ready_cycle)
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def fence_barrier(self) -> int:
+        """Earliest cycle a post-fence memory op may start."""
+        return self._fence_barrier
+
+    def drain_time(self, at_least: int = 0) -> int:
+        """Cycle by which all memory ops issued so far have completed."""
+        return max(self._max_complete, at_least)
+
+    def inflight_beyond(self, cycle: int) -> int:
+        """Extra cycles of T4 wait if a squash happens at ``cycle``."""
+        return max(0, self._max_complete - cycle)
+
+    def snapshot(self) -> tuple:
+        return (self._max_complete, self._fence_barrier)
+
+    def restore(self, snap: tuple) -> None:
+        self._max_complete, self._fence_barrier = snap

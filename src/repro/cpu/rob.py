@@ -1,0 +1,90 @@
+"""Reorder-buffer occupancy model for the trace-driven core.
+
+The core dispatches in order, ``dispatch_width`` instructions per cycle, and
+an instruction cannot dispatch until the instruction ``rob_entries`` older
+than it has committed (in-order commit). That is exactly the back-pressure a
+real ROB exerts on a dataflow-scheduled machine, captured with a bounded
+deque of commit timestamps instead of a per-cycle structural simulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class RobStats:
+    dispatched: int = 0
+    rob_stall_cycles: int = 0
+
+
+class RobModel:
+    """Tracks dispatch cadence and ROB-full back-pressure."""
+
+    def __init__(self, entries: int, dispatch_width: int) -> None:
+        if entries < 2:
+            raise ValueError("ROB needs at least 2 entries")
+        if dispatch_width < 1:
+            raise ValueError("dispatch width must be >= 1")
+        self.entries = entries
+        self.dispatch_width = dispatch_width
+        self._commit_times: deque = deque(maxlen=entries)
+        self._last_dispatch_cycle = -1
+        self._dispatched_this_cycle = 0
+        self._last_commit = 0
+        self.stats = RobStats()
+
+    def next_dispatch_cycle(self, earliest: int) -> int:
+        """Dispatch cycle for the next instruction, >= ``earliest``.
+
+        Applies dispatch-width limits and ROB-full stalls; the caller then
+        reports the instruction's completion via :meth:`record_commit`.
+        """
+        cycle = max(earliest, self._last_dispatch_cycle)
+        if cycle == self._last_dispatch_cycle and self._dispatched_this_cycle >= self.dispatch_width:
+            cycle += 1
+        # ROB full: the entry `entries` back must have committed.
+        if len(self._commit_times) == self.entries:
+            oldest_commit = self._commit_times[0]
+            if oldest_commit > cycle:
+                self.stats.rob_stall_cycles += oldest_commit - cycle
+                cycle = oldest_commit
+        if cycle != self._last_dispatch_cycle:
+            self._last_dispatch_cycle = cycle
+            self._dispatched_this_cycle = 1
+        else:
+            self._dispatched_this_cycle += 1
+        self.stats.dispatched += 1
+        return cycle
+
+    def record_commit(self, complete_cycle: int) -> int:
+        """Record in-order commit of the instruction just dispatched.
+
+        Returns the commit cycle (monotonically non-decreasing).
+        """
+        commit = max(complete_cycle, self._last_commit)
+        self._last_commit = commit
+        self._commit_times.append(commit)
+        return commit
+
+    @property
+    def last_commit(self) -> int:
+        return self._last_commit
+
+    def snapshot(self) -> tuple:
+        """Opaque state capture for wrong-path what-if execution."""
+        return (
+            deque(self._commit_times, maxlen=self.entries),
+            self._last_dispatch_cycle,
+            self._dispatched_this_cycle,
+            self._last_commit,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        self._commit_times, self._last_dispatch_cycle, self._dispatched_this_cycle, self._last_commit = (
+            deque(snap[0], maxlen=self.entries),
+            snap[1],
+            snap[2],
+            snap[3],
+        )

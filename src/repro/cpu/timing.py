@@ -1,0 +1,80 @@
+"""Timing records produced by the core.
+
+The core's :meth:`~repro.cpu.core.Core.run` returns a :class:`RunResult`;
+experiments read timer registers, squash events and counters from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..defense.base import SquashOutcome
+from ..isa.registers import RegisterFile
+
+
+@dataclass(frozen=True)
+class InstructionTiming:
+    """Timeline entry for one committed instruction (debug/record mode)."""
+
+    index: int
+    pc: int
+    text: str
+    dispatch: int
+    start: int
+    complete: int
+    level: Optional[str] = None  # cache level for memory ops
+
+
+@dataclass(frozen=True)
+class SquashEvent:
+    """One mis-speculation, with the defense's response."""
+
+    branch_pc: int
+    #: Cycle the branch condition resolved (T2).
+    resolve_cycle: int
+    #: Cycle squash handling began (resolve + squash-identification delay).
+    squash_cycle: int
+    #: Cycle fetch resumed on the correct path (after penalty + stall).
+    fetch_resume: int
+    #: Wrong-path instructions that issued before the squash.
+    wrong_path_executed: int
+    #: Wrong-path loads that issued.
+    transient_loads: int
+    #: Wrong-path loads still in flight at squash (MSHR-clean targets).
+    inflight_transient: int
+    outcome: SquashOutcome
+
+
+@dataclass
+class RunResult:
+    """Everything observable after a program run."""
+
+    program_name: str
+    cycles: int
+    instructions: int
+    registers: RegisterFile
+    squashes: List[SquashEvent] = field(default_factory=list)
+    timeline: List[InstructionTiming] = field(default_factory=list)
+    noise_event_cycles: int = 0
+
+    def timer(self, reg_name: str) -> int:
+        """Value of a timestamp register (``ReadTimer`` destination)."""
+        return self.registers.read(reg_name)
+
+    def timer_delta(self, start_reg: str, end_reg: str) -> int:
+        """ts2 - ts1: the receiver's latency measurement."""
+        return self.timer(end_reg) - self.timer(start_reg)
+
+    @property
+    def mispredictions(self) -> int:
+        return len(self.squashes)
+
+    @property
+    def total_defense_stall(self) -> int:
+        return sum(e.outcome.stall_cycles for e in self.squashes)
+
+    def last_squash(self) -> SquashEvent:
+        if not self.squashes:
+            raise ValueError("run had no squash events")
+        return self.squashes[-1]

@@ -1,0 +1,22 @@
+"""Speculation-squash defenses: unsafe baseline, CleanupSpec, mitigations."""
+
+from .base import Defense, SquashContext, SquashOutcome
+from .cleanup_timing import CleanupMode, CleanupTimingModel
+from .cleanupspec import CleanupSpec
+from .delay_on_miss import DelayOnMiss
+from .constant_time import ConstantTimeRollback
+from .fuzzy import FuzzyCleanup
+from .unsafe import UnsafeBaseline
+
+__all__ = [
+    "Defense",
+    "SquashContext",
+    "SquashOutcome",
+    "CleanupMode",
+    "CleanupTimingModel",
+    "CleanupSpec",
+    "DelayOnMiss",
+    "ConstantTimeRollback",
+    "FuzzyCleanup",
+    "UnsafeBaseline",
+]

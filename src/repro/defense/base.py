@@ -1,0 +1,95 @@
+"""Defense interface: what happens when a speculation window squashes.
+
+The core hands every mis-speculation to the attached defense as a
+:class:`SquashContext` describing the transient window's cache-state delta
+and MSHR situation. The defense (a) mutates the hierarchy to enact its
+policy (roll back, commit, …) and (b) returns a :class:`SquashOutcome`
+whose ``stall_cycles`` the core adds before fetch resumes — this stall is
+precisely the secret-dependent quantity unXpec measures.
+
+The stages mirror the CleanupSpec timeline of paper Fig. 1:
+
+* **T3** ``mshr_clean`` — cancel in-flight mis-speculated loads,
+* **T4** ``inflight_wait`` — wait for in-flight correct-path loads,
+* **T5** ``rollback`` — invalidation + restoration.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..cache.hierarchy import CacheHierarchy
+    from ..cache.spec_tracker import EpochDelta
+
+
+@dataclass(frozen=True)
+class SquashContext:
+    """Everything a defense may inspect at squash time."""
+
+    #: Cycle at which the mis-speculation was detected and younger
+    #: instructions identified for squash (paper's T2, plus the pipeline's
+    #: squash-identification delay).
+    resolve_cycle: int
+    #: Speculative cache-state changes of the squashed window.
+    delta: "EpochDelta"
+    #: Transient loads still in flight at resolve (MSHR-clean targets, T3).
+    inflight_transient: int
+    #: Latest completion cycle among older (correct-path) memory ops; the
+    #: basis of the T4 wait. A fence before the window pins this <= resolve.
+    older_mem_complete: int
+
+
+@dataclass
+class SquashOutcome:
+    """What the defense did and how long the core must stall."""
+
+    defense: str
+    #: Extra stall, beyond the baseline mispredict penalty, before fetch
+    #: resumes (the unXpec-observable quantity).
+    stall_cycles: int
+    #: Per-stage breakdown, e.g. {"t3_mshr_clean": 2, "t4_inflight_wait": 0,
+    #: "t5_rollback": 22, "dummy": 0, "padding": 0}.
+    breakdown: Dict[str, int] = field(default_factory=dict)
+    #: Lines actually invalidated, per level.
+    invalidated_l1: int = 0
+    invalidated_l2: int = 0
+    #: L1 victims actually restored.
+    restored_l1: int = 0
+
+    def stage(self, name: str) -> int:
+        return self.breakdown.get(name, 0)
+
+
+class Defense(abc.ABC):
+    """A speculation-squash policy attached to a hierarchy."""
+
+    #: Human-readable scheme name used in reports.
+    name: str = "defense"
+
+    #: Undo-family defenses let transient loads install cache lines (and
+    #: roll them back on squash). Invisible-family defenses set this False:
+    #: the core then never installs wrong-path fills.
+    allows_speculative_install: bool = True
+
+    #: Invisible-family "delay-on-miss": a load that misses the L1 while an
+    #: older branch is unresolved is deferred until the branch resolves.
+    delay_speculative_misses: bool = False
+
+    def __init__(self, hierarchy: "CacheHierarchy") -> None:
+        self.hierarchy = hierarchy
+        self.squash_count = 0
+        self.total_stall = 0
+
+    @abc.abstractmethod
+    def handle_squash(self, ctx: SquashContext) -> SquashOutcome:
+        """Enact the policy on ``self.hierarchy``; return timing/outcome."""
+
+    def on_squash(self, ctx: SquashContext) -> SquashOutcome:
+        """Template wrapper: delegates to :meth:`handle_squash` and counts."""
+        outcome = self.handle_squash(ctx)
+        self.squash_count += 1
+        self.total_stall += outcome.stall_cycles
+        return outcome

@@ -1,0 +1,101 @@
+"""Cycle-cost model of CleanupSpec's rollback pipeline.
+
+CleanupSpec stalls the core while it (a) cleans mis-speculated loads out of
+the MSHR (T3), (b) waits for in-flight correct-path loads (T4), and
+(c) invalidates transiently installed lines and restores evicted L1 lines
+(T5). This module prices those stages.
+
+The T5 model is a two-port pipeline:
+
+* L1 invalidations occupy the L1 tag port — ``l1_invalidate_latency`` for
+  the first line, then one per cycle;
+* L2 invalidations (only in ``CLEANUP_FOR_L1L2`` mode) are address-only
+  messages issued ``l2_invalidate_issue_width`` per cycle behind the first
+  L1 invalidation, each landing after ``l2_invalidate_latency``;
+* restorations move whole lines up from L2, so they occupy the L2 data port
+  for ``restore_interval`` cycles each and are serialised behind the
+  invalidation stream, the first completing ``restore_first_latency`` after
+  invalidations finish.
+
+Calibration targets (defaults reproduce the paper):
+
+=========================  =======  ======================
+scenario                    cycles   paper reference
+=========================  =======  ======================
+1 inval, 0 restore             22    Fig. 3 (left end)
+8 inval, 0 restore             26    Fig. 3 (right end, ~25)
+1 inval, 1 restore             32    Fig. 6 (left end)
+8 inval, 8 restore             64    Fig. 6 (right end, ~64)
+=========================  =======  ======================
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class CleanupMode(enum.Enum):
+    """Which levels the rollback touches (artifact's scheme_cleanupcache)."""
+
+    CLEANUP_FOR_L1 = "Cleanup_FOR_L1"
+    CLEANUP_FOR_L1L2 = "Cleanup_FOR_L1L2"
+
+
+@dataclass(frozen=True)
+class CleanupTimingModel:
+    """Parametrised rollback costs; defaults calibrated to the paper."""
+
+    l1_invalidate_latency: int = 4
+    l1_invalidate_interval: int = 1
+    l2_invalidate_latency: int = 18
+    l2_invalidate_issue_width: int = 2
+    restore_first_latency: int = 10
+    restore_interval: int = 4
+    mshr_clean_per_entry: int = 2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "l1_invalidate_latency",
+            "l1_invalidate_interval",
+            "l2_invalidate_latency",
+            "restore_first_latency",
+            "restore_interval",
+            "mshr_clean_per_entry",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.l2_invalidate_issue_width < 1:
+            raise ValueError("l2_invalidate_issue_width must be >= 1")
+
+    # -- stage costs ------------------------------------------------------------
+
+    def mshr_clean_cycles(self, inflight_transient: int) -> int:
+        """T3: cancelling in-flight mis-speculated loads in the MSHR."""
+        return self.mshr_clean_per_entry * max(0, inflight_transient)
+
+    def invalidation_cycles(self, n_l1: int, n_l2: int) -> int:
+        """Completion time of the invalidation streams (overlapped)."""
+        if n_l1 <= 0 and n_l2 <= 0:
+            return 0
+        l1_done = 0
+        if n_l1 > 0:
+            l1_done = self.l1_invalidate_latency + (n_l1 - 1) * self.l1_invalidate_interval
+        l2_done = 0
+        if n_l2 > 0:
+            issue_tail = math.ceil((n_l2 - 1) / self.l2_invalidate_issue_width)
+            l2_done = self.l1_invalidate_latency + self.l2_invalidate_latency + issue_tail
+        return max(l1_done, l2_done)
+
+    def restoration_cycles(self, n_restore: int) -> int:
+        """Extra time for the restoration stream (serialised after invals)."""
+        if n_restore <= 0:
+            return 0
+        return self.restore_first_latency + (n_restore - 1) * self.restore_interval
+
+    def rollback_cycles(self, n_l1_inval: int, n_l2_inval: int, n_restore: int) -> int:
+        """T5 total: invalidations then restorations."""
+        return self.invalidation_cycles(n_l1_inval, n_l2_inval) + self.restoration_cycles(
+            n_restore
+        )

@@ -1,0 +1,14 @@
+"""Per-table/figure reproduction experiments and their runner."""
+
+from .base import Check, Experiment, ExperimentResult, ResultTable
+from .registry import all_ids, get, register
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ResultTable",
+    "Check",
+    "register",
+    "get",
+    "all_ids",
+]

@@ -1,0 +1,78 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig3
+    python -m repro.experiments all --quick
+    python -m repro.experiments fig7 --json out.json --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import registry
+
+
+def main(argv: list = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the unXpec paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all', 'list', or 'report'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer samples, faster run"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument("--json", metavar="PATH", help="also dump result JSON")
+    parser.add_argument(
+        "--csv", metavar="DIR", help="also dump every result table as CSV"
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default="REPORT.md", help="report output path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from .report import write_report
+
+        results = write_report(args.out, quick=args.quick, seed=args.seed)
+        ok = sum(1 for r in results for c in r.checks if c.passed)
+        total = sum(len(r.checks) for r in results)
+        print(f"wrote {args.out}: {ok}/{total} checks passed")
+        return 0 if ok == total else 1
+
+    if args.experiment == "list":
+        for exp_id in registry.all_ids():
+            exp = registry.get(exp_id)
+            print(f"{exp_id:14s} {exp.title}")
+        return 0
+
+    ids = registry.all_ids() if args.experiment == "all" else [args.experiment]
+    failed = 0
+    for exp_id in ids:
+        exp = registry.get(exp_id)
+        started = time.time()
+        result = exp.run(quick=args.quick, seed=args.seed)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"({elapsed:.1f}s)")
+        print()
+        if args.json:
+            path = args.json if len(ids) == 1 else f"{exp_id}_{args.json}"
+            result.dump_json(path)
+        if args.csv:
+            result.dump_csv(args.csv)
+        if not result.all_passed:
+            failed += 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

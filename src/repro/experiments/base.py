@@ -1,0 +1,154 @@
+"""Experiment framework: structured results with paper-vs-measured checks.
+
+Every table/figure of the paper's evaluation is one :class:`Experiment`.
+Running one yields an :class:`ExperimentResult` holding named tables (the
+rows/series the paper's figure plots), scalar metrics, and a list of
+:class:`Check` records comparing the measurement against the paper's
+claim — *shape* checks (orderings, bands, monotonicity), not exact cycle
+equality, per the reproduction contract in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..common.tables import render_kv, render_table
+
+
+@dataclass(frozen=True)
+class Check:
+    """One paper-vs-measured assertion."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+@dataclass
+class ResultTable:
+    """One named table of an experiment result."""
+
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produces."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    tables: Dict[str, ResultTable] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    checks: List[Check] = field(default_factory=list)
+
+    def table(self, name: str, headers: Sequence[str]) -> ResultTable:
+        tbl = ResultTable(headers=list(headers))
+        self.tables[name] = tbl
+        return tbl
+
+    def metric(self, name: str, value: float) -> None:
+        self.metrics[name] = float(value)
+
+    def check(self, name: str, passed: bool, detail: str) -> None:
+        self.checks.append(Check(name=name, passed=bool(passed), detail=detail))
+
+    def check_band(self, name: str, value: float, lo: float, hi: float, paper: str) -> None:
+        """Common case: measured value must land in [lo, hi] around the paper's."""
+        self.check(
+            name,
+            lo <= value <= hi,
+            f"measured {value:.2f}, expected in [{lo:g}, {hi:g}] (paper: {paper})",
+        )
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self) -> str:
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+            "",
+        ]
+        for name, tbl in self.tables.items():
+            parts.append(render_table(tbl.headers, tbl.rows, title=name))
+            parts.append("")
+        if self.metrics:
+            parts.append(render_kv(sorted(self.metrics.items()), title="metrics"))
+            parts.append("")
+        for c in self.checks:
+            parts.append(str(c))
+        return "\n".join(parts)
+
+    def to_json(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "tables": {
+                name: {"headers": list(t.headers), "rows": [list(r) for r in t.rows]}
+                for name, t in self.tables.items()
+            },
+            "metrics": self.metrics,
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+            "all_passed": self.all_passed,
+        }
+
+    def dump_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, default=str)
+
+    def dump_csv(self, directory: str) -> List[str]:
+        """Write each table as ``<id>_<table>.csv``; return written paths.
+
+        CSVs are the plotting-friendly export: one file per figure series.
+        """
+        import csv
+        import os
+
+        written = []
+        os.makedirs(directory, exist_ok=True)
+        for name, tbl in self.tables.items():
+            path = os.path.join(directory, f"{self.experiment_id}_{name}.csv")
+            with open(path, "w", newline="") as fh:
+                writer = csv.writer(fh)
+                writer.writerow(tbl.headers)
+                writer.writerows(tbl.rows)
+            written.append(path)
+        return written
+
+
+class Experiment(abc.ABC):
+    """One reproducible table/figure."""
+
+    #: Short id used on the command line and in DESIGN.md ("fig3", …).
+    id: str = ""
+    title: str = ""
+    #: One-line statement of what the paper reports.
+    paper_claim: str = ""
+
+    @abc.abstractmethod
+    def run(self, quick: bool = False, seed: int = 0) -> ExperimentResult:
+        """Execute the experiment. ``quick`` trades sample count for time."""
+
+    def new_result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id=self.id, title=self.title, paper_claim=self.paper_claim
+        )

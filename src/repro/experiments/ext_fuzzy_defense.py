@@ -1,0 +1,118 @@
+"""Extension B — the paper's future-work fuzzy (dummy-delay) cleanup.
+
+Paper §VII proposes injecting random dummy cleanup delays instead of a
+worst-case constant stall. We quantify the trade-off: unXpec decode
+accuracy versus the defense's average cost per squash, across dummy
+amplitudes, and compare against the relaxed constant-time scheme at an
+amplitude that suppresses the attack comparably.
+"""
+
+from __future__ import annotations
+
+from ..attack.calibration import calibrate
+from ..attack.channel import ThresholdDecoder
+from ..attack.secrets import random_bits
+from ..attack.unxpec import UnxpecAttack
+from ..cache.hierarchy import CacheHierarchy
+from ..cpu.core import Core
+from ..cpu.noise import campaign_noise
+from ..defense.constant_time import ConstantTimeRollback
+from ..defense.fuzzy import FuzzyCleanup
+from ..defense.unsafe import UnsafeBaseline
+from ..workloads.profiles import SPEC2017_PROFILES
+from ..workloads.synth import synthesize
+from .base import Experiment, ExperimentResult
+from .registry import register
+
+AMPLITUDES = (0, 16, 32, 64, 96)
+
+
+def _attack_accuracy(amplitude: int, bits: int, seed: int) -> float:
+    """unXpec single-sample accuracy against FuzzyCleanup(amplitude)."""
+    attack = UnxpecAttack(
+        defense_factory=lambda h: FuzzyCleanup(h, amplitude, seed=seed),
+        noise=campaign_noise(),
+        seed=seed,
+    )
+    cal = calibrate(attack, rounds_per_class=max(60, bits // 3))
+    decoder = ThresholdDecoder(cal.threshold)
+    secret = random_bits(bits, seed=seed, tag="ext-fuzzy")
+    correct = 0
+    for bit in secret:
+        guess = decoder.decode(attack.sample(bit).latency)
+        correct += int(guess == bit)
+    return correct / bits
+
+
+def _workload_overhead(defense_factory, seed: int, instructions: int) -> float:
+    """Average slowdown vs unsafe over three representative profiles."""
+    total = 0.0
+    profiles = [SPEC2017_PROFILES[i] for i in (1, 2, 6)]  # gcc, mcf, deepsjeng
+    for profile in profiles:
+        workload = synthesize(profile, instructions=instructions, seed=seed)
+
+        def run(factory):
+            h = CacheHierarchy(seed=seed)
+            return Core(h, factory(h)).run(workload.program, max_instructions=20_000_000)
+
+        base = run(lambda h: UnsafeBaseline(h))
+        prot = run(defense_factory)
+        total += prot.cycles / base.cycles - 1.0
+    return total / len(profiles)
+
+
+@register
+class ExtFuzzyDefense(Experiment):
+    id = "ext_fuzzy"
+    title = "Fuzzy (dummy-delay) cleanup trade-off (extension)"
+    paper_claim = (
+        "random dummy cleanup delays should mitigate unXpec at lower cost "
+        "than enforcing the longest (constant) rollback time (paper SVII)"
+    )
+
+    def run(self, quick: bool = False, seed: int = 0) -> ExperimentResult:
+        bits = 80 if quick else 300
+        instructions = 2500 if quick else 8000
+        result = self.new_result()
+        tbl = result.table(
+            "fuzzy_tradeoff",
+            ["dummy amplitude (cycles)", "unXpec accuracy", "avg workload overhead %"],
+        )
+
+        accuracies = {}
+        for amplitude in AMPLITUDES:
+            acc = _attack_accuracy(amplitude, bits, seed)
+            overhead = _workload_overhead(
+                lambda h: FuzzyCleanup(h, amplitude, seed=seed), seed, instructions
+            )
+            accuracies[amplitude] = (acc, overhead)
+            tbl.add(amplitude, round(acc, 3), round(100 * overhead, 1))
+
+        const_overhead = _workload_overhead(
+            lambda h: ConstantTimeRollback(h, 65), seed, instructions
+        )
+        result.metric("const65_overhead_pct", 100 * const_overhead)
+        result.metric("accuracy_no_dummy", accuracies[0][0])
+        best_amp = max(AMPLITUDES)
+        result.metric("accuracy_max_dummy", accuracies[best_amp][0])
+        result.metric("overhead_max_dummy_pct", 100 * accuracies[best_amp][1])
+
+        result.check(
+            "dummy_degrades_attack",
+            accuracies[best_amp][0] <= accuracies[0][0] - 0.15,
+            f"accuracy falls from {accuracies[0][0]:.1%} (no dummies) to "
+            f"{accuracies[best_amp][0]:.1%} at amplitude {best_amp}",
+        )
+        result.check(
+            "near_coin_flip",
+            accuracies[best_amp][0] <= 0.70,
+            f"at amplitude {best_amp} decoding approaches guessing "
+            f"({accuracies[best_amp][0]:.1%})",
+        )
+        result.check(
+            "cheaper_than_constant_time",
+            accuracies[best_amp][1] < const_overhead,
+            f"fuzzy@{best_amp} costs {100*accuracies[best_amp][1]:.1f}% vs "
+            f"{100*const_overhead:.1f}% for 65-cycle constant-time rollback",
+        )
+        return result

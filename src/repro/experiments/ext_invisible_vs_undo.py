@@ -1,0 +1,112 @@
+"""Extension C — Invisible vs Undo, quantified (paper §I/§II background).
+
+The paper motivates attacking Undo defenses by the cost asymmetry:
+Invisible schemes (InvisiSpec, delay-on-miss) complicate the *common case*
+and cost 11-17%, while CleanupSpec's Undo costs ~5% by only paying on rare
+mis-speculations. unXpec then shows Undo buys its efficiency with a timing
+channel. This experiment puts all three claims in one table, on the same
+machine and workloads:
+
+========================  =========  ============  ==============
+defense                    Spectre    unXpec diff   workload cost
+========================  =========  ============  ==============
+UnsafeBaseline             leaks      0 cycles      0% (baseline)
+DelayOnMiss (Invisible)    blocked    0 cycles      high
+CleanupSpec (Undo)         blocked    22 cycles     low
+========================  =========  ============  ==============
+"""
+
+from __future__ import annotations
+
+from ..attack.spectre import SpectreV1Attack
+from ..attack.unxpec import UnxpecAttack
+from ..cache.hierarchy import CacheHierarchy
+from ..cpu.core import Core
+from ..defense.cleanupspec import CleanupSpec
+from ..defense.delay_on_miss import DelayOnMiss
+from ..defense.unsafe import UnsafeBaseline
+from ..workloads.profiles import SPEC2017_PROFILES
+from ..workloads.synth import synthesize
+from .base import Experiment, ExperimentResult
+from .registry import register
+
+SCHEMES = (
+    ("UnsafeBaseline", lambda h: UnsafeBaseline(h)),
+    ("DelayOnMiss", lambda h: DelayOnMiss(h)),
+    ("CleanupSpec", lambda h: CleanupSpec(h)),
+)
+
+
+@register
+class ExtInvisibleVsUndo(Experiment):
+    id = "ext_invisible"
+    title = "Invisible vs Undo: security and cost on one machine (extension)"
+    paper_claim = (
+        "Invisible schemes block transient footprints at 11-17% slowdown; "
+        "Undo blocks them at ~5% but opens the rollback timing channel"
+    )
+
+    def run(self, quick: bool = False, seed: int = 0) -> ExperimentResult:
+        profiles = SPEC2017_PROFILES[:4] if quick else SPEC2017_PROFILES[:8]
+        instructions = 3000 if quick else 8000
+        result = self.new_result()
+        tbl = result.table(
+            "three_way",
+            ["defense", "Spectre leaks", "unXpec diff (cycles)", "avg overhead %"],
+        )
+
+        metrics = {}
+        for name, factory in SCHEMES:
+            spectre = SpectreV1Attack(defense_factory=factory, alphabet=8, seed=seed)
+            leaks = spectre.run(5).success
+
+            unxpec = UnxpecAttack(defense_factory=factory, seed=seed)
+            unxpec.prepare()
+            diff = unxpec.sample(1).latency - unxpec.sample(0).latency
+
+            overhead = 0.0
+            if name != "UnsafeBaseline":
+                for profile in profiles:
+                    workload = synthesize(profile, instructions=instructions, seed=seed + 1)
+
+                    def run_with(make):
+                        h = CacheHierarchy(seed=seed + 1)
+                        return Core(h, make(h)).run(
+                            workload.program, max_instructions=20_000_000
+                        )
+
+                    base = run_with(lambda h: UnsafeBaseline(h))
+                    prot = run_with(factory)
+                    overhead += prot.cycles / base.cycles - 1.0
+                overhead /= len(profiles)
+
+            metrics[name] = (leaks, diff, overhead)
+            tbl.add(name, leaks, diff, round(100 * overhead, 1))
+
+        result.metric("unxpec_diff_cleanupspec", metrics["CleanupSpec"][1])
+        result.metric("unxpec_diff_delay_on_miss", metrics["DelayOnMiss"][1])
+        result.metric("overhead_delay_on_miss_pct", 100 * metrics["DelayOnMiss"][2])
+        result.metric("overhead_cleanupspec_pct", 100 * metrics["CleanupSpec"][2])
+
+        result.check(
+            "spectre_only_on_unsafe",
+            metrics["UnsafeBaseline"][0]
+            and not metrics["DelayOnMiss"][0]
+            and not metrics["CleanupSpec"][0],
+            "the transient footprint leaks only without a defense",
+        )
+        result.check(
+            "unxpec_only_on_undo",
+            metrics["CleanupSpec"][1] >= 18
+            and metrics["DelayOnMiss"][1] == 0
+            and metrics["UnsafeBaseline"][1] == 0,
+            "the rollback timing channel exists only under the Undo scheme",
+        )
+        result.check(
+            "undo_is_cheaper",
+            metrics["CleanupSpec"][2] < metrics["DelayOnMiss"][2] * 0.6,
+            f"CleanupSpec costs {100 * metrics['CleanupSpec'][2]:.1f}% vs "
+            f"{100 * metrics['DelayOnMiss'][2]:.1f}% for delay-on-miss — the "
+            "efficiency that motivated Undo designs (paper: ~5% vs 11-17%)",
+        )
+        return result

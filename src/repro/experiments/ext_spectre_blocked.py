@@ -1,0 +1,80 @@
+"""Extension A — CleanupSpec stops Spectre's footprint but not unXpec.
+
+This is the paper's framing made executable: Undo rollback really erases
+the transient *footprint* (classic Spectre v1 + Flush+Reload fails against
+CleanupSpec while succeeding on the unsafe baseline), yet the rollback
+*duration* still leaks (unXpec succeeds on the very same protected
+machine).
+"""
+
+from __future__ import annotations
+
+from ..attack.spectre import SpectreV1Attack
+from ..attack.unxpec import UnxpecAttack
+from ..defense.cleanupspec import CleanupSpec
+from .base import Experiment, ExperimentResult
+from .registry import register
+
+
+@register
+class ExtSpectreBlocked(Experiment):
+    id = "ext_spectre"
+    title = "Spectre v1 vs CleanupSpec vs unXpec (extension)"
+    paper_claim = (
+        "Undo rollback removes the cache footprint Spectre needs, but its "
+        "duration is itself a channel — the paper's core thesis"
+    )
+
+    def run(self, quick: bool = False, seed: int = 0) -> ExperimentResult:
+        secrets = (3, 7, 11) if quick else (1, 3, 5, 7, 9, 11, 13, 15)
+        result = self.new_result()
+        tbl = result.table(
+            "spectre_rounds",
+            ["secret", "unsafe guess", "unsafe hot", "cleanupspec guess", "cleanupspec hot"],
+        )
+
+        unsafe_ok = 0
+        cleanup_leaks = 0
+        for secret in secrets:
+            unsafe = SpectreV1Attack(seed=seed)
+            r_unsafe = unsafe.run(secret)
+            protected = SpectreV1Attack(
+                defense_factory=lambda h: CleanupSpec(h), seed=seed
+            )
+            r_prot = protected.run(secret)
+            unsafe_ok += int(r_unsafe.success)
+            cleanup_leaks += int(len(r_prot.hot_values) > 0)
+            tbl.add(
+                secret,
+                r_unsafe.guess,
+                r_unsafe.hot_values,
+                r_prot.guess,
+                r_prot.hot_values,
+            )
+
+        # unXpec against the same protected machine still distinguishes bits.
+        unxpec = UnxpecAttack(seed=seed)
+        unxpec.prepare()
+        diff = unxpec.sample(1).latency - unxpec.sample(0).latency
+        result.metric("spectre_unsafe_success", unsafe_ok / len(secrets))
+        result.metric("spectre_cleanupspec_footprints", cleanup_leaks)
+        result.metric("unxpec_diff_on_cleanupspec", diff)
+
+        result.check(
+            "spectre_works_unprotected",
+            unsafe_ok == len(secrets),
+            f"Spectre recovered {unsafe_ok}/{len(secrets)} secrets on the "
+            "unsafe baseline",
+        )
+        result.check(
+            "spectre_blocked_by_cleanupspec",
+            cleanup_leaks == 0,
+            "the probe found no transient footprint on CleanupSpec "
+            f"({cleanup_leaks} leaks)",
+        )
+        result.check(
+            "unxpec_still_leaks",
+            diff >= 15,
+            f"unXpec's timing difference on CleanupSpec is {diff} cycles",
+        )
+        return result

@@ -1,0 +1,83 @@
+"""Figure 13 — branch resolution time on a real processor (i7-8550U model).
+
+The paper validates the Fig. 2 shape claims on real hardware under system
+noise. We run the same sweep against the analytic real-CPU model: mean
+resolution time must be flat in the in-branch load count and the secret,
+linear in the condition complexity N, with visible (but zero-mean) noise.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ..realcpu.model import RealCpuModel
+from .base import Experiment, ExperimentResult
+from .registry import register
+
+
+@register
+class Fig13RealCpu(Experiment):
+    id = "fig13"
+    title = "Branch resolution time on a real CPU (Figure 13)"
+    paper_claim = (
+        "on an i7-8550U the resolution time stays flat across in-branch "
+        "loads and secrets and grows linearly with N, despite system noise"
+    )
+
+    N_VALUES = (1, 2, 3)
+    LOADS = (1, 2, 3, 4, 5)
+
+    def run(self, quick: bool = False, seed: int = 0) -> ExperimentResult:
+        samples_per_point = 30 if quick else 200
+        model = RealCpuModel()
+        result = self.new_result()
+        tbl = result.table(
+            "resolution_cycles",
+            ["N", "loads", "secret", "median", "mean", "std"],
+        )
+
+        medians = {}
+        for n in self.N_VALUES:
+            for loads in self.LOADS:
+                for secret in (0, 1):
+                    data = model.measure(n, loads, secret, samples_per_point, seed=seed)
+                    med = statistics.median(data)
+                    medians[(n, loads, secret)] = med
+                    tbl.add(
+                        n,
+                        loads,
+                        secret,
+                        round(med, 1),
+                        round(statistics.mean(data), 1),
+                        round(statistics.pstdev(data), 1),
+                    )
+
+        for n in self.N_VALUES:
+            band = [medians[(n, l, s)] for l in self.LOADS for s in (0, 1)]
+            spread = max(band) - min(band)
+            result.metric(f"median_spread_N{n}", spread)
+            result.check(
+                f"flat_N{n}",
+                spread <= 0.15 * model.mem_access_cycles,
+                f"median spread over loads x secret is {spread:.0f} cycles",
+            )
+
+        level = {
+            n: statistics.median(
+                [medians[(n, l, s)] for l in self.LOADS for s in (0, 1)]
+            )
+            for n in self.N_VALUES
+        }
+        step12 = level[2] - level[1]
+        step23 = level[3] - level[2]
+        result.metric("level_N1", level[1])
+        result.metric("level_N2", level[2])
+        result.metric("level_N3", level[3])
+        result.check(
+            "linear_in_N",
+            abs(step12 - model.mem_access_cycles) < 0.25 * model.mem_access_cycles
+            and abs(step23 - model.mem_access_cycles) < 0.25 * model.mem_access_cycles,
+            f"steps {step12:.0f} and {step23:.0f} cycles, one memory access "
+            f"({model.mem_access_cycles}) each",
+        )
+        return result

@@ -1,0 +1,58 @@
+"""Registry mapping experiment ids to implementations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..common.errors import ExperimentError
+from .base import Experiment
+
+_REGISTRY: Dict[str, Type[Experiment]] = {}
+
+
+def register(cls: Type[Experiment]) -> Type[Experiment]:
+    """Class decorator adding an experiment to the registry."""
+    if not cls.id:
+        raise ExperimentError(f"{cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ExperimentError(f"duplicate experiment id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def get(experiment_id: str) -> Experiment:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]()
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {all_ids()}"
+        ) from exc
+
+
+def all_ids() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module exactly once (they self-register)."""
+    from . import (  # noqa: F401
+        ablations,
+        ext_fuzzy_defense,
+        ext_invisible_vs_undo,
+        ext_spectre_blocked,
+        fig1_timeline,
+        fig2_branch_resolution,
+        fig3_timing_difference,
+        fig6_timing_difference_evset,
+        fig7_pdf,
+        fig8_pdf_evset,
+        fig9_secret_bits,
+        fig10_leakage,
+        fig11_leakage_evset,
+        fig12_overhead,
+        fig13_real_cpu,
+        leakage_rate,
+        table1_setup,
+    )

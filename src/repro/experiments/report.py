@@ -1,0 +1,72 @@
+"""Aggregate report writer: every experiment, one markdown document.
+
+``python -m repro.experiments report [--quick] [--out PATH]`` runs the
+entire registry and writes a single markdown file with a summary
+check-matrix followed by each experiment's full tables — the file a
+reviewer would diff against the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from . import registry
+from .base import ExperimentResult
+
+
+def run_all(
+    quick: bool = False,
+    seed: int = 0,
+    ids: Optional[Sequence[str]] = None,
+) -> List[ExperimentResult]:
+    """Run the requested experiments (default: all) and return results."""
+    results = []
+    for exp_id in ids or registry.all_ids():
+        results.append(registry.get(exp_id).run(quick=quick, seed=seed))
+    return results
+
+
+def render_markdown(results: Sequence[ExperimentResult], elapsed: float = 0.0) -> str:
+    """Render a combined markdown report."""
+    total = sum(len(r.checks) for r in results)
+    passed = sum(1 for r in results for c in r.checks if c.passed)
+    lines = [
+        "# unXpec reproduction report",
+        "",
+        f"{len(results)} experiments, {passed}/{total} paper-vs-measured checks passed"
+        + (f" ({elapsed:.0f}s)." if elapsed else "."),
+        "",
+        "| experiment | title | checks |",
+        "|---|---|---|",
+    ]
+    for r in results:
+        ok = sum(1 for c in r.checks if c.passed)
+        status = "PASS" if r.all_passed else "**FAIL**"
+        lines.append(
+            f"| `{r.experiment_id}` | {r.title} | {ok}/{len(r.checks)} {status} |"
+        )
+    lines.append("")
+    for r in results:
+        lines.append("---")
+        lines.append("")
+        lines.append("```")
+        lines.append(r.render())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    path: str,
+    quick: bool = False,
+    seed: int = 0,
+    ids: Optional[Sequence[str]] = None,
+) -> List[ExperimentResult]:
+    """Run experiments and write the markdown report to ``path``."""
+    started = time.time()
+    results = run_all(quick=quick, seed=seed, ids=ids)
+    text = render_markdown(results, elapsed=time.time() - started)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return results

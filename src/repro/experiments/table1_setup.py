@@ -1,0 +1,58 @@
+"""Table I — the simulated system configuration."""
+
+from __future__ import annotations
+
+from ..common.config import paper_system_config
+from .base import Experiment, ExperimentResult
+from .registry import register
+
+
+@register
+class Table1Setup(Experiment):
+    id = "table1"
+    title = "Experiment setup (Table I)"
+    paper_claim = (
+        "1 core @ 2 GHz with a 192-entry ROB; 32 KB 4-way/128-set L1I; "
+        "32 KB 8-way/64-set L1D; 2 MB 16-way/2048-set L2; 50 ns memory RT after L2"
+    )
+
+    def run(self, quick: bool = False, seed: int = 0) -> ExperimentResult:
+        del quick, seed  # configuration is static
+        result = self.new_result()
+        config = paper_system_config()
+        tbl = result.table("table1", ["Module", "Configuration"])
+        for module, desc in config.table1_rows():
+            tbl.add(module, desc)
+
+        result.metric("frequency_ghz", config.core.frequency_hz / 1e9)
+        result.metric("rob_entries", config.core.rob_entries)
+        result.metric("memory_latency_cycles", config.latency.memory)
+
+        result.check(
+            "frequency", config.core.frequency_hz == 2e9, "core runs at 2 GHz"
+        )
+        result.check("rob", config.core.rob_entries == 192, "192-entry ROB")
+        result.check(
+            "l1i",
+            (config.l1i.size_bytes, config.l1i.ways, config.l1i.sets)
+            == (32 * 1024, 4, 128),
+            "L1I is 32 KB, 4-way, 128-set",
+        )
+        result.check(
+            "l1d",
+            (config.l1d.size_bytes, config.l1d.ways, config.l1d.sets)
+            == (32 * 1024, 8, 64),
+            "L1D is 32 KB, 8-way, 64-set",
+        )
+        result.check(
+            "l2",
+            (config.l2.size_bytes, config.l2.ways, config.l2.sets)
+            == (2 * 1024 * 1024, 16, 2048),
+            "L2 is 2 MB, 16-way, 2048-set",
+        )
+        result.check(
+            "memory",
+            config.latency.memory == 100,
+            f"50 ns RT at 2 GHz = {config.latency.memory} cycles",
+        )
+        return result

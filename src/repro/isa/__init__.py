@@ -1,0 +1,50 @@
+"""Toy ISA: instructions, programs, builder DSL, assembler."""
+
+from .asm import assemble, disassemble
+from .builder import ProgramBuilder
+from .instructions import (
+    Branch,
+    Fence,
+    Flush,
+    Halt,
+    Instruction,
+    IntOp,
+    IntOpImm,
+    Jump,
+    Load,
+    LoadImm,
+    Nop,
+    ReadTimer,
+    Store,
+    alu_eval,
+    branch_eval,
+)
+from .program import Program
+from .registers import NUM_REGISTERS, WORD_MASK, RegisterFile, reg, validate_register
+
+__all__ = [
+    "Instruction",
+    "LoadImm",
+    "IntOp",
+    "IntOpImm",
+    "Load",
+    "Store",
+    "Flush",
+    "Fence",
+    "ReadTimer",
+    "Branch",
+    "Jump",
+    "Nop",
+    "Halt",
+    "alu_eval",
+    "branch_eval",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "disassemble",
+    "RegisterFile",
+    "reg",
+    "validate_register",
+    "NUM_REGISTERS",
+    "WORD_MASK",
+]

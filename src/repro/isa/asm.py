@@ -1,0 +1,166 @@
+"""Tiny two-pass assembler / disassembler for the toy ISA.
+
+The assembler exists so tests and examples can express small programs as
+readable text, and so the disassembler (``Program.listing`` plus
+:func:`assemble` round trips) can be property-tested.
+
+Syntax, one instruction per line (``#`` starts a comment)::
+
+    label:
+      li    r1, 4096
+      ld    r2, 8(r1)
+      addi  r3, r2, 1
+      add   r3, r3, r2
+      blt   r2, r3, label
+      st    r3, 0(r1)
+      clflush 0(r1)
+      mfence
+      rdtscp r5
+      j     end
+    end:
+      halt
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..common.errors import AssemblerError
+from .instructions import (
+    Branch,
+    Fence,
+    Flush,
+    Halt,
+    Instruction,
+    IntOp,
+    IntOpImm,
+    Jump,
+    Load,
+    LoadImm,
+    Nop,
+    ReadTimer,
+    Store,
+)
+from .program import Program
+
+_MEM_RE = re.compile(r"^(-?\d+)\((r\d+)\)$")
+_ALU_OPS = ("add", "sub", "mul", "and", "or", "xor", "shl", "shr")
+_BRANCH_CONDS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"line {line_no}: invalid integer {token!r}") from exc
+
+
+def _parse_mem(token: str, line_no: int) -> tuple:
+    """Parse ``offset(base)`` into ``(base, offset)``."""
+    m = _MEM_RE.match(token)
+    if not m:
+        raise AssemblerError(f"line {line_no}: expected offset(reg), got {token!r}")
+    return m.group(2), int(m.group(1))
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()]
+
+
+def assemble(text: str, name: str = "asm") -> Program:
+    """Assemble ``text`` into a :class:`Program`."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while line.endswith(":") or ":" in line.split()[0]:
+            label, _, remainder = line.partition(":")
+            label = label.strip()
+            if not label or not re.match(r"^[A-Za-z_][\w.]*$", label):
+                raise AssemblerError(f"line {line_no}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = len(instructions)
+            line = remainder.strip()
+            if not line:
+                break
+        if not line:
+            continue
+
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        ops = _split_operands(rest)
+        instructions.append(_parse_instruction(mnemonic, ops, line_no))
+
+    try:
+        return Program(instructions, labels, name=name)
+    except Exception as exc:  # re-raise structural errors as assembler errors
+        raise AssemblerError(str(exc)) from exc
+
+
+def _parse_instruction(mnemonic: str, ops: List[str], line_no: int) -> Instruction:
+    def need(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblerError(
+                f"line {line_no}: {mnemonic} expects {n} operand(s), got {len(ops)}"
+            )
+
+    if mnemonic == "li":
+        need(2)
+        return LoadImm(ops[0], _parse_int(ops[1], line_no))
+    if mnemonic in _ALU_OPS:
+        need(3)
+        return IntOp(mnemonic, ops[0], ops[1], ops[2])
+    if mnemonic.endswith("i") and mnemonic[:-1] in _ALU_OPS:
+        need(3)
+        return IntOpImm(mnemonic[:-1], ops[0], ops[1], _parse_int(ops[2], line_no))
+    if mnemonic == "ld":
+        need(2)
+        base, offset = _parse_mem(ops[1], line_no)
+        return Load(ops[0], base, offset)
+    if mnemonic == "st":
+        need(2)
+        base, offset = _parse_mem(ops[1], line_no)
+        return Store(ops[0], base, offset)
+    if mnemonic == "clflush":
+        need(1)
+        base, offset = _parse_mem(ops[0], line_no)
+        return Flush(base, offset)
+    if mnemonic == "mfence":
+        need(0)
+        return Fence()
+    if mnemonic == "rdtscp":
+        need(1)
+        return ReadTimer(ops[0])
+    if mnemonic.startswith("b") and mnemonic[1:] in _BRANCH_CONDS:
+        need(3)
+        return Branch(mnemonic[1:], ops[0], ops[1], ops[2])
+    if mnemonic == "j":
+        need(1)
+        return Jump(ops[0])
+    if mnemonic == "nop":
+        need(0)
+        return Nop()
+    if mnemonic == "halt":
+        need(0)
+        return Halt()
+    raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+
+
+def disassemble(program: Program) -> str:
+    """Render ``program`` back to assemble()-compatible text."""
+    by_index: Dict[int, List[str]] = {}
+    for label, index in program.labels.items():
+        by_index.setdefault(index, []).append(label)
+    lines: List[str] = []
+    for pc, inst in enumerate(program):
+        for label in sorted(by_index.get(pc, ())):
+            lines.append(f"{label}:")
+        lines.append(f"  {inst}")
+    for label in sorted(by_index.get(len(program), ())):
+        lines.append(f"{label}:")
+    return "\n".join(lines) + "\n"

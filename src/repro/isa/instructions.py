@@ -1,0 +1,315 @@
+"""Instruction set of the simulated machine.
+
+A deliberately small register ISA that is nevertheless sufficient to express
+the paper's attack gadgets (Algorithms 1 and 2) and the synthetic SPEC-like
+workloads:
+
+* integer ALU operations (``IntOp``) including dependent-chain arithmetic,
+* ``Load`` / ``Store`` with base+displacement addressing,
+* ``Flush`` — evict one line from the whole hierarchy (x86 ``clflush``),
+* ``Fence`` — drain older memory operations (x86 ``mfence``); the attack
+  uses it to zero the T4 stage of the CleanupSpec timeline,
+* ``ReadTimer`` — serialising timestamp read (x86 ``rdtscp``),
+* conditional ``Branch`` (the speculation primitive), ``Jump``, ``Halt``.
+
+Instructions are frozen dataclasses; source/destination registers are
+exposed uniformly through ``sources()`` / ``destination()`` so the timing
+model can do dataflow scheduling without per-opcode special cases.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..common.errors import IsaError
+from .registers import WORD_MASK, validate_register
+
+# ---------------------------------------------------------------------------
+# ALU operations
+# ---------------------------------------------------------------------------
+
+_ALU_OPS: dict = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "mul": operator.mul,
+    "and": operator.and_,
+    "or": operator.or_,
+    "xor": operator.xor,
+    "shl": lambda a, b: a << (b & 63),
+    "shr": lambda a, b: a >> (b & 63),
+}
+
+_BRANCH_CONDS: dict = {
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+    "eq": operator.eq,
+    "ne": operator.ne,
+}
+
+
+def alu_eval(op: str, a: int, b: int) -> int:
+    """Evaluate ALU op ``op`` on 64-bit operands with wraparound."""
+    try:
+        fn: Callable[[int, int], int] = _ALU_OPS[op]
+    except KeyError as exc:
+        raise IsaError(f"unknown ALU op: {op!r}") from exc
+    return fn(a, b) & WORD_MASK
+
+
+def branch_eval(cond: str, a: int, b: int) -> bool:
+    """Evaluate branch condition ``cond`` on operand values."""
+    try:
+        fn: Callable[[int, int], bool] = _BRANCH_CONDS[cond]
+    except KeyError as exc:
+        raise IsaError(f"unknown branch condition: {cond!r}") from exc
+    return bool(fn(a, b))
+
+
+class Instruction:
+    """Base class for all instructions (marker; provides shared helpers)."""
+
+    #: True for instructions that access data memory.
+    is_memory: bool = False
+
+    def sources(self) -> Tuple[str, ...]:
+        """Register names this instruction reads."""
+        return ()
+
+    def destination(self) -> Optional[str]:
+        """Register name this instruction writes, if any."""
+        return None
+
+
+@dataclass(frozen=True)
+class LoadImm(Instruction):
+    """``dst <- imm``"""
+
+    dst: str
+    imm: int
+
+    def __post_init__(self) -> None:
+        validate_register(self.dst)
+
+    def destination(self) -> Optional[str]:
+        return self.dst
+
+    def __str__(self) -> str:
+        return f"li {self.dst}, {self.imm}"
+
+
+@dataclass(frozen=True)
+class IntOp(Instruction):
+    """``dst <- src1 <op> src2`` with ``op`` in add/sub/mul/and/or/xor/shl/shr."""
+
+    op: str
+    dst: str
+    src1: str
+    src2: str
+
+    def __post_init__(self) -> None:
+        if self.op not in _ALU_OPS:
+            raise IsaError(f"unknown ALU op: {self.op!r}")
+        validate_register(self.dst)
+        validate_register(self.src1)
+        validate_register(self.src2)
+
+    def sources(self) -> Tuple[str, ...]:
+        return (self.src1, self.src2)
+
+    def destination(self) -> Optional[str]:
+        return self.dst
+
+    def __str__(self) -> str:
+        return f"{self.op} {self.dst}, {self.src1}, {self.src2}"
+
+
+@dataclass(frozen=True)
+class IntOpImm(Instruction):
+    """``dst <- src1 <op> imm`` — immediate form of :class:`IntOp`."""
+
+    op: str
+    dst: str
+    src1: str
+    imm: int
+
+    def __post_init__(self) -> None:
+        if self.op not in _ALU_OPS:
+            raise IsaError(f"unknown ALU op: {self.op!r}")
+        validate_register(self.dst)
+        validate_register(self.src1)
+
+    def sources(self) -> Tuple[str, ...]:
+        return (self.src1,)
+
+    def destination(self) -> Optional[str]:
+        return self.dst
+
+    def __str__(self) -> str:
+        return f"{self.op}i {self.dst}, {self.src1}, {self.imm}"
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``dst <- mem[base + offset]`` (one 64-bit word)."""
+
+    dst: str
+    base: str
+    offset: int = 0
+
+    is_memory = True
+
+    def __post_init__(self) -> None:
+        validate_register(self.dst)
+        validate_register(self.base)
+
+    def sources(self) -> Tuple[str, ...]:
+        return (self.base,)
+
+    def destination(self) -> Optional[str]:
+        return self.dst
+
+    def __str__(self) -> str:
+        return f"ld {self.dst}, {self.offset}({self.base})"
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``mem[base + offset] <- src``."""
+
+    src: str
+    base: str
+    offset: int = 0
+
+    is_memory = True
+
+    def __post_init__(self) -> None:
+        validate_register(self.src)
+        validate_register(self.base)
+
+    def sources(self) -> Tuple[str, ...]:
+        return (self.src, self.base)
+
+    def __str__(self) -> str:
+        return f"st {self.src}, {self.offset}({self.base})"
+
+
+@dataclass(frozen=True)
+class Flush(Instruction):
+    """Evict the line containing ``base + offset`` from every cache level.
+
+    Semantics follow x86 ``clflush``: dirty data is written back, the line
+    becomes invalid hierarchy-wide.
+    """
+
+    base: str
+    offset: int = 0
+
+    is_memory = True
+
+    def __post_init__(self) -> None:
+        validate_register(self.base)
+
+    def sources(self) -> Tuple[str, ...]:
+        return (self.base,)
+
+    def __str__(self) -> str:
+        return f"clflush {self.offset}({self.base})"
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """Memory fence: younger memory ops wait for all older ones to complete.
+
+    unXpec executes a fence at the start of the measurement stage so the
+    squash never waits on inflight correct-path loads (zeroing T4).
+    """
+
+    def __str__(self) -> str:
+        return "mfence"
+
+
+@dataclass(frozen=True)
+class ReadTimer(Instruction):
+    """``dst <- current cycle`` — serialising like ``rdtscp``.
+
+    Waits for all older instructions to complete before reading the clock,
+    so the delta of two reads brackets everything between them, including
+    defense-induced stalls.
+    """
+
+    dst: str
+
+    def __post_init__(self) -> None:
+        validate_register(self.dst)
+
+    def destination(self) -> Optional[str]:
+        return self.dst
+
+    def __str__(self) -> str:
+        return f"rdtscp {self.dst}"
+
+
+@dataclass(frozen=True)
+class Branch(Instruction):
+    """Conditional branch: if ``src1 <cond> src2`` jump to ``target`` label.
+
+    The branch predictor guesses the direction at fetch; the branch resolves
+    once both operands are available (this is the T1→T2 window the paper
+    calls the branch resolution time).
+    """
+
+    cond: str
+    src1: str
+    src2: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.cond not in _BRANCH_CONDS:
+            raise IsaError(f"unknown branch condition: {self.cond!r}")
+        validate_register(self.src1)
+        validate_register(self.src2)
+        if not self.target:
+            raise IsaError("branch target label must be non-empty")
+
+    def sources(self) -> Tuple[str, ...]:
+        return (self.src1, self.src2)
+
+    def taken(self, a: int, b: int) -> bool:
+        return branch_eval(self.cond, a, b)
+
+    def __str__(self) -> str:
+        return f"b{self.cond} {self.src1}, {self.src2}, {self.target}"
+
+
+@dataclass(frozen=True)
+class Jump(Instruction):
+    """Unconditional jump to ``target`` label."""
+
+    target: str
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise IsaError("jump target label must be non-empty")
+
+    def __str__(self) -> str:
+        return f"j {self.target}"
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """Does nothing; occupies one ROB slot for one cycle."""
+
+    def __str__(self) -> str:
+        return "nop"
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """Stop the program."""
+
+    def __str__(self) -> str:
+        return "halt"

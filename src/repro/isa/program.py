@@ -1,0 +1,96 @@
+"""Program container: an instruction sequence plus label table.
+
+A :class:`Program` is immutable once built. Labels map names to instruction
+indices; control-flow targets are resolved eagerly by :meth:`Program.validate`
+so simulation never encounters an undefined label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence
+
+from ..common.errors import IsaError
+from .instructions import Branch, Halt, Instruction, Jump
+
+
+class Program:
+    """An immutable instruction sequence with named labels."""
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        labels: Mapping[str, int] | None = None,
+        name: str = "program",
+    ) -> None:
+        self._instructions: List[Instruction] = list(instructions)
+        self._labels: Dict[str, int] = dict(labels or {})
+        self.name = name
+        self.validate()
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    @property
+    def labels(self) -> Dict[str, int]:
+        return dict(self._labels)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`IsaError` on any structural problem."""
+        if not self._instructions:
+            raise IsaError(f"{self.name}: program is empty")
+        if not isinstance(self._instructions[-1], Halt):
+            raise IsaError(f"{self.name}: program must end with Halt")
+        n = len(self._instructions)
+        for label, index in self._labels.items():
+            if not 0 <= index <= n:
+                raise IsaError(f"{self.name}: label {label!r} -> {index} out of range")
+        for pc, inst in enumerate(self._instructions):
+            target = getattr(inst, "target", None)
+            if target is not None and target not in self._labels:
+                raise IsaError(
+                    f"{self.name}: instruction {pc} ({inst}) targets undefined"
+                    f" label {target!r}"
+                )
+
+    # -- queries ---------------------------------------------------------------
+
+    def resolve(self, label: str) -> int:
+        """Instruction index of ``label``."""
+        try:
+            return self._labels[label]
+        except KeyError as exc:
+            raise IsaError(f"{self.name}: undefined label {label!r}") from exc
+
+    def branch_indices(self) -> List[int]:
+        """Indices of all conditional branches (for predictor statistics)."""
+        return [i for i, inst in enumerate(self._instructions) if isinstance(inst, Branch)]
+
+    def jump_indices(self) -> List[int]:
+        return [i for i, inst in enumerate(self._instructions) if isinstance(inst, Jump)]
+
+    def listing(self) -> str:
+        """Human-readable assembly listing with labels interleaved."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in sorted(self._labels.items(), key=lambda kv: kv[1]):
+            by_index.setdefault(index, []).append(label)
+        lines: List[str] = []
+        for pc, inst in enumerate(self._instructions):
+            for label in by_index.get(pc, ()):
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:4d}  {inst}")
+        for label in by_index.get(len(self._instructions), ()):
+            lines.append(f"{label}:")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Program({self.name!r}, {len(self)} instructions)"

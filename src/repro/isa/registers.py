@@ -1,0 +1,68 @@
+"""Architectural register file of the toy ISA.
+
+The ISA has 32 general-purpose 64-bit integer registers, ``r0`` … ``r31``.
+``r0`` is an ordinary register (not hard-wired to zero). Register names are
+validated eagerly so that malformed programs fail at construction, not
+mid-simulation.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import IsaError
+
+NUM_REGISTERS = 32
+
+#: 64-bit wraparound mask applied to every architectural value.
+WORD_MASK = (1 << 64) - 1
+
+
+def reg(index: int) -> str:
+    """Return the canonical name of register ``index`` (e.g. ``reg(3) == 'r3'``)."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise IsaError(f"register index out of range: {index}")
+    return f"r{index}"
+
+
+def validate_register(name: str) -> str:
+    """Check that ``name`` is a valid register name and return it."""
+    if not isinstance(name, str) or not name.startswith("r"):
+        raise IsaError(f"invalid register name: {name!r}")
+    try:
+        index = int(name[1:])
+    except ValueError as exc:
+        raise IsaError(f"invalid register name: {name!r}") from exc
+    if not 0 <= index < NUM_REGISTERS:
+        raise IsaError(f"register index out of range: {name!r}")
+    return name
+
+
+class RegisterFile:
+    """Mutable map from register name to 64-bit value.
+
+    Reads of never-written registers return 0, matching the convention that
+    simulated programs start from a zeroed context.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict = {}
+
+    def read(self, name: str) -> int:
+        validate_register(name)
+        return self._values.get(name, 0)
+
+    def write(self, name: str, value: int) -> None:
+        validate_register(name)
+        self._values[name] = value & WORD_MASK
+
+    def snapshot(self) -> dict:
+        """Copy of the current architectural state (for speculation)."""
+        return dict(self._values)
+
+    def restore(self, snapshot: dict) -> None:
+        """Replace the architectural state with ``snapshot``."""
+        self._values = dict(snapshot)
+
+    def copy(self) -> "RegisterFile":
+        clone = RegisterFile()
+        clone._values = dict(self._values)
+        return clone

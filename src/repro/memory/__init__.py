@@ -1,0 +1,17 @@
+"""Memory substrate: address arithmetic, DRAM model, MSHR file."""
+
+from .address import AddressMapper, line_address, line_offset
+from .dram import WORD_SIZE, Dram, DramStats
+from .mshr import MshrEntry, MshrFile, MshrStats
+
+__all__ = [
+    "AddressMapper",
+    "line_address",
+    "line_offset",
+    "Dram",
+    "DramStats",
+    "WORD_SIZE",
+    "MshrFile",
+    "MshrEntry",
+    "MshrStats",
+]

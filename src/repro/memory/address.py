@@ -1,0 +1,85 @@
+"""Address arithmetic for a set-associative cache geometry.
+
+Addresses are plain integers (byte addresses). A cache level sees an address
+as ``| tag | set index | line offset |``; this module provides the
+decomposition and its inverse, used both by the cache model and by the
+attacker's eviction-set construction (which needs to synthesise congruent
+addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import CacheGeometry
+from ..common.errors import ConfigError
+
+
+def line_address(addr: int, line_size: int) -> int:
+    """Address of the first byte of the line containing ``addr``."""
+    return addr & ~(line_size - 1)
+
+
+def line_offset(addr: int, line_size: int) -> int:
+    """Offset of ``addr`` within its line."""
+    return addr & (line_size - 1)
+
+
+@dataclass(frozen=True)
+class AddressMapper:
+    """Tag/index/offset decomposition for one :class:`CacheGeometry`."""
+
+    geometry: CacheGeometry
+
+    def __post_init__(self) -> None:
+        if self.geometry.sets & (self.geometry.sets - 1):
+            raise ConfigError("set count must be a power of two")
+
+    @property
+    def offset_bits(self) -> int:
+        return self.geometry.offset_bits
+
+    @property
+    def index_bits(self) -> int:
+        return self.geometry.index_bits
+
+    def set_index(self, addr: int) -> int:
+        """Set index of ``addr`` under a conventional (modulo) mapping."""
+        return (addr >> self.offset_bits) & (self.geometry.sets - 1)
+
+    def tag(self, addr: int) -> int:
+        return addr >> (self.offset_bits + self.index_bits)
+
+    def line(self, addr: int) -> int:
+        return line_address(addr, self.geometry.line_size)
+
+    def compose(self, tag: int, set_index: int, offset: int = 0) -> int:
+        """Inverse of the decomposition: build a byte address."""
+        if not 0 <= set_index < self.geometry.sets:
+            raise ValueError(f"set index out of range: {set_index}")
+        if not 0 <= offset < self.geometry.line_size:
+            raise ValueError(f"offset out of range: {offset}")
+        return (
+            (tag << (self.offset_bits + self.index_bits))
+            | (set_index << self.offset_bits)
+            | offset
+        )
+
+    def congruent_addresses(self, addr: int, count: int, start_tag: int = 1) -> list:
+        """``count`` distinct line addresses mapping to the same set as ``addr``.
+
+        Useful for synthesising textbook eviction sets directly from the
+        geometry (the attack instead *searches* for them; see
+        :mod:`repro.attack.eviction_sets`).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        index = self.set_index(addr)
+        base_tag = self.tag(addr)
+        out = []
+        tag = start_tag
+        while len(out) < count:
+            if tag != base_tag:
+                out.append(self.compose(tag, index))
+            tag += 1
+        return out

@@ -1,0 +1,125 @@
+"""Miss Status Holding Register (MSHR) file.
+
+The MSHR tracks cache misses that are in flight. CleanupSpec relies on it
+twice: (T3) at squash time, in-flight *mis-speculated* loads must be cleaned
+out of the MSHR before rollback starts, and the MSHR records, per
+speculative fill, the L1 **victim line** that the fill evicted — which is
+exactly the information the restoration step replays.
+
+Entries merge: a second miss to a line that already has an entry attaches to
+the existing entry rather than allocating a new one (and costs no extra
+memory traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..common.errors import MshrFullError
+
+
+@dataclass
+class MshrEntry:
+    """One outstanding miss."""
+
+    line_addr: int
+    issue_cycle: int
+    complete_cycle: int
+    speculative: bool = False
+    #: L1 line evicted by this fill, if any (captured for restoration).
+    victim_line: Optional[int] = None
+    victim_dirty: bool = False
+    #: How many accesses merged into this entry (including the first).
+    merged: int = 1
+
+
+@dataclass
+class MshrStats:
+    allocations: int = 0
+    merges: int = 0
+    stall_events: int = 0
+    cleaned_inflight: int = 0
+
+
+class MshrFile:
+    """Fixed-capacity MSHR file with merge semantics."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: Dict[int, MshrEntry] = {}
+        self.stats = MshrStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def can_allocate(self, line_addr: int) -> bool:
+        """True if a miss to ``line_addr`` can proceed (free slot or merge)."""
+        return line_addr in self._entries or len(self._entries) < self.capacity
+
+    def lookup(self, line_addr: int) -> Optional[MshrEntry]:
+        return self._entries.get(line_addr)
+
+    def allocate(
+        self,
+        line_addr: int,
+        issue_cycle: int,
+        complete_cycle: int,
+        speculative: bool = False,
+        victim_line: Optional[int] = None,
+        victim_dirty: bool = False,
+    ) -> MshrEntry:
+        """Allocate (or merge into) an entry for a miss to ``line_addr``.
+
+        Merging keeps the earlier completion time; a merge of a
+        non-speculative access into a speculative entry marks the entry
+        non-speculative (the line is now architecturally demanded).
+        """
+        existing = self._entries.get(line_addr)
+        if existing is not None:
+            existing.merged += 1
+            existing.speculative = existing.speculative and speculative
+            self.stats.merges += 1
+            return existing
+        if len(self._entries) >= self.capacity:
+            self.stats.stall_events += 1
+            raise MshrFullError(f"MSHR full ({self.capacity} entries) on {line_addr:#x}")
+        entry = MshrEntry(
+            line_addr=line_addr,
+            issue_cycle=issue_cycle,
+            complete_cycle=complete_cycle,
+            speculative=speculative,
+            victim_line=victim_line,
+            victim_dirty=victim_dirty,
+        )
+        self._entries[line_addr] = entry
+        self.stats.allocations += 1
+        return entry
+
+    def retire_completed(self, cycle: int) -> List[MshrEntry]:
+        """Remove and return entries whose fill completed by ``cycle``."""
+        done = [e for e in self._entries.values() if e.complete_cycle <= cycle]
+        for entry in done:
+            del self._entries[entry.line_addr]
+        return done
+
+    def inflight_speculative(self, cycle: int) -> List[MshrEntry]:
+        """Speculative entries still in flight at ``cycle`` (T3 targets)."""
+        return [
+            e
+            for e in self._entries.values()
+            if e.speculative and e.complete_cycle > cycle
+        ]
+
+    def clean_speculative(self, cycle: int) -> List[MshrEntry]:
+        """Drop speculative in-flight entries (CleanupSpec's T3) and return them."""
+        victims = self.inflight_speculative(cycle)
+        for entry in victims:
+            del self._entries[entry.line_addr]
+        self.stats.cleaned_inflight += len(victims)
+        return victims
+
+    def clear(self) -> None:
+        self._entries.clear()

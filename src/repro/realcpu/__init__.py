@@ -1,0 +1,5 @@
+"""Analytic real-CPU (i7-8550U-like) model for the Fig. 13 experiment."""
+
+from .model import RealCpuModel
+
+__all__ = ["RealCpuModel"]

@@ -1,0 +1,96 @@
+"""Analytic real-processor model for the noise-insensitivity experiment.
+
+Paper Fig. 13 repeats the branch-resolution measurement of Fig. 2 on a real
+Intel Core i7-8550U and establishes three *shape* claims under real system
+noise:
+
+1. resolution time grows linearly with the condition complexity N,
+2. it is flat in the number of in-branch loads,
+3. it is insensitive to the secret bit,
+
+— all despite visibly larger jitter than gem5. Lacking the hardware, we
+model a Kaby-Lake-R-like machine analytically: a flushed bound travels to
+DRAM (~70 ns at 4 GHz turbo ≈ 280 cycles per dependent access, observed
+through ``rdtscp`` with its own overhead), and system noise contributes
+both Gaussian jitter and occasional large spikes. The three claims hold by
+construction *of the machine being modelled* — the condition chain alone
+determines when the branch resolves; in-branch loads execute concurrently —
+and the model keeps them measurable under noise, which is what the figure
+demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..common.errors import ConfigError
+from ..common.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class RealCpuModel:
+    """i7-8550U-like latency model with a stochastic noise process."""
+
+    frequency_hz: float = 4.0e9  # single-core turbo
+    #: Cycles per dependent main-memory access in the condition chain.
+    mem_access_cycles: int = 280
+    #: Fixed overhead: rdtscp fencing, compare, branch, pipeline redirect.
+    fixed_overhead_cycles: int = 55
+    #: Gaussian noise per measurement (scheduler, prefetchers, DVFS).
+    noise_std: float = 18.0
+    #: Probability of a large interference spike (interrupt, SMM, corunner).
+    spike_prob: float = 0.02
+    spike_min: int = 100
+    spike_max: int = 600
+
+    def __post_init__(self) -> None:
+        if self.mem_access_cycles <= 0 or self.fixed_overhead_cycles < 0:
+            raise ConfigError("latencies must be positive")
+        if self.noise_std < 0 or not 0 <= self.spike_prob <= 1:
+            raise ConfigError("invalid noise parameters")
+        if self.spike_min > self.spike_max:
+            raise ConfigError("spike_min must be <= spike_max")
+
+    def resolution_time(
+        self,
+        condition_accesses: int,
+        n_loads: int,
+        secret: int,
+        rng: np.random.Generator,
+    ) -> int:
+        """One measured branch-resolution time (cycles).
+
+        ``n_loads`` and ``secret`` are accepted — and deliberately unused in
+        the mean — because the modelled machine resolves the branch from the
+        condition chain alone; they only matter through zero-mean noise.
+        """
+        if condition_accesses < 1:
+            raise ConfigError("condition_accesses must be >= 1")
+        if n_loads < 0:
+            raise ConfigError("n_loads must be non-negative")
+        del n_loads, secret  # flat in both: the Fig. 13 claim
+        mean = self.fixed_overhead_cycles + condition_accesses * self.mem_access_cycles
+        sample = mean + rng.normal(0, self.noise_std)
+        if rng.random() < self.spike_prob:
+            sample += rng.integers(self.spike_min, self.spike_max + 1)
+        return max(1, int(round(sample)))
+
+    def measure(
+        self,
+        condition_accesses: int,
+        n_loads: int,
+        secret: int,
+        samples: int,
+        seed: int = 0,
+    ) -> List[int]:
+        """A batch of measurements from a derived deterministic stream."""
+        rng = derive_rng(
+            seed, f"realcpu-N{condition_accesses}-l{n_loads}-s{secret}"
+        )
+        return [
+            self.resolution_time(condition_accesses, n_loads, secret, rng)
+            for _ in range(samples)
+        ]

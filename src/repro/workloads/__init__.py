@@ -1,0 +1,20 @@
+"""Synthetic SPEC-CPU-2017-like workloads (the Fig. 12 substrate)."""
+
+from .patterns import ColdRegion, HotRegion, WarmRegion, pointer_chase_stream, strided_stream
+from .profiles import PROFILES_BY_NAME, SPEC2017_PROFILES, WorkloadProfile, get_profile
+from .synth import SynthesisReport, SynthesizedWorkload, synthesize
+
+__all__ = [
+    "HotRegion",
+    "WarmRegion",
+    "ColdRegion",
+    "strided_stream",
+    "pointer_chase_stream",
+    "WorkloadProfile",
+    "SPEC2017_PROFILES",
+    "PROFILES_BY_NAME",
+    "get_profile",
+    "synthesize",
+    "SynthesizedWorkload",
+    "SynthesisReport",
+]

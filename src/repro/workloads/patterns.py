@@ -1,0 +1,87 @@
+"""Address-stream generators for synthetic workloads.
+
+The synthetic SPEC-like programs pick per-load addresses from three regions —
+hot (L1-resident), warm (fits L2 but thrashes L1) and cold (never reused) —
+which directly controls the L1/L2/DRAM service mix. The generators here
+produce the streams; :mod:`repro.workloads.synth` turns them into programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..common.config import LINE_SIZE
+from ..common.errors import ConfigError
+
+
+@dataclass
+class HotRegion:
+    """A small set of lines that stays L1-resident after first touch."""
+
+    base: int = 0x100000
+    lines: int = 48
+
+    def __post_init__(self) -> None:
+        if self.lines < 1:
+            raise ConfigError("hot region needs at least one line")
+
+    def pick(self, rng: np.random.Generator) -> int:
+        return self.base + int(rng.integers(self.lines)) * LINE_SIZE
+
+
+@dataclass
+class WarmRegion:
+    """A region larger than L1 but within L2: L1 misses, L2 hits.
+
+    With the paper's 32 KB / 512-line L1D, a 4096-line (256 KB) region
+    touched uniformly at random misses L1 most of the time while staying
+    entirely inside the 2 MB L2.
+    """
+
+    base: int = 0x800000
+    lines: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.lines < 1:
+            raise ConfigError("warm region needs at least one line")
+
+    def pick(self, rng: np.random.Generator) -> int:
+        return self.base + int(rng.integers(self.lines)) * LINE_SIZE
+
+
+@dataclass
+class ColdRegion:
+    """A cursor over never-revisited lines: every access misses to DRAM."""
+
+    base: int = 0x10000000
+    _cursor: int = 0
+
+    def pick(self, rng: np.random.Generator) -> int:  # rng kept for symmetry
+        addr = self.base + self._cursor * LINE_SIZE
+        self._cursor += 1
+        return addr
+
+
+def strided_stream(base: int, stride: int, count: int) -> List[int]:
+    """Classic streaming pattern (lbm-like): ``base + i*stride``."""
+    if stride <= 0 or count < 0:
+        raise ConfigError("stride must be positive, count non-negative")
+    return [base + i * stride for i in range(count)]
+
+
+def pointer_chase_stream(
+    base: int, lines: int, count: int, rng: np.random.Generator
+) -> List[int]:
+    """A random permutation walk over ``lines`` lines (mcf-like chasing)."""
+    if lines < 1:
+        raise ConfigError("need at least one line to chase")
+    perm = rng.permutation(lines)
+    out = []
+    idx = 0
+    for _ in range(count):
+        out.append(base + int(perm[idx]) * LINE_SIZE)
+        idx = (idx + 1) % lines
+    return out

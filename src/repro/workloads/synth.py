@@ -1,0 +1,155 @@
+"""Synthesise an ISA program from a :class:`WorkloadProfile`.
+
+The generator emits a straight-line instruction stream (plus short forward
+branches) whose rates match the profile:
+
+* each slot is a branch, load, store or ALU op per the profile mix;
+* a *taken* branch skips a short shadow of 2..6 instructions. Against
+  fresh weakly-not-taken counters, taken branches are the mispredicting
+  ones, so ``taken_fraction`` sets the misprediction density directly;
+* branch conditions optionally depend on a recent load's destination
+  (``load_dep_fraction``), widening the speculation window so wrong-path
+  loads really complete and install — the <5% of squashes that give
+  CleanupSpec genuine rollback work;
+* load addresses come from hot/warm/cold regions matching the profile's
+  L1/L2/DRAM service mix.
+
+Branch *outcomes* are fixed at generation time through an immediate
+compared against a zero register, so a given (profile, seed) pair always
+produces the same program and the same squash set — the property Fig. 12
+needs to compare defenses on identical executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..common.errors import ConfigError
+from ..common.rng import derive_rng
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .patterns import ColdRegion, HotRegion, WarmRegion
+from .profiles import WorkloadProfile
+
+#: Register conventions of generated programs.
+_ZERO = "r1"  # holds 0 throughout
+_COND = "r2"  # branch-outcome immediate
+_ADDR = "r3"  # load/store address staging
+_LDEP = "r4"  # destination of loads feeding load-dependent branches
+_VALUE_REGS = [f"r{i}" for i in range(8, 24)]  # rotating data registers
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """What the generator actually emitted (for tests and calibration)."""
+
+    instructions: int
+    branches: int
+    taken_branches: int
+    load_dep_branches: int
+    loads: int
+    stores: int
+
+
+def synthesize(
+    profile: WorkloadProfile,
+    instructions: int = 20_000,
+    seed: int = 0,
+) -> "SynthesizedWorkload":
+    """Generate a program of roughly ``instructions`` slots from ``profile``."""
+    if instructions < 100:
+        raise ConfigError("synthetic workloads need at least 100 instructions")
+    rng = derive_rng(seed, f"synth-{profile.name}")
+    hot = HotRegion()
+    warm = WarmRegion()
+    cold = ColdRegion()
+
+    b = ProgramBuilder(f"synth-{profile.name}")
+    b.li(_ZERO, 0)
+    branches = taken = load_dep = loads = stores = 0
+    value_idx = 0
+    skip_id = 0
+
+    def pick_addr() -> int:
+        roll = rng.random()
+        if roll < profile.l1_frac:
+            return hot.pick(rng)
+        if roll < profile.l1_frac + profile.l2_frac:
+            return warm.pick(rng)
+        return cold.pick(rng)
+
+    def next_value_reg() -> str:
+        nonlocal value_idx
+        reg = _VALUE_REGS[value_idx % len(_VALUE_REGS)]
+        value_idx += 1
+        return reg
+
+    while b.here < instructions:
+        roll = rng.random()
+        if roll < profile.branch_fraction:
+            branches += 1
+            is_taken = rng.random() < profile.taken_fraction
+            shadow = int(rng.integers(2, 7))
+            label = f"skip_{skip_id}"
+            skip_id += 1
+            use_load_dep = rng.random() < profile.load_dep_fraction
+            if use_load_dep:
+                load_dep += 1
+                loads += 1
+                # A fresh load feeds the condition, so the branch cannot
+                # resolve before the load returns (wide speculation window).
+                # Loaded values are 0 (the backing store is zero-filled), so
+                # 'eq' against zero is taken and 'ne' is not taken — the
+                # outcome stays generation-time controlled.
+                b.li(_ADDR, pick_addr())
+                b.load(_LDEP, _ADDR, 0)
+                cond = "eq" if is_taken else "ne"
+                b.branch(cond, _LDEP, _ZERO, label)
+            else:
+                b.li(_COND, 0 if is_taken else 1)
+                b.branch("eq", _COND, _ZERO, label)
+            if is_taken:
+                taken += 1
+            # Branch shadow: mostly loads/ALU — what transient windows see.
+            for _ in range(shadow):
+                if rng.random() < 0.5:
+                    loads += 1
+                    b.li(_ADDR, pick_addr())
+                    b.load(next_value_reg(), _ADDR, 0)
+                else:
+                    reg = next_value_reg()
+                    b.addi(reg, _VALUE_REGS[(value_idx + 3) % len(_VALUE_REGS)], 1)
+            b.label(label)
+        elif roll < profile.branch_fraction + profile.load_fraction:
+            loads += 1
+            b.li(_ADDR, pick_addr())
+            b.load(next_value_reg(), _ADDR, 0)
+        elif roll < profile.branch_fraction + profile.load_fraction + profile.store_fraction:
+            stores += 1
+            b.li(_ADDR, pick_addr())
+            # Stores write zero so the memory image stays zero-filled and
+            # load-dependent branch outcomes remain generation-controlled.
+            b.store(_ZERO, _ADDR, 0)
+        else:
+            reg = next_value_reg()
+            b.addi(reg, _VALUE_REGS[(value_idx + 5) % len(_VALUE_REGS)], 1)
+
+    b.halt()
+    program = b.build()
+    report = SynthesisReport(
+        instructions=len(program),
+        branches=branches,
+        taken_branches=taken,
+        load_dep_branches=load_dep,
+        loads=loads,
+        stores=stores,
+    )
+    return SynthesizedWorkload(profile=profile, program=program, report=report)
+
+
+@dataclass(frozen=True)
+class SynthesizedWorkload:
+    """A generated program together with its emission statistics."""
+
+    profile: WorkloadProfile
+    program: Program
+    report: SynthesisReport

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheHierarchy
+from repro.common import SystemConfig
+from repro.cpu import Core
+from repro.defense import CleanupSpec, UnsafeBaseline
+
+
+@pytest.fixture
+def hierarchy() -> CacheHierarchy:
+    """A fresh paper-configured hierarchy with a fixed seed."""
+    return CacheHierarchy(seed=42)
+
+
+@pytest.fixture
+def cleanup_core():
+    """Factory: (seed) -> (hierarchy, Core with CleanupSpec attached)."""
+
+    def make(seed: int = 42, **core_kwargs):
+        h = CacheHierarchy(seed=seed)
+        return h, Core(h, CleanupSpec(h), **core_kwargs)
+
+    return make
+
+
+@pytest.fixture
+def unsafe_core():
+    """Factory: (seed) -> (hierarchy, Core with UnsafeBaseline attached)."""
+
+    def make(seed: int = 42, **core_kwargs):
+        h = CacheHierarchy(seed=seed)
+        return h, Core(h, UnsafeBaseline(h), **core_kwargs)
+
+    return make
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return SystemConfig()

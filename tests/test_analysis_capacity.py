@@ -1,0 +1,116 @@
+"""Tests for repro.analysis.channel_capacity."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.channel_capacity import (
+    ChannelReport,
+    analyze_channel,
+    binary_entropy,
+    bsc_capacity,
+    empirical_mutual_information,
+)
+
+
+class TestBinaryEntropy:
+    def test_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        assert binary_entropy(0.2) == pytest.approx(binary_entropy(0.8))
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, p):
+        assert 0.0 <= binary_entropy(p) <= 1.0
+
+
+class TestBscCapacity:
+    def test_paper_operating_points(self):
+        # 86.7% accuracy -> 13.3% error -> ~0.43 bits/sample.
+        assert bsc_capacity(0.133) == pytest.approx(0.434, abs=0.01)
+        # 91.6% accuracy -> 8.4% error -> ~0.59 bits/sample.
+        assert bsc_capacity(0.084) == pytest.approx(0.585, abs=0.01)
+
+    def test_perfect_channel(self):
+        assert bsc_capacity(0.0) == 1.0
+
+    def test_useless_channel(self):
+        assert bsc_capacity(0.5) == pytest.approx(0.0)
+
+
+class TestMutualInformation:
+    def test_identical_distributions_carry_nothing(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(150, 10, 2000)
+        o = rng.normal(150, 10, 2000)
+        assert empirical_mutual_information(z, o) < 0.05
+
+    def test_disjoint_distributions_carry_one_bit(self):
+        z = np.full(1000, 100.0) + np.arange(1000) * 0.001
+        o = np.full(1000, 500.0) + np.arange(1000) * 0.001
+        assert empirical_mutual_information(z, o) == pytest.approx(1.0, abs=0.02)
+
+    def test_paper_like_distributions(self):
+        rng = np.random.default_rng(1)
+        z = rng.normal(150, 11, 1000)
+        o = rng.normal(172, 11, 1000)  # 22-cycle gap, sigma 11
+        mi = empirical_mutual_information(z, o)
+        assert 0.3 < mi < 0.7
+
+    def test_gap_increases_information(self):
+        rng = np.random.default_rng(2)
+        z = rng.normal(150, 11, 1000)
+        mi22 = empirical_mutual_information(z, rng.normal(172, 11, 1000))
+        mi32 = empirical_mutual_information(z, rng.normal(182, 11, 1000))
+        assert mi32 > mi22  # the eviction-set optimisation, in bits
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            empirical_mutual_information([], [1.0])
+        with pytest.raises(ValueError):
+            empirical_mutual_information([1.0], [2.0], bins=1)
+        assert empirical_mutual_information([5.0, 5.0], [5.0, 5.0]) == 0.0
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            z = rng.normal(100, 5, 50)
+            o = rng.normal(100, 5, 50)
+            assert empirical_mutual_information(z, o) >= 0.0
+
+
+class TestChannelReport:
+    def test_capacity_arithmetic(self):
+        report = ChannelReport(
+            mutual_information_bits=0.5,
+            bsc_capacity_bits=0.43,
+            cycles_per_sample=14285,
+        )
+        assert report.samples_per_second == pytest.approx(140_007, rel=1e-3)
+        assert report.capacity_kbps == pytest.approx(70.0, rel=0.01)
+        assert report.threshold_kbps == pytest.approx(60.2, rel=0.01)
+
+    def test_analyze_channel_validation(self):
+        with pytest.raises(ValueError):
+            analyze_channel([1.0], [2.0], error_rate=0.1, cycles_per_sample=0)
+
+    def test_analyze_channel_end_to_end(self):
+        rng = np.random.default_rng(4)
+        z = rng.normal(150, 11, 500)
+        o = rng.normal(172, 11, 500)
+        report = analyze_channel(z, o, error_rate=0.13, cycles_per_sample=2200)
+        assert report.mutual_information_bits > 0.3
+        assert report.capacity_kbps > 100

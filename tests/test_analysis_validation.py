@@ -1,0 +1,90 @@
+"""Tests for repro.analysis.validation — significance tests and bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    bootstrap_accuracy_ci,
+    bootstrap_mean_difference_ci,
+    separation_test,
+)
+
+
+def gaussians(gap, sigma=11.0, n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(150, sigma, n), rng.normal(150 + gap, sigma, n)
+
+
+class TestSeparationTest:
+    def test_paper_gap_is_significant(self):
+        zeros, ones = gaussians(22)
+        sep = separation_test(zeros, ones)
+        assert sep.significant
+        assert sep.welch_p < 1e-10
+        assert sep.cohens_d > 1.0
+
+    def test_identical_distributions_not_significant(self):
+        zeros, ones = gaussians(0)
+        sep = separation_test(zeros, ones)
+        assert not sep.significant
+        assert sep.welch_p > 0.01
+
+    def test_effect_size_scales_with_gap(self):
+        d22 = separation_test(*gaussians(22)).cohens_d
+        d32 = separation_test(*gaussians(32)).cohens_d
+        assert d32 > d22
+
+    def test_minimum_samples(self):
+        with pytest.raises(ValueError):
+            separation_test([1.0], [2.0, 3.0])
+
+
+class TestBootstrapAccuracy:
+    def test_ci_brackets_estimate(self):
+        truth = [i % 2 for i in range(200)]
+        guesses = [t if i % 10 else 1 - t for i, (t) in enumerate(truth)]
+        ci = bootstrap_accuracy_ci(guesses, truth, seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate == pytest.approx(0.9, abs=0.01)
+
+    def test_perfect_decoder_ci_is_tight(self):
+        truth = [i % 2 for i in range(100)]
+        ci = bootstrap_accuracy_ci(truth, truth, seed=1)
+        assert ci.estimate == 1.0
+        assert ci.low == 1.0 == ci.high
+
+    def test_contains_helper(self):
+        truth = [0, 1] * 50
+        ci = bootstrap_accuracy_ci(truth, truth, seed=1)
+        assert ci.contains(1.0)
+        assert not ci.contains(0.5)
+
+    def test_deterministic_per_seed(self):
+        truth = [i % 2 for i in range(80)]
+        guesses = [t if i % 7 else 1 - t for i, t in enumerate(truth)]
+        a = bootstrap_accuracy_ci(guesses, truth, seed=4)
+        b = bootstrap_accuracy_ci(guesses, truth, seed=4)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_accuracy_ci([], [])
+        with pytest.raises(ValueError):
+            bootstrap_accuracy_ci([1], [1, 0])
+
+
+class TestBootstrapDifference:
+    def test_paper_difference_ci(self):
+        zeros, ones = gaussians(22, n=500)
+        ci = bootstrap_mean_difference_ci(zeros, ones, seed=2)
+        assert ci.contains(22)
+        assert ci.low > 15  # excludes zero decisively
+
+    def test_zero_gap_ci_straddles_zero(self):
+        zeros, ones = gaussians(0, n=500)
+        ci = bootstrap_mean_difference_ci(zeros, ones, seed=2)
+        assert ci.low < 0 < ci.high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_difference_ci([], [1.0])

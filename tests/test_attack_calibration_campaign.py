@@ -1,0 +1,116 @@
+"""Tests for repro.attack.calibration and repro.attack.campaign."""
+
+import pytest
+
+from repro.attack.calibration import calibrate
+from repro.attack.campaign import LeakageCampaign
+from repro.attack.secrets import random_bits
+from repro.attack.unxpec import UnxpecAttack
+from repro.common.errors import AttackError, CalibrationError
+from repro.cpu.noise import campaign_noise
+
+
+@pytest.fixture(scope="module")
+def noisy_attack():
+    attack = UnxpecAttack(noise=campaign_noise(), seed=11)
+    attack.prepare()
+    return attack
+
+
+@pytest.fixture(scope="module")
+def calibration(noisy_attack):
+    return calibrate(noisy_attack, rounds_per_class=80)
+
+
+class TestCalibration:
+    def test_mean_difference_near_paper(self, calibration):
+        assert 14 <= calibration.mean_difference <= 30  # paper: 22
+
+    def test_threshold_between_means(self, calibration):
+        mean0 = sum(calibration.zeros) / len(calibration.zeros)
+        mean1 = sum(calibration.ones) / len(calibration.ones)
+        assert mean0 < calibration.threshold < mean1
+
+    def test_curves_have_density(self, calibration):
+        c0 = calibration.curve(0)
+        c1 = calibration.curve(1)
+        assert max(c0.density) > 0
+        assert c1.mode > c0.mode
+
+    def test_summary_renders(self, calibration):
+        text = calibration.summary()
+        assert "threshold" in text and "mean_diff" in text
+
+    def test_minimum_rounds_enforced(self, noisy_attack):
+        with pytest.raises(CalibrationError):
+            calibrate(noisy_attack, rounds_per_class=1)
+
+    def test_deterministic_attack_separates_perfectly(self):
+        attack = UnxpecAttack(seed=3)  # no noise
+        cal = calibrate(attack, rounds_per_class=5)
+        assert max(cal.zeros) < cal.threshold < min(cal.ones)
+
+
+class TestLeakageCampaign:
+    def test_leaks_bits_with_high_accuracy(self, noisy_attack):
+        campaign = LeakageCampaign(noisy_attack, calibration_rounds=80)
+        secret = random_bits(120, seed=5)
+        result = campaign.run(secret)
+        assert result.bits == 120
+        assert result.accuracy > 0.75
+
+    def test_perfect_on_noiseless_machine(self):
+        attack = UnxpecAttack(seed=3)
+        campaign = LeakageCampaign(attack, calibration_rounds=5)
+        secret = random_bits(40, seed=6)
+        result = campaign.run(secret)
+        assert result.accuracy == 1.0
+
+    def test_multi_sample_voting_improves_or_matches(self):
+        def run(samples_per_bit):
+            attack = UnxpecAttack(noise=campaign_noise(), seed=21)
+            campaign = LeakageCampaign(
+                attack, samples_per_bit=samples_per_bit, calibration_rounds=60
+            )
+            return campaign.run(random_bits(80, seed=7)).accuracy
+
+        assert run(3) >= run(1) - 0.03  # voting never hurts materially
+
+    def test_cycles_accounting(self):
+        attack = UnxpecAttack(seed=3)
+        campaign = LeakageCampaign(attack, calibration_rounds=5)
+        result = campaign.run(random_bits(10, seed=8))
+        assert result.cycles_per_bit > 500  # a round is nontrivial
+        assert result.leakage.kbps > 0
+
+    def test_record_fields(self):
+        attack = UnxpecAttack(seed=3)
+        campaign = LeakageCampaign(attack, calibration_rounds=5)
+        result = campaign.run([1, 0, 1])
+        assert [r.secret for r in result.records] == [1, 0, 1]
+        assert all(len(r.latencies) == 1 for r in result.records)
+        assert result.errors() == [r for r in result.records if not r.correct]
+
+    def test_invalid_samples_per_bit(self):
+        with pytest.raises(AttackError):
+            LeakageCampaign(UnxpecAttack(seed=3), samples_per_bit=0)
+
+    def test_calibration_cached(self):
+        attack = UnxpecAttack(seed=3)
+        campaign = LeakageCampaign(attack, calibration_rounds=5)
+        assert campaign.calibrate() is campaign.calibrate()
+
+
+class TestRunBytes:
+    def test_roundtrip_on_noiseless_machine(self):
+        attack = UnxpecAttack(seed=3)
+        campaign = LeakageCampaign(attack, calibration_rounds=5)
+        result, recovered = campaign.run_bytes(b"OK")
+        assert recovered == b"OK"
+        assert result.bits == 16
+
+    def test_recovered_length_matches(self):
+        attack = UnxpecAttack(seed=3)
+        campaign = LeakageCampaign(attack, calibration_rounds=5)
+        _, recovered = campaign.run_bytes(b"abc")
+        assert len(recovered) == 3

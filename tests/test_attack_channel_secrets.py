@@ -1,0 +1,96 @@
+"""Tests for repro.attack.channel and repro.attack.secrets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.channel import ThresholdDecoder
+from repro.attack.secrets import (
+    bits_to_bytes,
+    bits_to_text,
+    bytes_to_bits,
+    hamming_distance,
+    random_bits,
+)
+from repro.common.errors import CalibrationError
+
+
+class TestThresholdDecoder:
+    def test_decode_single(self):
+        d = ThresholdDecoder(178)
+        assert d.decode(190) == 1
+        assert d.decode(160) == 0
+        assert d.decode(178) == 0  # boundary decodes as 0
+
+    def test_decode_majority(self):
+        d = ThresholdDecoder(100)
+        assert d.decode_majority([90, 120, 130]) == 1
+        assert d.decode_majority([90, 80, 130]) == 0
+
+    def test_majority_tie_uses_mean(self):
+        d = ThresholdDecoder(100)
+        assert d.decode_majority([90, 200]) == 1  # mean 145 > 100
+        assert d.decode_majority([10, 110]) == 0  # mean 60
+
+    def test_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            ThresholdDecoder(1).decode_majority([])
+
+    def test_decode_stream(self):
+        d = ThresholdDecoder(100)
+        bits = d.decode_stream([90, 110, 120, 80], samples_per_bit=1)
+        assert bits == [0, 1, 1, 0]
+
+    def test_decode_stream_grouped(self):
+        d = ThresholdDecoder(100)
+        bits = d.decode_stream([90, 95, 85, 110, 120, 130], samples_per_bit=3)
+        assert bits == [0, 1]
+
+    def test_stream_validation(self):
+        d = ThresholdDecoder(100)
+        with pytest.raises(CalibrationError):
+            d.decode_stream([1, 2, 3], samples_per_bit=2)
+        with pytest.raises(CalibrationError):
+            d.decode_stream([1], samples_per_bit=0)
+
+    @given(st.lists(st.floats(0, 1000), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_majority_more_samples_never_worse_for_separated(self, noise):
+        """For samples all on one side, any vote count decodes the same."""
+        d = ThresholdDecoder(500)
+        lows = [min(v, 499.0) for v in noise]
+        assert d.decode_majority(lows) == 0
+
+
+class TestSecrets:
+    def test_random_bits_deterministic(self):
+        assert random_bits(100, seed=1) == random_bits(100, seed=1)
+        assert random_bits(100, seed=1) != random_bits(100, seed=2)
+
+    def test_random_bits_binary(self):
+        assert set(random_bits(500, seed=0)) <= {0, 1}
+
+    def test_random_bits_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_bits(-1)
+
+    def test_bits_to_text_rows(self):
+        text = bits_to_text([1, 0, 1, 1], width=2)
+        assert text == "10\n11"
+
+    def test_pack_unpack_roundtrip(self):
+        bits = random_bits(77, seed=3)
+        assert bytes_to_bits(bits_to_bytes(bits), 77) == bits
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, bits):
+        assert bytes_to_bits(bits_to_bytes(bits), len(bits)) == bits
+
+    def test_hamming(self):
+        assert hamming_distance([1, 0, 1], [1, 1, 1]) == 1
+        assert hamming_distance([], []) == 0
+
+    def test_hamming_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance([1], [1, 0])

@@ -1,0 +1,126 @@
+"""Tests for repro.attack.eviction_sets."""
+
+import pytest
+
+from repro.attack.eviction_sets import (
+    build_prime_addresses,
+    congruent_candidates,
+    evicts,
+    find_eviction_set,
+    l1_hit_threshold,
+    partition_ways,
+    reduce_eviction_set,
+)
+from repro.attack.layout import DEFAULT_LAYOUT
+from repro.cache import CacheHierarchy
+from repro.common.errors import EvictionSetError
+
+
+@pytest.fixture
+def h():
+    return CacheHierarchy(seed=5)
+
+
+TARGET = DEFAULT_LAYOUT.p_entry(1)  # P[64]
+
+
+class TestHelpers:
+    def test_partition_ways_nomo(self, h):
+        assert partition_ways(h) == 4  # 8 ways / 2 NoMo threads
+
+    def test_hit_threshold_between_levels(self, h):
+        thr = l1_hit_threshold(h)
+        assert h.latency.l1_hit < thr < h.latency.l2_total
+
+    def test_congruent_candidates_share_set(self, h):
+        for addr in congruent_candidates(TARGET, 12):
+            assert h.l1.set_index_of(addr) == h.l1.set_index_of(TARGET)
+
+    def test_candidates_distinct_lines(self):
+        cands = congruent_candidates(TARGET, 16)
+        assert len({a >> 6 for a in cands}) == 16
+        assert all((a >> 6) != (TARGET >> 6) for a in cands)
+
+    def test_pool_exhaustion(self):
+        from repro.attack.layout import AttackLayout
+
+        tiny = AttackLayout(eviction_pool_size=4096 * 4)
+        with pytest.raises(EvictionSetError):
+            congruent_candidates(TARGET, 100, layout=tiny)
+
+
+class TestEvicts:
+    def test_congruent_group_evicts(self, h):
+        candidates = congruent_candidates(TARGET, 8)
+        assert evicts(h, candidates, TARGET)
+
+    def test_non_congruent_group_does_not(self, h):
+        other_set = congruent_candidates(DEFAULT_LAYOUT.p_entry(2), 8)
+        assert not evicts(h, other_set, TARGET)
+
+    def test_empty_group(self, h):
+        assert not evicts(h, [], TARGET)
+
+    def test_too_small_group_unreliable(self, h):
+        # One congruent line cannot displace the target from a 4-way
+        # partition reliably.
+        one = congruent_candidates(TARGET, 1)
+        assert not evicts(h, one, TARGET, trials=7)
+
+
+class TestFindEvictionSet:
+    def test_finds_partition_sized_set(self, h):
+        es = find_eviction_set(h, TARGET)
+        assert len(es) == partition_ways(h)
+        assert evicts(h, es.lines, TARGET)
+
+    def test_reduction_preserves_eviction(self, h):
+        candidates = congruent_candidates(TARGET, 12)
+        core = reduce_eviction_set(h, candidates, TARGET, size=4)
+        assert len(core) <= 12
+        assert evicts(h, core, TARGET)
+
+    def test_reduce_rejects_undersized_pool(self, h):
+        with pytest.raises(EvictionSetError):
+            reduce_eviction_set(h, congruent_candidates(TARGET, 2), TARGET, size=4)
+
+    def test_build_prime_addresses_covers_targets(self, h):
+        targets = [DEFAULT_LAYOUT.p_entry(k) for k in (1, 2, 3)]
+        primes = build_prime_addresses(h, targets)
+        assert len(primes) == 3 * partition_ways(h)
+        covered = {h.l1.set_index_of(a) for a in primes}
+        assert covered == {h.l1.set_index_of(t) for t in targets}
+
+    def test_functional_priming_forces_eviction(self, h):
+        """After flushing the target and loading the eviction set, a
+        (speculative) install of the target must evict a primed line."""
+        es = find_eviction_set(h, TARGET)
+        h.flush_line(TARGET)
+        for addr in es.lines:
+            h.access(addr, 0)
+        epoch = h.open_epoch()
+        h.access(TARGET, 1, speculative=True, epoch=epoch)
+        delta = h.squash_epoch_delta(epoch)
+        assert len(delta.evictions_at("L1")) == 1
+
+
+class TestReductionEdgeCases:
+    def test_reduction_from_exact_size_is_identity(self, h):
+        candidates = congruent_candidates(TARGET, 4)
+        # Warm them so the conflict test sees a full partition.
+        core = reduce_eviction_set(h, candidates, TARGET, size=4)
+        assert sorted(core) == sorted(candidates)
+
+    def test_find_with_larger_overprovision(self, h):
+        es = find_eviction_set(h, TARGET, overprovision=4)
+        assert len(es) == partition_ways(h)
+
+    def test_eviction_set_reusable_across_targets(self, h):
+        # Sets for different targets are disjoint (different L1 sets).
+        a = find_eviction_set(h, DEFAULT_LAYOUT.p_entry(1))
+        b = find_eviction_set(h, DEFAULT_LAYOUT.p_entry(2))
+        assert not set(a.lines) & set(b.lines)
+
+    def test_len_protocol(self, h):
+        es = find_eviction_set(h, TARGET)
+        assert len(es) == len(es.lines)

@@ -1,0 +1,117 @@
+"""Tests for repro.attack.gadgets — Algorithm-2 program construction."""
+
+import pytest
+
+from repro.attack.gadgets import GadgetParams, UnxpecGadget
+from repro.common.errors import AttackError
+from repro.isa.instructions import Branch, Fence, Flush, Load, ReadTimer
+from repro.memory.dram import Dram
+
+
+class TestGadgetParams:
+    def test_defaults(self):
+        p = GadgetParams()
+        assert p.n_loads == 1
+        assert p.condition_accesses == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_loads": 0},
+            {"n_loads": 9},
+            {"condition_accesses": 0},
+            {"condition_pad": -1},
+            {"train_iters": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(AttackError):
+            GadgetParams(**kwargs)
+
+
+class TestRoundProgram:
+    def test_structure_counts(self):
+        g = UnxpecGadget(GadgetParams(n_loads=3, condition_accesses=2))
+        program = g.build_round()
+        flushes = sum(1 for i in program if isinstance(i, Flush))
+        fences = sum(1 for i in program if isinstance(i, Fence))
+        timers = sum(1 for i in program if isinstance(i, ReadTimer))
+        branches = [i for i in program if isinstance(i, Branch)]
+        assert flushes == 2 + 3  # chain lines + P targets
+        assert fences == 1
+        assert timers == 2
+        assert len(branches) == 2  # bounds check + loop
+
+    def test_bounds_branch_pc_recorded(self):
+        g = UnxpecGadget(GadgetParams())
+        program = g.build_round()
+        assert g.bounds_branch_pc is not None
+        assert isinstance(program[g.bounds_branch_pc], Branch)
+
+    def test_in_branch_load_count(self):
+        for n in (1, 4, 8):
+            g = UnxpecGadget(GadgetParams(n_loads=n))
+            program = g.build_round()
+            start = g.bounds_branch_pc
+            end = program.resolve("after_body")
+            body_loads = sum(
+                1 for pc in range(start + 1, end) if isinstance(program[pc], Load)
+            )
+            assert body_loads == n + 1  # secret load + n P loads
+
+    def test_condition_pad_emits_alu_chain(self):
+        short = len(UnxpecGadget(GadgetParams(condition_pad=0)).build_round())
+        long = len(UnxpecGadget(GadgetParams(condition_pad=5)).build_round())
+        assert long == short + 5
+
+
+class TestSetupProgram:
+    def test_prime_loads_included(self):
+        g = UnxpecGadget(GadgetParams(), prime_addresses=[0x400040, 0x401040])
+        setup = g.build_setup()
+        loads = sum(1 for i in setup if isinstance(i, Load))
+        g_bare = UnxpecGadget(GadgetParams())
+        bare_loads = sum(1 for i in g_bare.build_setup() if isinstance(i, Load))
+        assert loads == bare_loads + 2
+
+    def test_targets_flushed_before_priming(self):
+        g = UnxpecGadget(GadgetParams(n_loads=2), prime_addresses=[0x400040])
+        setup = g.build_setup()
+        kinds = [type(i).__name__ for i in setup]
+        assert "Flush" in kinds
+        first_flush = kinds.index("Flush")
+        last_load = len(kinds) - 1 - kinds[::-1].index("Load")
+        assert first_flush < last_load
+
+
+class TestMemoryImage:
+    def test_init_memory_plants_structures(self):
+        g = UnxpecGadget(GadgetParams(condition_accesses=2, train_iters=4))
+        dram = Dram()
+        g.init_memory(dram, secret_bit=1)
+        lay = g.layout
+        assert dram.peek(lay.secret_addr) == 1
+        assert dram.peek(lay.a_base) == 0
+        assert dram.peek(lay.table_entry(4)) == lay.out_of_bounds_index
+        assert dram.peek(lay.table_entry(0)) == 0
+        assert dram.peek(lay.chain_entry(0)) == lay.chain_entry(1)
+        assert dram.peek(lay.chain_entry(1)) == lay.bound_value
+
+    def test_set_secret_touches_only_secret(self):
+        g = UnxpecGadget(GadgetParams())
+        dram = Dram()
+        g.init_memory(dram, secret_bit=0)
+        g.set_secret(dram, 1)
+        assert dram.peek(g.layout.secret_addr) == 1
+        g.set_secret(dram, 0)
+        assert dram.peek(g.layout.secret_addr) == 0
+
+    def test_table_tail_in_bounds(self):
+        # Wrong-path overruns read past the attack entry; those indices must
+        # be in-bounds (else the overrun would touch unintended memory).
+        g = UnxpecGadget(GadgetParams(train_iters=3))
+        dram = Dram()
+        g.init_memory(dram)
+        lay = g.layout
+        for i in range(4, 4 + 40):
+            assert dram.peek(lay.table_entry(i)) < lay.bound_value

@@ -1,0 +1,99 @@
+"""Tests for repro.attack.layout — addresses, registers, f(N) chains."""
+
+import pytest
+
+from repro.attack.layout import (
+    DEFAULT_LAYOUT,
+    DEFAULT_REGS,
+    AttackLayout,
+    chain_pointers,
+)
+from repro.common.errors import AttackError
+from repro.memory.address import AddressMapper
+from repro.common.config import CacheGeometry
+
+L1D = AddressMapper(CacheGeometry("L1D", 32 * 1024, ways=8, sets=64))
+
+
+class TestLayout:
+    def test_out_of_bounds_index_points_at_secret(self):
+        lay = DEFAULT_LAYOUT
+        assert lay.a_base + 8 * lay.out_of_bounds_index == lay.secret_addr
+        assert lay.out_of_bounds_index >= lay.bound_value
+
+    def test_p_entries_land_in_consecutive_sets(self):
+        lay = DEFAULT_LAYOUT
+        for k in range(9):
+            assert L1D.set_index(lay.p_entry(k)) == k
+
+    def test_secret_clear_of_primed_sets(self):
+        # P[64k] occupies sets 1..8; the secret must not share them, or
+        # priming would evict it and corrupt the channel.
+        lay = DEFAULT_LAYOUT
+        secret_set = L1D.set_index(lay.secret_addr)
+        assert secret_set not in range(1, 9)
+
+    def test_chain_and_table_clear_of_primed_sets(self):
+        lay = DEFAULT_LAYOUT
+        for i in range(8):
+            assert L1D.set_index(lay.chain_entry(i)) not in range(1, 9)
+        for i in range(0, 200, 8):
+            assert L1D.set_index(lay.table_entry(i)) not in range(1, 9)
+
+    def test_misaligned_layout_rejected(self):
+        with pytest.raises(AttackError):
+            AttackLayout(a_base=0x10001)
+
+    def test_in_bounds_secret_rejected(self):
+        with pytest.raises(AttackError):
+            AttackLayout(secret_addr=0x10008)  # index 1 < bound
+
+
+class TestRegs:
+    def test_transient_dsts_unique(self):
+        regs = [DEFAULT_REGS.transient_dst(k) for k in range(1, 9)]
+        assert len(set(regs)) == 8
+
+    def test_transient_dst_range(self):
+        with pytest.raises(AttackError):
+            DEFAULT_REGS.transient_dst(0)
+        with pytest.raises(AttackError):
+            DEFAULT_REGS.transient_dst(9)
+
+    def test_addr_dst_valid_registers(self):
+        for k in range(1, 9):
+            name = DEFAULT_REGS.addr_dst(k)
+            assert name.startswith("r")
+
+    def test_no_collision_with_fixed_registers(self):
+        fixed = {
+            DEFAULT_REGS.a_base,
+            DEFAULT_REGS.p_base,
+            DEFAULT_REGS.chain,
+            DEFAULT_REGS.index,
+            DEFAULT_REGS.bound,
+            DEFAULT_REGS.secret,
+            DEFAULT_REGS.secret_off,
+            DEFAULT_REGS.ts1,
+            DEFAULT_REGS.ts2,
+        }
+        for k in range(1, 9):
+            assert DEFAULT_REGS.transient_dst(k) not in fixed
+            assert DEFAULT_REGS.addr_dst(k) not in fixed
+
+
+class TestChainPointers:
+    def test_single_access_holds_bound(self):
+        words = chain_pointers(DEFAULT_LAYOUT, 1)
+        assert words == [DEFAULT_LAYOUT.bound_value]
+
+    def test_three_access_chain(self):
+        lay = DEFAULT_LAYOUT
+        words = chain_pointers(lay, 3)
+        assert words[0] == lay.chain_entry(1)
+        assert words[1] == lay.chain_entry(2)
+        assert words[2] == lay.bound_value
+
+    def test_zero_rejected(self):
+        with pytest.raises(AttackError):
+            chain_pointers(DEFAULT_LAYOUT, 0)

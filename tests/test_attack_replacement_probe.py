@@ -1,0 +1,52 @@
+"""Tests for repro.attack.replacement_probe — the LRU age probe."""
+
+from repro.attack.layout import DEFAULT_LAYOUT
+from repro.attack.replacement_probe import (
+    ReplacementAgeProbe,
+    probe_accuracy_under_policy,
+)
+from repro.cache import CacheHierarchy
+from repro.cache.replacement import LruReplacement
+
+
+def lru_hierarchy():
+    return CacheHierarchy(seed=0, l1_policy=LruReplacement(), nomo_threads=1)
+
+
+class TestAgeProbeOnLru:
+    def test_single_trial_detects_touch(self):
+        h = lru_hierarchy()
+        probe = ReplacementAgeProbe(h, DEFAULT_LAYOUT.p_entry(1))
+        assert probe.trial(victim_touches_target=True, cycle=0) is True
+        assert probe.trial(victim_touches_target=False, cycle=10_000) is False
+
+    def test_perfect_accuracy(self):
+        h = lru_hierarchy()
+        probe = ReplacementAgeProbe(h, DEFAULT_LAYOUT.p_entry(1))
+        assert probe.run(trials=32).accuracy == 1.0
+
+    def test_repeated_trials_stay_clean(self):
+        # Leftover inserter lines from earlier trials must not corrupt
+        # later primes (regression guard for the re-prime flushing).
+        h = lru_hierarchy()
+        probe = ReplacementAgeProbe(h, DEFAULT_LAYOUT.p_entry(1))
+        assert probe.run(trials=64).accuracy == 1.0
+
+
+class TestAgeProbeOnRandom:
+    def test_accuracy_collapses(self):
+        acc = probe_accuracy_under_policy(False, trials=256, seed=1)
+        assert acc < 0.72  # far from the LRU probe's 100%
+
+    def test_contrast(self):
+        lru = probe_accuracy_under_policy(True, trials=64, seed=2)
+        rnd = probe_accuracy_under_policy(False, trials=64, seed=2)
+        assert lru - rnd > 0.25
+
+
+class TestResultArithmetic:
+    def test_accuracy_property(self):
+        from repro.attack.replacement_probe import AgeProbeResult
+
+        assert AgeProbeResult(trials=10, correct=7).accuracy == 0.7
+        assert AgeProbeResult(trials=0, correct=0).accuracy == 0.0

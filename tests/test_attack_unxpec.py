@@ -1,0 +1,137 @@
+"""Tests for repro.attack.unxpec — the end-to-end attack orchestrator."""
+
+import pytest
+
+from repro.attack.gadgets import GadgetParams
+from repro.attack.unxpec import UnxpecAttack
+from repro.defense import CleanupMode, CleanupSpec, ConstantTimeRollback, UnsafeBaseline
+
+
+class TestBasicOperation:
+    def test_paper_headline_difference(self):
+        attack = UnxpecAttack(seed=3)
+        attack.prepare()
+        diff = attack.sample(1).latency - attack.sample(0).latency
+        assert diff == 22  # the paper's Figure 3 number, exactly
+
+    def test_eviction_sets_enlarge_difference(self):
+        attack = UnxpecAttack(use_eviction_sets=True, seed=3)
+        attack.prepare()
+        diff = attack.sample(1).latency - attack.sample(0).latency
+        assert diff == 32  # the paper's Figure 6 number, exactly
+
+    def test_prepare_idempotent(self):
+        attack = UnxpecAttack(seed=3)
+        attack.prepare()
+        first = attack.sample(0).latency
+        attack.prepare()
+        assert attack.sample(0).latency == first
+
+    def test_sample_auto_prepares(self):
+        attack = UnxpecAttack(seed=3)
+        sample = attack.sample(0)  # no explicit prepare()
+        assert sample.latency > 0
+
+    def test_rounds_are_stable(self):
+        attack = UnxpecAttack(seed=3)
+        attack.prepare()
+        zeros = {attack.sample(0).latency for _ in range(6)}
+        ones = {attack.sample(1).latency for _ in range(6)}
+        assert len(zeros) == 1 and len(ones) == 1
+
+    def test_sample_many(self):
+        attack = UnxpecAttack(seed=3)
+        samples = attack.sample_many(1, 4)
+        assert len(samples) == 4
+        assert all(s.secret == 1 for s in samples)
+
+
+class TestGroundTruth:
+    def test_secret1_rolls_back_n_lines(self):
+        attack = UnxpecAttack(params=GadgetParams(n_loads=4), seed=3)
+        attack.prepare()
+        s = attack.sample(1)
+        assert s.invalidated_l1 == 4
+        assert s.invalidated_l2 == 4
+        assert s.rollback_cycles > 0
+
+    def test_secret0_needs_no_rollback(self):
+        attack = UnxpecAttack(seed=3)
+        attack.prepare()
+        s = attack.sample(0)
+        assert s.invalidated_l1 == 0
+        assert s.stall == 0
+
+    def test_evset_forces_restorations(self):
+        attack = UnxpecAttack(
+            params=GadgetParams(n_loads=3), use_eviction_sets=True, seed=3
+        )
+        attack.prepare()
+        assert attack.sample(1).restored_l1 == 3
+
+    def test_resolution_time_secret_independent(self):
+        attack = UnxpecAttack(seed=3)
+        attack.prepare()
+        r0 = attack.sample(0).resolution_time
+        r1 = attack.sample(1).resolution_time
+        assert r0 == r1
+
+
+class TestDefenseVariants:
+    def test_l1_only_mode_still_leaks(self):
+        attack = UnxpecAttack(
+            defense_factory=lambda h: CleanupSpec(h, mode=CleanupMode.CLEANUP_FOR_L1),
+            seed=3,
+        )
+        attack.prepare()
+        diff = attack.sample(1).latency - attack.sample(0).latency
+        # L1-only invalidation is cheaper (no L2 round trip) but nonzero.
+        assert 0 < diff < 22
+
+    def test_unsafe_baseline_shows_no_difference(self):
+        attack = UnxpecAttack(defense_factory=lambda h: UnsafeBaseline(h), seed=3)
+        attack.prepare()
+        assert attack.sample(1).latency == attack.sample(0).latency
+
+    def test_constant_time_rollback_closes_channel(self):
+        attack = UnxpecAttack(
+            defense_factory=lambda h: ConstantTimeRollback(h, 35), seed=3
+        )
+        attack.prepare()
+        assert attack.sample(1).latency == attack.sample(0).latency
+
+    def test_small_constant_still_leaks_large_footprints(self):
+        # The relaxed scheme only pads up to the constant: an 8-load + evset
+        # rollback (64 cycles) overruns a 25-cycle budget and stays visible.
+        attack = UnxpecAttack(
+            params=GadgetParams(n_loads=8),
+            use_eviction_sets=True,
+            defense_factory=lambda h: ConstantTimeRollback(h, 25),
+            seed=3,
+        )
+        attack.prepare()
+        diff = attack.sample(1).latency - attack.sample(0).latency
+        assert diff > 20
+
+
+class TestParameterSweep:
+    def test_fig3_series_shape(self):
+        diffs = []
+        for n in (1, 2, 4, 8):
+            attack = UnxpecAttack(params=GadgetParams(n_loads=n), seed=3)
+            attack.prepare()
+            diffs.append(attack.sample(1).latency - attack.sample(0).latency)
+        assert diffs[0] == 22
+        assert all(b >= a for a, b in zip(diffs, diffs[1:]))
+        assert diffs[-1] - diffs[0] <= 8  # grows slowly (Fig. 3)
+
+    def test_fig6_series_shape(self):
+        diffs = []
+        for n in (1, 4, 8):
+            attack = UnxpecAttack(
+                params=GadgetParams(n_loads=n), use_eviction_sets=True, seed=3
+            )
+            attack.prepare()
+            diffs.append(attack.sample(1).latency - attack.sample(0).latency)
+        assert diffs[0] == 32
+        assert diffs[-1] == 64

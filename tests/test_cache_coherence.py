@@ -1,0 +1,80 @@
+"""Tests for repro.cache.coherence — delayed downgrade and dummy misses."""
+
+import pytest
+
+from repro.cache.coherence import CoherenceGuard
+from repro.cache.line import CacheLine, CoherenceState
+
+
+def guard():
+    return CoherenceGuard(miss_latency=122, hit_latency=2)
+
+
+class TestDelayedDowngrade:
+    def test_downgrade_applied_outside_window(self):
+        g = guard()
+        line = CacheLine(line_addr=0, state=CoherenceState.MODIFIED)
+        assert g.request_downgrade(line, cycle=0, window_open=False)
+        assert line.state is CoherenceState.SHARED
+
+    def test_downgrade_deferred_for_speculative_line_in_window(self):
+        g = guard()
+        line = CacheLine(line_addr=0, state=CoherenceState.EXCLUSIVE, speculative=True)
+        assert not g.request_downgrade(line, cycle=5, window_open=True)
+        assert line.state is CoherenceState.EXCLUSIVE
+        assert g.pending_downgrades == 1
+        assert g.stats.delayed_downgrades == 1
+
+    def test_window_resolution_serves_pending(self):
+        g = guard()
+        line = CacheLine(line_addr=0x40, state=CoherenceState.MODIFIED, speculative=True)
+        g.request_downgrade(line, cycle=5, window_open=True)
+        served = g.resolve_window({0x40: line}, cycle=20)
+        assert served == 1
+        assert line.state is CoherenceState.SHARED
+        assert g.pending_downgrades == 0
+
+    def test_resolution_skips_vanished_lines(self):
+        g = guard()
+        line = CacheLine(line_addr=0x40, state=CoherenceState.MODIFIED, speculative=True)
+        g.request_downgrade(line, cycle=5, window_open=True)
+        assert g.resolve_window({}, cycle=20) == 0
+
+    def test_shared_line_needs_nothing(self):
+        g = guard()
+        line = CacheLine(line_addr=0, state=CoherenceState.SHARED)
+        assert g.request_downgrade(line, cycle=0, window_open=True)
+
+    def test_absent_line(self):
+        g = guard()
+        assert not g.request_downgrade(None, cycle=0, window_open=False)
+
+
+class TestDummyMiss:
+    def test_speculative_hit_served_as_miss(self):
+        g = guard()
+        line = CacheLine(line_addr=0, speculative=True)
+        assert g.probe_latency(line) == 122
+        assert g.stats.dummy_misses == 1
+
+    def test_committed_hit_served_fast(self):
+        g = guard()
+        line = CacheLine(line_addr=0)
+        assert g.probe_latency(line) == 2
+        assert g.stats.shared_hits == 1
+
+    def test_true_miss(self):
+        g = guard()
+        assert g.probe_latency(None) == 122
+        assert g.stats.true_misses == 1
+
+    def test_dummy_indistinguishable_from_true_miss(self):
+        # The entire point: the probe cannot tell a speculative install
+        # from absence.
+        g = guard()
+        spec = CacheLine(line_addr=0, speculative=True)
+        assert g.probe_latency(spec) == g.probe_latency(None)
+
+    def test_invalid_latencies_rejected(self):
+        with pytest.raises(ValueError):
+            CoherenceGuard(miss_latency=1, hit_latency=2)

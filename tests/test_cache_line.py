@@ -1,0 +1,34 @@
+"""Tests for repro.cache.line."""
+
+from repro.cache.line import CacheLine, CoherenceState
+
+
+class TestCacheLine:
+    def test_defaults(self):
+        line = CacheLine(line_addr=0x1000)
+        assert line.valid
+        assert not line.dirty
+        assert not line.speculative
+        assert line.state is CoherenceState.EXCLUSIVE
+
+    def test_invalid_state(self):
+        line = CacheLine(line_addr=0, state=CoherenceState.INVALID)
+        assert not line.valid
+
+    def test_write_marks_dirty_modified(self):
+        line = CacheLine(line_addr=0)
+        line.write(cycle=5)
+        assert line.dirty
+        assert line.state is CoherenceState.MODIFIED
+        assert line.last_access == 5
+
+    def test_commit_clears_speculative(self):
+        line = CacheLine(line_addr=0, speculative=True, epoch=3)
+        line.commit()
+        assert not line.speculative
+        assert line.epoch is None
+
+    def test_touch_updates_recency(self):
+        line = CacheLine(line_addr=0)
+        line.touch(9)
+        assert line.last_access == 9

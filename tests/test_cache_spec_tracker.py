@@ -1,0 +1,67 @@
+"""Tests for repro.cache.spec_tracker — epoch delta bookkeeping."""
+
+import pytest
+
+from repro.cache.spec_tracker import SpeculationTracker
+
+
+class TestEpochs:
+    def test_open_unique_epochs(self):
+        t = SpeculationTracker()
+        a, b = t.open_epoch(), t.open_epoch()
+        assert a != b
+        assert t.open_epochs() == [a, b]
+
+    def test_close_removes(self):
+        t = SpeculationTracker()
+        e = t.open_epoch()
+        delta = t.close_epoch(e)
+        assert delta.epoch == e
+        assert t.open_epochs() == []
+
+    def test_close_unknown_raises(self):
+        t = SpeculationTracker()
+        with pytest.raises(KeyError):
+            t.close_epoch(99)
+
+    def test_record_on_closed_raises(self):
+        t = SpeculationTracker()
+        e = t.open_epoch()
+        t.close_epoch(e)
+        with pytest.raises(KeyError):
+            t.record_install(e, "L1", 0, 0, 0)
+
+
+class TestDelta:
+    def test_installs_and_evictions_by_level(self):
+        t = SpeculationTracker()
+        e = t.open_epoch()
+        t.record_install(e, "L1", 0x40, 1, 0)
+        t.record_install(e, "L2", 0x40, 17, 3)
+        t.record_eviction(e, "L1", 0x2000, True, 1, 0)
+        delta = t.close_epoch(e)
+        assert len(delta.installs_at("L1")) == 1
+        assert len(delta.installs_at("L2")) == 1
+        assert len(delta.evictions_at("L1")) == 1
+        assert delta.evictions_at("L2") == []
+        assert not delta.is_empty
+
+    def test_empty_delta(self):
+        t = SpeculationTracker()
+        e = t.open_epoch()
+        assert t.close_epoch(e).is_empty
+
+    def test_was_speculative_flag(self):
+        t = SpeculationTracker()
+        e = t.open_epoch()
+        t.record_eviction(e, "L1", 0x40, False, 0, 0, was_speculative=True)
+        delta = t.close_epoch(e)
+        assert delta.evictions[0].was_speculative
+
+    def test_independent_epochs(self):
+        t = SpeculationTracker()
+        a = t.open_epoch()
+        b = t.open_epoch()
+        t.record_install(a, "L1", 0x40, 0, 0)
+        assert t.peek(a).installs
+        assert not t.peek(b).installs

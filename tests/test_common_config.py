@@ -1,0 +1,92 @@
+"""Tests for repro.common.config — Table I configuration objects."""
+
+import pytest
+
+from repro.common.config import (
+    CacheGeometry,
+    CoreConfig,
+    LatencyConfig,
+    SystemConfig,
+    paper_system_config,
+)
+from repro.common.errors import ConfigError
+
+
+class TestCacheGeometry:
+    def test_paper_l1d(self):
+        g = CacheGeometry("L1D", 32 * 1024, ways=8, sets=64)
+        assert g.offset_bits == 6
+        assert g.index_bits == 6
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry("bad", 32 * 1024, ways=8, sets=128)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry("bad", 3 * 64 * 8, ways=8, sets=3)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry("bad", 48 * 8 * 64, ways=8, sets=64, line_size=48)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry("bad", 0, ways=0, sets=64)
+
+
+class TestLatencyConfig:
+    def test_defaults_match_table1(self):
+        lat = LatencyConfig()
+        assert lat.l1_hit == 2
+        assert lat.l2_hit == 20
+        assert lat.memory == 100  # 50 ns at 2 GHz
+
+    def test_totals(self):
+        lat = LatencyConfig()
+        assert lat.l2_total == 22
+        assert lat.memory_total == 122
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(l1_hit=30, l2_hit=20)
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(memory=0)
+
+
+class TestCoreConfig:
+    def test_defaults(self):
+        c = CoreConfig()
+        assert c.rob_entries == 192
+        assert c.frequency_hz == 2e9
+
+    def test_invalid_rob(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(rob_entries=1)
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(dispatch_width=0)
+
+    def test_negative_latency(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(flush_latency=-1)
+
+
+class TestSystemConfig:
+    def test_paper_config_table1_rows(self):
+        rows = paper_system_config().table1_rows()
+        text = "\n".join(f"{a}: {b}" for a, b in rows)
+        assert "2 GHz" in text
+        assert "192-entry ROB" in text
+        assert "32 KB, 4-way, 128-set" in text
+        assert "32 KB, 8-way, 64-set" in text
+        assert "2 MB, 16-way, 2048-set" in text
+
+    def test_line_size_consistency_enforced(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                l1d=CacheGeometry("L1D", 32 * 1024, ways=4, sets=64, line_size=128)
+            )

@@ -1,0 +1,49 @@
+"""Tests for repro.common.rng — deterministic seeded streams."""
+
+import numpy as np
+
+from repro.common.rng import DEFAULT_SEED, derive_rng, derive_seed, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7)
+        b = make_rng(7)
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_different_seed_different_stream(self):
+        draws_a = make_rng(1).integers(1 << 30, size=8)
+        draws_b = make_rng(2).integers(1 << 30, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_default_seed_exists(self):
+        assert isinstance(DEFAULT_SEED, int)
+        make_rng()  # does not raise
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, "x") == derive_seed(5, "x")
+
+    def test_tag_changes_seed(self):
+        assert derive_seed(5, "a") != derive_seed(5, "b")
+
+    def test_parent_changes_seed(self):
+        assert derive_seed(5, "a") != derive_seed(6, "a")
+
+    def test_non_negative_63_bit(self):
+        for tag in ("l1", "l2", "noise", "secret"):
+            s = derive_seed(123456789, tag)
+            assert 0 <= s < (1 << 63)
+
+
+class TestDeriveRng:
+    def test_independent_streams(self):
+        a = derive_rng(0, "one").integers(1 << 30, size=16)
+        b = derive_rng(0, "two").integers(1 << 30, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible(self):
+        a = derive_rng(9, "tag").normal(size=4)
+        b = derive_rng(9, "tag").normal(size=4)
+        assert np.allclose(a, b)

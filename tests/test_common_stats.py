@@ -1,0 +1,134 @@
+"""Tests for repro.common.stats — summaries, KDE, thresholds, accuracy."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.stats import (
+    decode_accuracy,
+    density_curve,
+    gaussian_kde,
+    optimal_threshold,
+    silverman_bandwidth,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.mean == 3
+        assert s.median == 3
+        assert s.minimum == 1 and s.maximum == 5
+
+    def test_single_sample_has_zero_std(self):
+        assert summarize([7.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestBandwidth:
+    def test_positive(self):
+        assert silverman_bandwidth([1, 2, 3, 4, 5]) > 0
+
+    def test_degenerate_constant_sample(self):
+        assert silverman_bandwidth([5.0] * 10) > 0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            silverman_bandwidth([1.0])
+
+
+class TestKde:
+    def test_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(100, 10, size=500)
+        grid = np.linspace(40, 160, 1200)
+        dens = gaussian_kde(samples, grid)
+        integral = np.trapezoid(dens, grid)
+        assert integral == pytest.approx(1.0, abs=0.02)
+
+    def test_peak_near_mean(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(178, 5, size=1000)
+        curve = density_curve(samples)
+        assert abs(curve.mode - 178) < 3
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            gaussian_kde([1, 2, 3], [0, 1], bandwidth=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            gaussian_kde([], [0, 1])
+
+    def test_bimodal_separation(self):
+        # Two classes 22 cycles apart (the Fig. 7 situation) produce
+        # distinguishable peaks.
+        rng = np.random.default_rng(2)
+        zeros = rng.normal(156, 8, 1000)
+        ones = rng.normal(178, 8, 1000)
+        c0 = density_curve(zeros, lo=120, hi=220)
+        c1 = density_curve(ones, lo=120, hi=220)
+        assert c1.mode - c0.mode > 15
+
+    def test_density_curve_range_validation(self):
+        with pytest.raises(ValueError):
+            density_curve([1.0, 2.0], lo=10, hi=5)
+
+
+class TestDecodeAccuracy:
+    def test_perfect(self):
+        assert decode_accuracy([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_partial(self):
+        assert decode_accuracy([0, 0, 1, 1], [0, 1, 1, 1]) == 0.75
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            decode_accuracy([0], [0, 1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            decode_accuracy([], [])
+
+
+class TestOptimalThreshold:
+    def test_separable_classes(self):
+        thr = optimal_threshold([1, 2, 3], [10, 11, 12])
+        assert 3 < thr < 10
+
+    def test_paper_style_distributions(self):
+        rng = np.random.default_rng(3)
+        zeros = rng.normal(156, 8, 500)
+        ones = rng.normal(178, 8, 500)
+        thr = optimal_threshold(zeros, ones)
+        # Threshold lands between the class means, as the paper's 178 does.
+        assert 156 < thr < 178
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_threshold([], [1.0])
+
+    @given(
+        st.lists(st.integers(0, 100), min_size=2, max_size=40),
+        st.lists(st.integers(100, 200), min_size=2, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_minimises_error(self, zeros, ones):
+        """No single-point threshold beats the returned one."""
+        thr = optimal_threshold(zeros, ones)
+
+        def errors(t: float) -> int:
+            return sum(1 for z in zeros if z > t) + sum(1 for o in ones if o <= t)
+
+        best = errors(thr)
+        for candidate in set(zeros) | set(ones):
+            assert errors(candidate - 0.5) >= best
+            assert errors(candidate + 0.5) >= best

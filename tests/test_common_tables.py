@@ -1,0 +1,53 @@
+"""Tests for repro.common.tables — text table rendering."""
+
+import pytest
+
+from repro.common.tables import format_cell, render_kv, render_table
+
+
+class TestFormatCell:
+    def test_float_two_decimals(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_plain(self):
+        assert format_cell(42) == "42"
+
+    def test_string(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "bbbb" in lines[0]
+        # All rows share the same column offsets.
+        col = lines[0].index("bbbb")
+        assert lines[2][col] == "2"
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderKv:
+    def test_pairs(self):
+        out = render_kv([("key", 1), ("longer_key", 2.5)])
+        assert "key" in out and "2.50" in out
+
+    def test_empty(self):
+        assert render_kv([]) == ""
+        assert render_kv([], title="t") == "t"

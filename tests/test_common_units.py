@@ -1,0 +1,56 @@
+"""Tests for repro.common.units — cycle/time/rate conversions."""
+
+import pytest
+
+from repro.common.units import (
+    PAPER_FREQUENCY_HZ,
+    LeakageRate,
+    cycles_to_seconds,
+    ns_to_cycles,
+    samples_per_second,
+    seconds_to_cycles,
+)
+
+
+class TestConversions:
+    def test_paper_frequency(self):
+        assert PAPER_FREQUENCY_HZ == 2_000_000_000
+
+    def test_cycles_to_seconds_at_2ghz(self):
+        assert cycles_to_seconds(2_000_000_000) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles_roundtrip(self):
+        assert seconds_to_cycles(cycles_to_seconds(12345)) == 12345
+
+    def test_50ns_is_100_cycles(self):
+        # Table I: 50 ns memory round trip = 100 cycles at 2 GHz.
+        assert ns_to_cycles(50.0) == 100
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(1, frequency_hz=0)
+        with pytest.raises(ValueError):
+            seconds_to_cycles(1.0, frequency_hz=-1)
+
+    def test_samples_per_second(self):
+        # 14,285 cycles/sample at 2 GHz is ~140 k samples/s (paper §VI-B).
+        rate = samples_per_second(14285)
+        assert rate == pytest.approx(140_007, rel=1e-3)
+
+    def test_samples_per_second_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            samples_per_second(0)
+
+
+class TestLeakageRate:
+    def test_paper_operating_point(self):
+        rate = LeakageRate(cycles_per_bit=14285)
+        assert rate.kbps == pytest.approx(140.0, rel=0.01)
+
+    def test_bits_per_second(self):
+        rate = LeakageRate(cycles_per_bit=2_000_000_000)
+        assert rate.bits_per_second == pytest.approx(1.0)
+
+    def test_custom_frequency(self):
+        rate = LeakageRate(cycles_per_bit=1000, frequency_hz=1e9)
+        assert rate.bits_per_second == pytest.approx(1e6)

@@ -1,0 +1,49 @@
+"""Tests for repro.cpu.noise."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng
+from repro.cpu.noise import NoiseModel, campaign_noise
+
+
+class TestNoiseModel:
+    def test_disabled_by_default(self):
+        n = NoiseModel()
+        assert not n.enabled
+        rng = make_rng(0)
+        assert n.mem_jitter(rng) == 0
+        assert n.system_event(rng) == 0
+
+    def test_jitter_floor(self):
+        n = NoiseModel(mem_jitter_std=50.0, mem_jitter_floor=-10)
+        rng = make_rng(0)
+        assert min(n.mem_jitter(rng) for _ in range(500)) >= -10
+
+    def test_jitter_zero_mean_ish(self):
+        n = NoiseModel(mem_jitter_std=10.0, mem_jitter_floor=-100)
+        rng = make_rng(1)
+        mean = np.mean([n.mem_jitter(rng) for _ in range(4000)])
+        assert abs(mean) < 1.0
+
+    def test_event_probability(self):
+        n = NoiseModel(event_prob=0.1, event_min_cycles=80, event_max_cycles=250)
+        rng = make_rng(2)
+        events = [n.system_event(rng) for _ in range(5000)]
+        hits = [e for e in events if e]
+        assert 0.07 < len(hits) / len(events) < 0.13
+        assert all(80 <= e <= 250 for e in hits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(mem_jitter_std=-1)
+        with pytest.raises(ValueError):
+            NoiseModel(event_prob=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(event_min_cycles=10, event_max_cycles=5)
+
+    def test_campaign_noise_enabled(self):
+        n = campaign_noise()
+        assert n.enabled
+        assert n.mem_jitter_std > 0
+        assert n.event_prob > 0

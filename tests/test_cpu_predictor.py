@@ -1,0 +1,87 @@
+"""Tests for repro.cpu.predictor — 2-bit bimodal counters and mistraining."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu.predictor import (
+    STRONG_NOT_TAKEN,
+    STRONG_TAKEN,
+    BimodalPredictor,
+)
+
+
+class TestCounters:
+    def test_initial_weakly_not_taken(self):
+        p = BimodalPredictor()
+        assert p.predict(100) is False
+
+    def test_saturation_up(self):
+        p = BimodalPredictor()
+        for _ in range(10):
+            p.update(100, taken=True, mispredicted=False)
+        assert p.counter(100) == STRONG_TAKEN
+        assert p.predict(100) is True
+
+    def test_saturation_down(self):
+        p = BimodalPredictor()
+        for _ in range(10):
+            p.update(100, taken=False, mispredicted=False)
+        assert p.counter(100) == STRONG_NOT_TAKEN
+
+    def test_hysteresis(self):
+        # A strongly-trained counter survives one opposite outcome — the
+        # property mistraining exploits (the attack round's mispredict does
+        # not flip the next round's prediction).
+        p = BimodalPredictor()
+        for _ in range(4):
+            p.update(100, taken=False, mispredicted=False)
+        p.update(100, taken=True, mispredicted=True)
+        assert p.predict(100) is False
+
+    def test_mistraining_scenario(self):
+        """The attack's preparation: train not-taken, then mispredict."""
+        p = BimodalPredictor()
+        pc = 0x40
+        for _ in range(16):
+            assert p.predict(pc) is False  # in-bounds: predicted correctly
+            p.update(pc, taken=False, mispredicted=False)
+        # Out-of-bounds invocation: actual taken, predicted not-taken.
+        assert p.predict(pc) is False
+        p.update(pc, taken=True, mispredicted=True)
+        assert p.stats.mispredictions == 1
+
+
+class TestTable:
+    def test_aliasing_by_table_size(self):
+        p = BimodalPredictor(table_size=16)
+        for _ in range(4):
+            p.update(3, taken=True, mispredicted=False)
+        assert p.predict(3 + 16) is True  # same slot
+
+    def test_independent_slots(self):
+        p = BimodalPredictor()
+        p.update(1, taken=True, mispredicted=False)
+        p.update(1, taken=True, mispredicted=False)
+        assert p.predict(1) is True
+        assert p.predict(2) is False
+
+    def test_reset(self):
+        p = BimodalPredictor()
+        p.update(1, taken=True, mispredicted=True)
+        p.reset()
+        assert p.counter(1) == 1
+        assert p.stats.mispredictions == 0
+
+    def test_invalid_table_size(self):
+        with pytest.raises(ConfigError):
+            BimodalPredictor(table_size=100)
+        with pytest.raises(ConfigError):
+            BimodalPredictor(initial=4)
+
+    def test_accuracy_stat(self):
+        p = BimodalPredictor()
+        p.predict(0)
+        p.update(0, taken=False, mispredicted=False)
+        p.predict(0)
+        p.update(0, taken=True, mispredicted=True)
+        assert p.stats.accuracy == 0.5

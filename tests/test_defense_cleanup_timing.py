@@ -1,0 +1,90 @@
+"""Tests for repro.defense.cleanup_timing — the calibrated cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.defense.cleanup_timing import CleanupMode, CleanupTimingModel
+
+
+class TestCalibration:
+    """The defaults must reproduce the paper's anchor points exactly."""
+
+    def test_single_inval_is_22(self):
+        m = CleanupTimingModel()
+        assert m.rollback_cycles(1, 1, 0) == 22  # Fig. 3 left end
+
+    def test_eight_invals_is_26(self):
+        m = CleanupTimingModel()
+        assert m.rollback_cycles(8, 8, 0) == 26  # Fig. 3 right end (~25)
+
+    def test_single_restore_is_32(self):
+        m = CleanupTimingModel()
+        assert m.rollback_cycles(1, 1, 1) == 32  # Fig. 6 left end
+
+    def test_eight_restores_is_64(self):
+        m = CleanupTimingModel()
+        assert m.rollback_cycles(8, 8, 8) == 64  # Fig. 6 right end
+
+    def test_no_work_costs_nothing(self):
+        m = CleanupTimingModel()
+        assert m.rollback_cycles(0, 0, 0) == 0
+
+
+class TestStages:
+    def test_l1_only_cheaper_than_l1l2(self):
+        m = CleanupTimingModel()
+        assert m.invalidation_cycles(4, 0) < m.invalidation_cycles(4, 4)
+
+    def test_l2_invalidations_pipeline(self):
+        m = CleanupTimingModel()
+        # Doubling the lines does not double the time (issue width 2).
+        t4 = m.invalidation_cycles(4, 4)
+        t8 = m.invalidation_cycles(8, 8)
+        assert t8 - t4 <= 3
+
+    def test_restores_cost_more_per_op_than_invals(self):
+        m = CleanupTimingModel()
+        inval_marginal = m.invalidation_cycles(8, 8) - m.invalidation_cycles(7, 7)
+        restore_marginal = m.restoration_cycles(8) - m.restoration_cycles(7)
+        assert restore_marginal > inval_marginal  # data vs address-only
+
+    def test_mshr_clean_linear(self):
+        m = CleanupTimingModel()
+        assert m.mshr_clean_cycles(0) == 0
+        assert m.mshr_clean_cycles(3) == 3 * m.mshr_clean_per_entry
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CleanupTimingModel(l1_invalidate_latency=-1)
+        with pytest.raises(ValueError):
+            CleanupTimingModel(l2_invalidate_issue_width=0)
+
+
+class TestMonotonicity:
+    @given(
+        a=st.integers(0, 32),
+        b=st.integers(0, 32),
+        r=st.integers(0, 32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_more_work_never_faster(self, a, b, r):
+        m = CleanupTimingModel()
+        base = m.rollback_cycles(a, b, r)
+        assert m.rollback_cycles(a + 1, b, r) >= base
+        assert m.rollback_cycles(a, b + 1, r) >= base
+        assert m.rollback_cycles(a, b, r + 1) >= base
+
+    @given(n=st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_secret_dependence_exists(self, n):
+        """Any non-empty rollback is distinguishable from an empty one —
+        the existence condition of the unXpec channel."""
+        m = CleanupTimingModel()
+        assert m.rollback_cycles(n, n, 0) >= 15
+
+
+class TestCleanupMode:
+    def test_mode_values(self):
+        assert CleanupMode.CLEANUP_FOR_L1L2.value == "Cleanup_FOR_L1L2"
+        assert CleanupMode.CLEANUP_FOR_L1.value == "Cleanup_FOR_L1"

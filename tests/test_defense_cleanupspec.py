@@ -1,0 +1,142 @@
+"""Tests for repro.defense.cleanupspec — functional rollback + timing."""
+
+import pytest
+
+from repro.cache import CacheHierarchy
+from repro.defense.base import SquashContext
+from repro.defense.cleanup_timing import CleanupMode
+from repro.defense.cleanupspec import CleanupSpec
+from repro.defense.unsafe import UnsafeBaseline
+
+
+def speculative_delta(hierarchy, addrs, prefill=()):
+    """Run speculative accesses and return the squash context inputs."""
+    for addr in prefill:
+        hierarchy.access(addr, 0)
+    epoch = hierarchy.open_epoch()
+    for addr in addrs:
+        hierarchy.access(addr, 10, speculative=True, epoch=epoch)
+    return hierarchy.squash_epoch_delta(epoch)
+
+
+def ctx(delta, resolve=200, inflight=0, older=0):
+    return SquashContext(
+        resolve_cycle=resolve,
+        delta=delta,
+        inflight_transient=inflight,
+        older_mem_complete=older,
+    )
+
+
+class TestRollbackFunctional:
+    def test_invalidates_installs_both_levels(self):
+        h = CacheHierarchy(seed=0)
+        d = CleanupSpec(h)
+        delta = speculative_delta(h, [0x8000])
+        outcome = d.on_squash(ctx(delta))
+        assert outcome.invalidated_l1 == 1
+        assert outcome.invalidated_l2 == 1
+        assert not h.in_l1(0x8000)
+        assert not h.in_l2(0x8000)
+
+    def test_l1_only_mode_keeps_l2_copy(self):
+        h = CacheHierarchy(seed=0)
+        d = CleanupSpec(h, mode=CleanupMode.CLEANUP_FOR_L1)
+        delta = speculative_delta(h, [0x8000])
+        outcome = d.on_squash(ctx(delta))
+        assert outcome.invalidated_l1 == 1
+        assert outcome.invalidated_l2 == 0
+        assert not h.in_l1(0x8000)
+        assert h.in_l2(0x8000)
+        # And the surviving L2 copy is no longer marked speculative.
+        assert not h.l2.get_line(0x8000).speculative
+
+    def test_restores_evicted_l1_victims(self):
+        h = CacheHierarchy(seed=0)
+        d = CleanupSpec(h)
+        prefill = [j * 4096 for j in range(4)]  # fill set 0 partition
+        delta = speculative_delta(h, [4 * 4096], prefill=prefill)
+        outcome = d.on_squash(ctx(delta))
+        assert outcome.restored_l1 == 1
+        for addr in prefill:
+            assert h.in_l1(addr)  # pre-speculation state recovered
+
+    def test_duplicate_line_installs_deduplicated(self):
+        h = CacheHierarchy(seed=0)
+        d = CleanupSpec(h)
+        epoch = h.open_epoch()
+        h.access(0x8000, 0, speculative=True, epoch=epoch)
+        h.access(0x8000 + 8, 1, speculative=True, epoch=epoch)  # same line
+        delta = h.squash_epoch_delta(epoch)
+        outcome = d.on_squash(ctx(delta))
+        assert outcome.invalidated_l1 == 1
+
+    def test_empty_delta_no_stall(self):
+        h = CacheHierarchy(seed=0)
+        d = CleanupSpec(h)
+        delta = speculative_delta(h, [])
+        outcome = d.on_squash(ctx(delta, older=500))
+        assert outcome.stall_cycles == 0
+
+
+class TestRollbackTiming:
+    def test_single_load_stall_is_22(self):
+        h = CacheHierarchy(seed=0)
+        d = CleanupSpec(h)
+        delta = speculative_delta(h, [0x8000])
+        outcome = d.on_squash(ctx(delta))
+        assert outcome.stage("t5_rollback") == 22
+
+    def test_restoration_adds_10(self):
+        h = CacheHierarchy(seed=0)
+        d = CleanupSpec(h)
+        prefill = [j * 4096 for j in range(4)]
+        delta = speculative_delta(h, [4 * 4096], prefill=prefill)
+        outcome = d.on_squash(ctx(delta))
+        assert outcome.stage("t5_rollback") == 32
+
+    def test_t4_waits_for_older_loads_when_work_exists(self):
+        h = CacheHierarchy(seed=0)
+        d = CleanupSpec(h)
+        delta = speculative_delta(h, [0x8000])
+        outcome = d.on_squash(ctx(delta, resolve=200, older=250))
+        assert outcome.stage("t4_inflight_wait") == 50
+
+    def test_t4_zero_after_fence(self):
+        h = CacheHierarchy(seed=0)
+        d = CleanupSpec(h)
+        delta = speculative_delta(h, [0x8000])
+        outcome = d.on_squash(ctx(delta, resolve=200, older=90))
+        assert outcome.stage("t4_inflight_wait") == 0
+
+    def test_t3_prices_inflight_cleaning(self):
+        h = CacheHierarchy(seed=0)
+        d = CleanupSpec(h)
+        delta = speculative_delta(h, [])
+        outcome = d.on_squash(ctx(delta, inflight=3))
+        assert outcome.stage("t3_mshr_clean") == 6
+
+    def test_statistics_accumulate(self):
+        h = CacheHierarchy(seed=0)
+        d = CleanupSpec(h)
+        for i in range(3):
+            delta = speculative_delta(h, [0x8000 + i * 0x10000])
+            d.on_squash(ctx(delta))
+        assert d.squash_count == 3
+        assert d.total_invalidations_l1 == 3
+        assert d.total_stall == 66
+
+
+class TestUnsafeBaseline:
+    def test_keeps_lines_and_clears_marks(self):
+        h = CacheHierarchy(seed=0)
+        d = UnsafeBaseline(h)
+        delta = speculative_delta(h, [0x8000])
+        outcome = d.on_squash(ctx(delta))
+        assert outcome.stall_cycles == 0
+        assert h.in_l1(0x8000)
+        assert not h.l1.get_line(0x8000).speculative
+
+    def test_name(self):
+        h = CacheHierarchy(seed=0)
+        assert UnsafeBaseline(h).name == "UnsafeBaseline"

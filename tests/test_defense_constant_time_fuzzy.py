@@ -1,0 +1,119 @@
+"""Tests for constant-time rollback and fuzzy cleanup defenses."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheHierarchy
+from repro.defense.base import SquashContext
+from repro.defense.constant_time import ConstantTimeRollback
+from repro.defense.fuzzy import FuzzyCleanup
+
+from .test_defense_cleanupspec import ctx, speculative_delta
+
+
+class TestConstantTimeRollback:
+    def test_pads_empty_rollback_to_constant(self):
+        h = CacheHierarchy(seed=0)
+        d = ConstantTimeRollback(h, constant_cycles=25)
+        outcome = d.on_squash(ctx(speculative_delta(h, [])))
+        assert outcome.stall_cycles == 25
+        assert outcome.stage("padding") == 25
+
+    def test_relaxed_lets_long_rollbacks_run(self):
+        h = CacheHierarchy(seed=0)
+        d = ConstantTimeRollback(h, constant_cycles=25)
+        # 8 loads -> t5 = 26 > 25: relaxed scheme runs long.
+        addrs = [0x8000 + k * 64 for k in range(8)]
+        outcome = d.on_squash(ctx(speculative_delta(h, addrs)))
+        assert outcome.stall_cycles == 26
+        assert outcome.stage("padding") == 0
+
+    def test_relaxed_hides_common_case_difference(self):
+        """secret=0 (no work) and secret=1 (one load) become identical."""
+        h = CacheHierarchy(seed=0)
+        d = ConstantTimeRollback(h, constant_cycles=25)
+        stall_zero = d.on_squash(ctx(speculative_delta(h, []))).stall_cycles
+        h2 = CacheHierarchy(seed=0)
+        d2 = ConstantTimeRollback(h2, constant_cycles=25)
+        stall_one = d2.on_squash(ctx(speculative_delta(h2, [0x8000]))).stall_cycles
+        assert stall_zero == stall_one == 25
+
+    def test_strict_caps_at_constant(self):
+        h = CacheHierarchy(seed=0)
+        d = ConstantTimeRollback(h, constant_cycles=10, strict=True)
+        addrs = [0x8000 + k * 64 for k in range(8)]
+        outcome = d.on_squash(ctx(speculative_delta(h, addrs)))
+        assert outcome.stall_cycles == 10
+
+    def test_still_rolls_back_functionally(self):
+        h = CacheHierarchy(seed=0)
+        d = ConstantTimeRollback(h, constant_cycles=25)
+        d.on_squash(ctx(speculative_delta(h, [0x8000])))
+        assert not h.in_l1(0x8000)
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantTimeRollback(CacheHierarchy(seed=0), constant_cycles=-1)
+
+    def test_name_includes_constant(self):
+        d = ConstantTimeRollback(CacheHierarchy(seed=0), constant_cycles=65)
+        assert "65" in d.name
+
+
+class TestFuzzyCleanup:
+    def test_zero_amplitude_equals_cleanupspec(self):
+        h = CacheHierarchy(seed=0)
+        d = FuzzyCleanup(h, max_dummy_cycles=0)
+        outcome = d.on_squash(ctx(speculative_delta(h, [0x8000])))
+        assert outcome.stage("dummy") == 0
+        assert outcome.stall_cycles == 22
+
+    def test_dummy_within_amplitude(self):
+        h = CacheHierarchy(seed=0)
+        d = FuzzyCleanup(h, max_dummy_cycles=40, seed=3)
+        dummies = []
+        for _ in range(100):
+            outcome = d.on_squash(ctx(speculative_delta(h, [])))
+            dummies.append(outcome.stage("dummy"))
+        assert all(0 <= x <= 40 for x in dummies)
+        assert len(set(dummies)) > 10  # actually random
+
+    def test_dummy_blurs_secret_dependence(self):
+        """With amplitude >> the 22-cycle gap, the two classes overlap."""
+        h = CacheHierarchy(seed=0)
+        d = FuzzyCleanup(h, max_dummy_cycles=96, seed=3)
+        stalls_zero = [
+            d.on_squash(ctx(speculative_delta(h, []))).stall_cycles
+            for _ in range(200)
+        ]
+        stalls_one = []
+        for _ in range(200):
+            delta = speculative_delta(h, [0x8000])
+            stalls_one.append(d.on_squash(ctx(delta)).stall_cycles)
+        overlap = sum(1 for z in stalls_zero if z > float(np.median(stalls_one)))
+        assert overlap > 20  # heavy distributional overlap
+
+    def test_cheaper_than_worst_case_on_average(self):
+        h = CacheHierarchy(seed=0)
+        d = FuzzyCleanup(h, max_dummy_cycles=64, seed=3)
+        stalls = [
+            d.on_squash(ctx(speculative_delta(h, []))).stall_cycles
+            for _ in range(300)
+        ]
+        assert np.mean(stalls) < 65  # vs always-65 constant-time
+
+    def test_deterministic_per_seed(self):
+        def series(seed):
+            h = CacheHierarchy(seed=0)
+            d = FuzzyCleanup(h, max_dummy_cycles=50, seed=seed)
+            return [
+                d.on_squash(ctx(speculative_delta(h, []))).stall_cycles
+                for _ in range(20)
+            ]
+
+        assert series(7) == series(7)
+        assert series(7) != series(8)
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzyCleanup(CacheHierarchy(seed=0), max_dummy_cycles=-5)

@@ -1,0 +1,110 @@
+"""Tests for repro.defense.delay_on_miss — the Invisible-family baseline."""
+
+from repro.attack import SpectreV1Attack, UnxpecAttack
+from repro.cache import CacheHierarchy
+from repro.cpu import Core
+from repro.defense import CleanupSpec, DelayOnMiss, UnsafeBaseline
+from repro.isa import ProgramBuilder
+from repro.workloads import get_profile, synthesize
+
+
+def build(fn, name="t"):
+    b = ProgramBuilder(name)
+    fn(b)
+    b.halt()
+    return b.build()
+
+
+class TestInvisibility:
+    def test_wrong_path_miss_never_installs(self):
+        h = CacheHierarchy(seed=0)
+        core = Core(h, DelayOnMiss(h))
+
+        def body(b):
+            b.li("r1", 0x8000)
+            b.li("r2", 3)
+            b.li("r4", 0x9000)
+            b.flush("r4", 0)
+            b.fence()
+            b.load("r5", "r4", 0)  # slow bound: wide window
+            b.branch("ge", "r2", "r5", "skip")
+            b.load("r6", "r1", 0)  # transient miss -> must NOT install
+            b.label("skip")
+
+        res = core.run(build(body))
+        assert res.mispredictions == 1
+        assert not h.in_l1(0x8000)
+        assert not h.in_l2(0x8000)
+        assert res.last_squash().outcome.stall_cycles == 0
+
+    def test_wrong_path_hit_proceeds(self):
+        h = CacheHierarchy(seed=0)
+        core = Core(h, DelayOnMiss(h))
+
+        def body(b):
+            b.li("r1", 0x8000)
+            b.load("r0", "r1", 0)  # warm the line architecturally
+            b.li("r2", 3)
+            b.li("r4", 0x9000)
+            b.flush("r4", 0)
+            b.fence()
+            b.load("r5", "r4", 0)
+            b.branch("ge", "r2", "r5", "skip")
+            b.load("r6", "r1", 0)  # transient HIT: allowed
+            b.label("skip")
+
+        res = core.run(build(body))
+        assert res.last_squash().transient_loads >= 1
+        assert h.in_l1(0x8000)  # it was already there
+
+
+class TestAttacksBlocked:
+    def test_spectre_blocked(self):
+        attack = SpectreV1Attack(
+            defense_factory=lambda h: DelayOnMiss(h), alphabet=8, seed=5
+        )
+        for secret in (0, 3, 7):
+            assert attack.run(secret).hot_values == []
+
+    def test_unxpec_blocked(self):
+        attack = UnxpecAttack(defense_factory=lambda h: DelayOnMiss(h), seed=3)
+        attack.prepare()
+        assert attack.sample(1).latency == attack.sample(0).latency
+
+
+class TestCommonCaseCost:
+    def test_correct_path_speculative_miss_is_delayed(self):
+        """A miss under an unresolved branch waits for resolution."""
+
+        def run(defense_cls):
+            h = CacheHierarchy(seed=0)
+            core = Core(h, defense_cls(h))
+
+            def body(b):
+                b.li("r1", 0x8000)
+                b.li("r4", 0x9000)
+                b.flush("r4", 0)
+                b.fence()
+                b.load("r5", "r4", 0)  # slow condition load
+                b.li("r2", 3)
+                # Branch is correctly predicted not-taken but resolves late.
+                b.branch("lt", "r2", "r5", "skip")
+                b.label("skip")
+                b.load("r6", "r1", 0)  # issued while the branch is unresolved
+                b.fence()
+
+            return core.run(build(body)).cycles
+
+        assert run(DelayOnMiss) > run(UnsafeBaseline)
+
+    def test_costs_more_than_cleanupspec_on_workloads(self):
+        workload = synthesize(get_profile("gcc_r"), instructions=4000, seed=1)
+
+        def run(mk):
+            h = CacheHierarchy(seed=9)
+            return Core(h, mk(h)).run(workload.program, max_instructions=20_000_000)
+
+        base = run(lambda h: UnsafeBaseline(h)).cycles
+        invisible = run(lambda h: DelayOnMiss(h)).cycles
+        undo = run(lambda h: CleanupSpec(h)).cycles
+        assert invisible > undo > base  # the paper's cost ordering

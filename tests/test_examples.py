@@ -1,0 +1,58 @@
+"""Smoke tests: the fast example scripts run end-to-end and tell the truth."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "timing difference     : 22 cycles" in out
+        assert "with eviction sets    : 32 cycles" in out
+        assert "byte recovered!" in out
+
+    def test_spectre_vs_cleanupspec(self, capsys):
+        out = run_example("spectre_vs_cleanupspec.py", capsys)
+        assert "footprint channel works" in out
+        assert "rollback erased it" in out
+        assert "unXpec breaks Undo-based safe speculation." in out
+
+    def test_asm_victim(self, capsys):
+        out = run_example("asm_victim.py", capsys)
+        assert "leak     : 22 cycles" in out
+
+    def test_eviction_set_construction(self, capsys):
+        out = run_example("eviction_set_construction.py", capsys)
+        assert "restorations    : 1" in out
+        assert "32 cycles" in out
+
+    def test_timeline_visualizer(self, capsys):
+        out = run_example("timeline_visualizer.py", capsys)
+        assert "waterfall" in out
+        assert "t5_rollback" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "covert_channel_demo.py",
+        "spectre_vs_cleanupspec.py",
+        "mitigation_tradeoff.py",
+        "eviction_set_construction.py",
+        "timeline_visualizer.py",
+        "asm_victim.py",
+    ],
+)
+def test_every_example_compiles(name):
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")

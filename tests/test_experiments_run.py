@@ -1,0 +1,63 @@
+"""Integration: every experiment runs in quick mode with all checks green.
+
+These are the repository's acceptance tests — each one regenerates a paper
+table/figure (at reduced sample counts) and asserts the paper's shape
+claims hold.
+"""
+
+import pytest
+
+from repro.experiments import all_ids, get
+
+FAST = ["table1", "fig1", "fig2", "fig3", "fig9", "fig13", "ext_spectre", "abl_window", "abl_geometry"]
+MEDIUM = [
+    "fig6",
+    "fig7",
+    "fig12",
+    "leakage_rate",
+    "abl_cleanup_mode",
+    "abl_replacement",
+]
+SLOW = ["fig8", "fig10", "fig11", "ext_fuzzy", "abl_samples", "abl_capacity", "ext_invisible", "abl_train", "abl_significance"]
+
+
+@pytest.mark.parametrize("exp_id", FAST)
+def test_fast_experiments_pass(exp_id):
+    result = get(exp_id).run(quick=True, seed=0)
+    for check in result.checks:
+        assert check.passed, str(check)
+
+
+@pytest.mark.parametrize("exp_id", MEDIUM)
+def test_medium_experiments_pass(exp_id):
+    result = get(exp_id).run(quick=True, seed=0)
+    for check in result.checks:
+        assert check.passed, str(check)
+
+
+@pytest.mark.parametrize("exp_id", SLOW)
+def test_slow_experiments_pass(exp_id):
+    result = get(exp_id).run(quick=True, seed=0)
+    for check in result.checks:
+        assert check.passed, str(check)
+
+
+def test_every_registered_experiment_is_covered():
+    assert set(FAST) | set(MEDIUM) | set(SLOW) == set(all_ids())
+
+
+def test_results_render_and_serialise():
+    result = get("fig3").run(quick=True, seed=0)
+    assert result.render()
+    assert result.to_json()["experiment_id"] == "fig3"
+
+
+def test_cli_list_and_run(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out

@@ -1,0 +1,69 @@
+"""Content-level tests of the extension experiments."""
+
+import pytest
+
+from repro.experiments import get
+
+
+class TestExtSpectreContent:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get("ext_spectre").run(quick=True, seed=0)
+
+    def test_table_covers_every_secret(self, result):
+        rows = result.tables["spectre_rounds"].rows
+        assert len(rows) == 3  # quick mode secrets
+        for _, unsafe_guess, unsafe_hot, prot_guess, prot_hot in rows:
+            assert unsafe_guess is not None
+            assert prot_guess is None
+            assert prot_hot == []
+
+    def test_metrics_consistent_with_table(self, result):
+        assert result.metrics["spectre_unsafe_success"] == 1.0
+        assert result.metrics["spectre_cleanupspec_footprints"] == 0
+
+
+class TestExtInvisibleContent:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get("ext_invisible").run(quick=True, seed=0)
+
+    def test_three_schemes_in_order(self, result):
+        rows = result.tables["three_way"].rows
+        assert [r[0] for r in rows] == ["UnsafeBaseline", "DelayOnMiss", "CleanupSpec"]
+
+    def test_security_cost_pattern(self, result):
+        rows = {r[0]: r for r in result.tables["three_way"].rows}
+        # Spectre leaks only on the unsafe machine.
+        assert rows["UnsafeBaseline"][1] is True
+        assert rows["DelayOnMiss"][1] is False
+        assert rows["CleanupSpec"][1] is False
+        # unXpec only on the Undo machine.
+        assert rows["CleanupSpec"][2] >= 18
+        assert rows["DelayOnMiss"][2] == 0
+        # Cost ordering.
+        assert rows["CleanupSpec"][3] < rows["DelayOnMiss"][3]
+
+
+class TestExtFuzzyContent:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get("ext_fuzzy").run(quick=True, seed=0)
+
+    def test_amplitude_sweep_monotone_overhead(self, result):
+        rows = result.tables["fuzzy_tradeoff"].rows
+        overheads = [r[2] for r in rows]
+        assert overheads == sorted(overheads)
+
+    def test_accuracy_trends_down(self, result):
+        rows = result.tables["fuzzy_tradeoff"].rows
+        assert rows[-1][1] < rows[0][1]
+
+
+class TestFig1Content:
+    def test_timeline_rows(self):
+        result = get("fig1").run(seed=0)
+        stages = [r[0] for r in result.tables["timeline"].rows]
+        assert stages == ["T1-T2", "T3+T4", "T5", "T1-T6"]
+        totals = result.tables["timeline"].rows[-1]
+        assert totals[3] - totals[2] == 32  # the eviction-set channel

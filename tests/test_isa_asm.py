@@ -1,0 +1,125 @@
+"""Tests for repro.isa.asm — assembler/disassembler, incl. round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import AssemblerError
+from repro.isa.asm import assemble, disassemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Branch, Flush, IntOpImm, Load, LoadImm, Store
+
+SAMPLE = """
+# a small program
+start:
+  li    r1, 0x1000
+  ld    r2, 8(r1)
+  addi  r3, r2, 1
+  add   r3, r3, r2
+  blt   r2, r3, start
+  st    r3, 0(r1)
+  clflush 0(r1)
+  mfence
+  rdtscp r5
+  j     end
+end:
+  halt
+"""
+
+
+class TestAssemble:
+    def test_sample_program(self):
+        p = assemble(SAMPLE, name="sample")
+        assert p.resolve("start") == 0
+        assert isinstance(p[0], LoadImm)
+        assert p[0].imm == 0x1000
+        assert isinstance(p[1], Load)
+        assert p[1].offset == 8
+        assert isinstance(p[2], IntOpImm)
+        assert isinstance(p[4], Branch)
+        assert isinstance(p[5], Store)
+        assert isinstance(p[6], Flush)
+
+    def test_comments_and_blank_lines_ignored(self):
+        p = assemble("# only comments\n\nhalt\n")
+        assert len(p) == 1
+
+    def test_negative_offset(self):
+        p = assemble("li r1, 100\nld r2, -8(r1)\nhalt")
+        assert p[1].offset == -8
+
+    def test_hex_immediates(self):
+        p = assemble("li r1, 0xFF\nhalt")
+        assert p[0].imm == 255
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate r1, r2\nhalt",
+            "li r1\nhalt",
+            "ld r1, r2\nhalt",
+            "li r1, notanumber\nhalt",
+            "1label: halt",
+            "blt r1, r2\nhalt",
+        ],
+    )
+    def test_bad_syntax_rejected(self, bad):
+        with pytest.raises(AssemblerError):
+            assemble(bad)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nnop\nx:\nhalt")
+
+    def test_missing_halt_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("nop")
+
+    def test_undefined_target_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere\nhalt")
+
+    def test_label_on_same_line(self):
+        p = assemble("start: nop\nhalt")
+        assert p.resolve("start") == 0
+
+
+class TestRoundTrip:
+    def test_disassemble_reassemble(self):
+        p1 = assemble(SAMPLE)
+        text = disassemble(p1)
+        p2 = assemble(text)
+        assert len(p1) == len(p2)
+        assert [str(a) for a in p1] == [str(b) for b in p2]
+
+    @given(st.lists(st.sampled_from(["nop", "mfence", "halt"]), max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_simple_streams_roundtrip(self, mnemonics):
+        text = "\n".join(mnemonics) + "\nhalt\n"
+        p1 = assemble(text)
+        p2 = assemble(disassemble(p1))
+        assert [str(a) for a in p1] == [str(b) for b in p2]
+
+    @given(
+        regs=st.lists(st.integers(0, 31), min_size=1, max_size=8),
+        imms=st.lists(st.integers(-1000, 1000), min_size=1, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_li_roundtrip(self, regs, imms):
+        lines = [f"li r{r}, {i}" for r, i in zip(regs, imms)] + ["halt"]
+        p1 = assemble("\n".join(lines))
+        p2 = assemble(disassemble(p1))
+        assert [str(a) for a in p1] == [str(b) for b in p2]
+
+    def test_builder_program_roundtrips(self):
+        b = ProgramBuilder("rt")
+        b.li("r1", 7)
+        b.label("top")
+        b.shli("r2", "r1", 3)
+        b.load("r3", "r2", 16)
+        b.branch("ne", "r3", "r1", "top")
+        b.halt()
+        p1 = b.build()
+        p2 = assemble(disassemble(p1))
+        assert [str(a) for a in p1] == [str(b_) for b_ in p2]
+        assert p2.resolve("top") == p1.resolve("top")

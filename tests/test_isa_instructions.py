@@ -1,0 +1,142 @@
+"""Tests for repro.isa.instructions."""
+
+import pytest
+
+from repro.common.errors import IsaError
+from repro.isa.instructions import (
+    Branch,
+    Fence,
+    Flush,
+    Halt,
+    IntOp,
+    IntOpImm,
+    Jump,
+    Load,
+    LoadImm,
+    Nop,
+    ReadTimer,
+    Store,
+    alu_eval,
+    branch_eval,
+)
+
+
+class TestAluEval:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 2, 3, 5),
+            ("sub", 5, 3, 2),
+            ("mul", 4, 6, 24),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 6, 64),
+            ("shr", 64, 6, 1),
+        ],
+    )
+    def test_ops(self, op, a, b, expected):
+        assert alu_eval(op, a, b) == expected
+
+    def test_wraparound(self):
+        assert alu_eval("add", (1 << 64) - 1, 1) == 0
+
+    def test_shift_modulo_64(self):
+        assert alu_eval("shl", 1, 64) == 1  # shift count masked to 0
+
+    def test_unknown_op(self):
+        with pytest.raises(IsaError):
+            alu_eval("div", 1, 1)
+
+
+class TestBranchEval:
+    @pytest.mark.parametrize(
+        "cond,a,b,expected",
+        [
+            ("lt", 1, 2, True),
+            ("lt", 2, 2, False),
+            ("le", 2, 2, True),
+            ("gt", 3, 2, True),
+            ("ge", 2, 2, True),
+            ("eq", 5, 5, True),
+            ("ne", 5, 5, False),
+        ],
+    )
+    def test_conditions(self, cond, a, b, expected):
+        assert branch_eval(cond, a, b) is expected
+
+    def test_unknown_condition(self):
+        with pytest.raises(IsaError):
+            branch_eval("ltu", 1, 2)
+
+
+class TestInstructionStructure:
+    def test_load_sources_and_dest(self):
+        inst = Load("r1", "r2", 8)
+        assert inst.sources() == ("r2",)
+        assert inst.destination() == "r1"
+        assert inst.is_memory
+
+    def test_store_sources(self):
+        inst = Store("r1", "r2", 0)
+        assert set(inst.sources()) == {"r1", "r2"}
+        assert inst.destination() is None
+        assert inst.is_memory
+
+    def test_intop_validation(self):
+        with pytest.raises(IsaError):
+            IntOp("bogus", "r1", "r2", "r3")
+        with pytest.raises(IsaError):
+            IntOp("add", "r99", "r2", "r3")
+
+    def test_intopimm(self):
+        inst = IntOpImm("shl", "r1", "r2", 6)
+        assert inst.sources() == ("r2",)
+        assert inst.destination() == "r1"
+
+    def test_branch_validation(self):
+        with pytest.raises(IsaError):
+            Branch("zz", "r1", "r2", "t")
+        with pytest.raises(IsaError):
+            Branch("lt", "r1", "r2", "")
+
+    def test_branch_taken(self):
+        assert Branch("lt", "r1", "r2", "t").taken(1, 2)
+        assert not Branch("ge", "r1", "r2", "t").taken(1, 2)
+
+    def test_flush_is_memory(self):
+        assert Flush("r1", 0).is_memory
+
+    def test_fence_has_no_regs(self):
+        f = Fence()
+        assert f.sources() == ()
+        assert f.destination() is None
+
+    def test_readtimer_dest(self):
+        assert ReadTimer("r30").destination() == "r30"
+
+    def test_jump_needs_target(self):
+        with pytest.raises(IsaError):
+            Jump("")
+
+    def test_str_representations(self):
+        cases = [
+            (LoadImm("r1", 5), "li r1, 5"),
+            (IntOp("add", "r1", "r2", "r3"), "add r1, r2, r3"),
+            (Load("r1", "r2", 8), "ld r1, 8(r2)"),
+            (Store("r1", "r2", 0), "st r1, 0(r2)"),
+            (Flush("r2", 64), "clflush 64(r2)"),
+            (Fence(), "mfence"),
+            (ReadTimer("r30"), "rdtscp r30"),
+            (Branch("lt", "r1", "r2", "loop"), "blt r1, r2, loop"),
+            (Jump("end"), "j end"),
+            (Nop(), "nop"),
+            (Halt(), "halt"),
+        ]
+        for inst, text in cases:
+            assert str(inst) == text
+
+    def test_instructions_are_frozen(self):
+        inst = LoadImm("r1", 5)
+        with pytest.raises(Exception):
+            inst.imm = 6  # type: ignore[misc]

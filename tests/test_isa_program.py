@@ -1,0 +1,112 @@
+"""Tests for repro.isa.program and repro.isa.builder."""
+
+import pytest
+
+from repro.common.errors import IsaError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Branch, Halt, LoadImm, Nop
+from repro.isa.program import Program
+
+
+class TestProgram:
+    def test_must_end_with_halt(self):
+        with pytest.raises(IsaError):
+            Program([Nop()])
+
+    def test_empty_rejected(self):
+        with pytest.raises(IsaError):
+            Program([])
+
+    def test_undefined_branch_target_rejected(self):
+        with pytest.raises(IsaError):
+            Program([Branch("lt", "r1", "r2", "missing"), Halt()])
+
+    def test_label_resolution(self):
+        p = Program([Nop(), Halt()], labels={"end": 1})
+        assert p.resolve("end") == 1
+        with pytest.raises(IsaError):
+            p.resolve("nope")
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(IsaError):
+            Program([Halt()], labels={"x": 5})
+
+    def test_container_protocol(self):
+        p = Program([Nop(), Halt()])
+        assert len(p) == 2
+        assert isinstance(p[0], Nop)
+        assert [type(i).__name__ for i in p] == ["Nop", "Halt"]
+
+    def test_branch_indices(self):
+        p = Program(
+            [Branch("lt", "r1", "r2", "end"), Nop(), Halt()], labels={"end": 2}
+        )
+        assert p.branch_indices() == [0]
+
+    def test_listing_contains_labels(self):
+        p = Program([Nop(), Halt()], labels={"start": 0})
+        assert "start:" in p.listing()
+
+
+class TestProgramBuilder:
+    def test_builds_valid_program(self):
+        b = ProgramBuilder("t")
+        b.li("r1", 5)
+        b.addi("r2", "r1", 1)
+        b.halt()
+        p = b.build()
+        assert len(p) == 3
+        assert p.name == "t"
+
+    def test_label_and_branch(self):
+        b = ProgramBuilder()
+        b.li("r1", 0)
+        b.label("loop")
+        b.addi("r1", "r1", 1)
+        b.li("r2", 3)
+        b.branch("lt", "r1", "r2", "loop")
+        b.halt()
+        p = b.build()
+        assert p.resolve("loop") == 1
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        b.nop()
+        with pytest.raises(IsaError):
+            b.label("x")
+
+    def test_here_tracks_position(self):
+        b = ProgramBuilder()
+        assert b.here == 0
+        b.nop(3)
+        assert b.here == 3
+
+    def test_all_opcode_helpers(self):
+        b = ProgramBuilder()
+        b.li("r1", 1)
+        b.op("xor", "r2", "r1", "r1")
+        b.opi("mul", "r3", "r1", 3)
+        b.add("r4", "r1", "r2")
+        b.addi("r5", "r4", 2)
+        b.mul("r6", "r1", "r4")
+        b.shli("r7", "r1", 6)
+        b.load("r8", "r1", 0)
+        b.store("r8", "r1", 8)
+        b.flush("r1", 0)
+        b.fence()
+        b.rdtscp("r30")
+        b.jump("end")
+        b.nop(2)
+        b.label("end")
+        b.halt()
+        p = b.build()
+        assert len(p) == 16
+
+    def test_branch_to_trailing_label(self):
+        b = ProgramBuilder()
+        b.branch("lt", "r1", "r2", "end")
+        b.label("end")
+        b.halt()
+        p = b.build()
+        assert p.resolve("end") == 1

@@ -1,0 +1,67 @@
+"""Tests for repro.isa.registers."""
+
+import pytest
+
+from repro.common.errors import IsaError
+from repro.isa.registers import NUM_REGISTERS, WORD_MASK, RegisterFile, reg, validate_register
+
+
+class TestRegNames:
+    def test_reg_helper(self):
+        assert reg(0) == "r0"
+        assert reg(31) == "r31"
+
+    def test_reg_out_of_range(self):
+        with pytest.raises(IsaError):
+            reg(32)
+        with pytest.raises(IsaError):
+            reg(-1)
+
+    def test_validate_accepts_all(self):
+        for i in range(NUM_REGISTERS):
+            assert validate_register(f"r{i}") == f"r{i}"
+
+    @pytest.mark.parametrize("bad", ["x1", "r", "r32", "r-1", "1r", "", "rr3"])
+    def test_validate_rejects(self, bad):
+        with pytest.raises(IsaError):
+            validate_register(bad)
+
+
+class TestRegisterFile:
+    def test_default_zero(self):
+        rf = RegisterFile()
+        assert rf.read("r5") == 0
+
+    def test_write_read(self):
+        rf = RegisterFile()
+        rf.write("r3", 42)
+        assert rf.read("r3") == 42
+
+    def test_64bit_wraparound(self):
+        rf = RegisterFile()
+        rf.write("r1", (1 << 64) + 5)
+        assert rf.read("r1") == 5
+        rf.write("r2", -1)
+        assert rf.read("r2") == WORD_MASK
+
+    def test_snapshot_restore(self):
+        rf = RegisterFile()
+        rf.write("r1", 10)
+        snap = rf.snapshot()
+        rf.write("r1", 20)
+        rf.restore(snap)
+        assert rf.read("r1") == 10
+
+    def test_copy_is_independent(self):
+        rf = RegisterFile()
+        rf.write("r1", 1)
+        clone = rf.copy()
+        clone.write("r1", 2)
+        assert rf.read("r1") == 1
+
+    def test_invalid_name_on_access(self):
+        rf = RegisterFile()
+        with pytest.raises(IsaError):
+            rf.read("r99")
+        with pytest.raises(IsaError):
+            rf.write("bogus", 1)

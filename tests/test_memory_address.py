@@ -1,0 +1,72 @@
+"""Tests for repro.memory.address — tag/index/offset arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheGeometry
+from repro.memory.address import AddressMapper, line_address, line_offset
+
+L1D = CacheGeometry("L1D", 32 * 1024, ways=8, sets=64)
+L2 = CacheGeometry("L2", 2 * 1024 * 1024, ways=16, sets=2048)
+
+
+class TestLineHelpers:
+    def test_line_address(self):
+        assert line_address(0x1234, 64) == 0x1200
+        assert line_address(0x1200, 64) == 0x1200
+
+    def test_line_offset(self):
+        assert line_offset(0x1234, 64) == 0x34
+
+
+class TestAddressMapper:
+    def test_l1d_bits(self):
+        m = AddressMapper(L1D)
+        assert m.offset_bits == 6
+        assert m.index_bits == 6
+
+    def test_p_array_stride_maps_to_consecutive_sets(self):
+        # The attack relies on P + 64k landing in set k (P 4096-aligned).
+        m = AddressMapper(L1D)
+        base = 0x20000
+        for k in range(9):
+            assert m.set_index(base + 64 * k) == k
+
+    def test_4096_stride_is_congruent(self):
+        # Eviction-set candidates at 4 KB stride share the L1 set.
+        m = AddressMapper(L1D)
+        target = 0x20040
+        for j in range(1, 10):
+            assert m.set_index(target + j * 4096) == m.set_index(target)
+
+    def test_compose_validation(self):
+        m = AddressMapper(L1D)
+        with pytest.raises(ValueError):
+            m.compose(1, 64)
+        with pytest.raises(ValueError):
+            m.compose(1, 0, offset=64)
+
+    def test_congruent_addresses_distinct_and_congruent(self):
+        m = AddressMapper(L1D)
+        target = 0x20040
+        congruent = m.congruent_addresses(target, 8)
+        assert len(set(congruent)) == 8
+        for addr in congruent:
+            assert m.set_index(addr) == m.set_index(target)
+            assert m.line(addr) != m.line(target)
+
+    def test_congruent_count_validation(self):
+        m = AddressMapper(L1D)
+        with pytest.raises(ValueError):
+            m.congruent_addresses(0, -1)
+
+    @given(st.integers(0, (1 << 40) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_compose_inverts_decompose(self, addr):
+        for geometry in (L1D, L2):
+            m = AddressMapper(geometry)
+            rebuilt = m.compose(
+                m.tag(addr), m.set_index(addr), line_offset(addr, geometry.line_size)
+            )
+            assert rebuilt == addr

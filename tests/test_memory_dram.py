@@ -1,0 +1,58 @@
+"""Tests for repro.memory.dram."""
+
+import pytest
+
+from repro.common.errors import MemoryError_
+from repro.memory.dram import WORD_SIZE, Dram
+
+
+class TestDram:
+    def test_default_zero(self):
+        d = Dram()
+        assert d.read_word(0x1000) == 0
+
+    def test_write_read(self):
+        d = Dram()
+        d.write_word(0x1000, 42)
+        assert d.read_word(0x1000) == 42
+
+    def test_word_granularity(self):
+        d = Dram()
+        d.write_word(0x1000, 7)
+        # Any byte address within the word reads the same value.
+        assert d.read_word(0x1003) == 7
+        assert d.read_word(0x1000 + WORD_SIZE) == 0
+
+    def test_64bit_mask(self):
+        d = Dram()
+        d.write_word(0, (1 << 64) + 9)
+        assert d.read_word(0) == 9
+
+    def test_out_of_range(self):
+        d = Dram(size_bytes=1024)
+        with pytest.raises(MemoryError_):
+            d.read_word(1024)
+        with pytest.raises(MemoryError_):
+            d.write_word(-1, 0)
+
+    def test_stats_counting(self):
+        d = Dram()
+        d.read_word(0)
+        d.write_word(8, 1)
+        d.writeback_line(0x40)
+        assert d.stats.reads == 1
+        assert d.stats.writes == 1
+        assert d.stats.writebacks == 1
+
+    def test_peek_poke_bypass_stats(self):
+        d = Dram()
+        d.poke(0x80, 5)
+        assert d.peek(0x80) == 5
+        assert d.stats.reads == 0
+        assert d.stats.writes == 0
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Dram(latency=-1)
+        with pytest.raises(ValueError):
+            Dram(size_bytes=0)

@@ -1,0 +1,158 @@
+"""Property test: the OOO core computes the same architectural results as a
+trivial in-order reference interpreter.
+
+The timing machinery (dataflow scheduling, wrong-path execution, squash
+handling) must never change *functional* outcomes: register contents and
+memory state after a run are architecture, not microarchitecture. We
+generate random programs (ALU chains, loads/stores, forward branches) and
+compare the Core against a 20-line sequential interpreter.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheHierarchy
+from repro.cpu import Core
+from repro.defense import CleanupSpec, UnsafeBaseline
+from repro.isa import ProgramBuilder, alu_eval, branch_eval
+from repro.isa.instructions import (
+    Branch,
+    Halt,
+    IntOpImm,
+    Load,
+    LoadImm,
+    Store,
+)
+
+REGS = [f"r{i}" for i in range(1, 8)]
+OPS = ["add", "sub", "xor", "and", "or"]
+BASE = 0x40000
+
+
+def reference_run(program):
+    """Sequential interpreter: the architectural ground truth."""
+    regs = {r: 0 for r in REGS}
+    regs["r0"] = 0
+    mem = {}
+    pc = 0
+    steps = 0
+    while steps < 10_000:
+        steps += 1
+        inst = program[pc]
+        if isinstance(inst, Halt):
+            break
+        if isinstance(inst, LoadImm):
+            regs[inst.dst] = inst.imm & ((1 << 64) - 1)
+        elif isinstance(inst, IntOpImm):
+            regs[inst.dst] = alu_eval(inst.op, regs.get(inst.src1, 0), inst.imm)
+        elif isinstance(inst, Load):
+            addr = (regs.get(inst.base, 0) + inst.offset) & ((1 << 64) - 1)
+            regs[inst.dst] = mem.get(addr // 8 * 8, 0)
+        elif isinstance(inst, Store):
+            addr = (regs.get(inst.base, 0) + inst.offset) & ((1 << 64) - 1)
+            mem[addr // 8 * 8] = regs.get(inst.src, 0)
+        elif isinstance(inst, Branch):
+            if branch_eval(inst.cond, regs.get(inst.src1, 0), regs.get(inst.src2, 0)):
+                pc = program.resolve(inst.target)
+                continue
+        pc += 1
+    return regs, mem
+
+
+# One generated "slot": (kind, payload) tuples the builder turns into code.
+slot = st.one_of(
+    st.tuples(st.just("li"), st.sampled_from(REGS), st.integers(0, 1 << 16)),
+    st.tuples(
+        st.just("alu"),
+        st.sampled_from(OPS),
+        st.sampled_from(REGS),
+        st.sampled_from(REGS),
+        st.integers(0, 255),
+    ),
+    st.tuples(st.just("load"), st.sampled_from(REGS), st.integers(0, 31)),
+    st.tuples(st.just("store"), st.sampled_from(REGS), st.integers(0, 31)),
+    st.tuples(
+        st.just("branch"),
+        st.sampled_from(["lt", "ge", "eq", "ne"]),
+        st.sampled_from(REGS),
+        st.sampled_from(REGS),
+        st.integers(1, 3),  # shadow length
+    ),
+)
+
+
+def build_program(slots):
+    b = ProgramBuilder("prop")
+    b.li("r0", BASE)  # base register for all memory ops
+    skip = 0
+    for item in slots:
+        kind = item[0]
+        if kind == "li":
+            b.li(item[1], item[2])
+        elif kind == "alu":
+            b.opi(item[1], item[2], item[3], item[4])
+        elif kind == "load":
+            b.load(item[1], "r0", item[2] * 8)
+        elif kind == "store":
+            b.store(item[1], "r0", item[2] * 8)
+        elif kind == "branch":
+            label = f"s{skip}"
+            skip += 1
+            b.branch(item[1], item[2], item[3], label)
+            for i in range(item[4]):
+                b.opi("add", REGS[i % len(REGS)], REGS[(i + 1) % len(REGS)], 1)
+            b.label(label)
+    b.halt()
+    return b.build()
+
+
+@given(st.lists(slot, min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_core_matches_reference_interpreter(slots):
+    program = build_program(slots)
+    want_regs, want_mem = reference_run(program)
+
+    for defense_cls in (UnsafeBaseline, CleanupSpec):
+        h = CacheHierarchy(seed=3)
+        core = Core(h, defense_cls(h))
+        result = core.run(program, max_instructions=100_000)
+        for reg in REGS:
+            assert result.registers.read(reg) == want_regs[reg], (
+                f"{defense_cls.__name__}: {reg} diverged"
+            )
+        for addr, value in want_mem.items():
+            assert h.dram.peek(addr) == value, f"mem[{addr:#x}] diverged"
+
+
+@given(st.lists(slot, min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_defense_never_changes_architecture(slots):
+    """Identical architectural outcome under every defense."""
+    from repro.defense import ConstantTimeRollback, DelayOnMiss
+
+    program = build_program(slots)
+    outcomes = []
+    for make in (
+        lambda h: UnsafeBaseline(h),
+        lambda h: CleanupSpec(h),
+        lambda h: ConstantTimeRollback(h, 30),
+        lambda h: DelayOnMiss(h),
+    ):
+        h = CacheHierarchy(seed=5)
+        core = Core(h, make(h))
+        result = core.run(program, max_instructions=100_000)
+        outcomes.append(tuple(result.registers.read(r) for r in REGS))
+    assert len(set(outcomes)) == 1
+
+
+@given(st.lists(slot, min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_timing_sanity(slots):
+    """Cycles are positive, finite, and at least the dependence depth."""
+    program = build_program(slots)
+    h = CacheHierarchy(seed=7)
+    core = Core(h, CleanupSpec(h))
+    result = core.run(program, max_instructions=100_000)
+    assert 0 < result.cycles < 10_000_000
+    # A core of width 4 cannot beat instructions/4 cycles.
+    assert result.cycles >= result.instructions // 8

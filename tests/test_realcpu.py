@@ -1,0 +1,73 @@
+"""Tests for repro.realcpu — the analytic i7-8550U model."""
+
+import statistics
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.realcpu.model import RealCpuModel
+
+
+class TestShapeClaims:
+    """The three Fig. 13 claims the model must exhibit."""
+
+    def test_linear_in_condition_complexity(self):
+        m = RealCpuModel()
+        levels = [
+            statistics.median(m.measure(n, 1, 0, 200, seed=1)) for n in (1, 2, 3)
+        ]
+        step1 = levels[1] - levels[0]
+        step2 = levels[2] - levels[1]
+        assert abs(step1 - m.mem_access_cycles) < 0.2 * m.mem_access_cycles
+        assert abs(step2 - m.mem_access_cycles) < 0.2 * m.mem_access_cycles
+
+    def test_flat_in_loads(self):
+        m = RealCpuModel()
+        medians = [
+            statistics.median(m.measure(2, loads, 0, 200, seed=2))
+            for loads in (1, 3, 5)
+        ]
+        assert max(medians) - min(medians) < 0.1 * m.mem_access_cycles
+
+    def test_secret_insensitive(self):
+        m = RealCpuModel()
+        m0 = statistics.median(m.measure(1, 1, 0, 300, seed=3))
+        m1 = statistics.median(m.measure(1, 1, 1, 300, seed=4))
+        assert abs(m0 - m1) < 0.1 * m.mem_access_cycles
+
+    def test_noisy(self):
+        m = RealCpuModel()
+        data = m.measure(1, 1, 0, 300, seed=5)
+        assert statistics.pstdev(data) > 5  # visible jitter, unlike gem5
+
+    def test_spikes_present(self):
+        m = RealCpuModel(spike_prob=0.2)
+        data = m.measure(1, 1, 0, 500, seed=6)
+        med = statistics.median(data)
+        assert any(x > med + m.spike_min for x in data)
+
+
+class TestMechanics:
+    def test_deterministic_per_seed(self):
+        m = RealCpuModel()
+        assert m.measure(1, 1, 0, 50, seed=7) == m.measure(1, 1, 0, 50, seed=7)
+
+    def test_positive_samples(self):
+        m = RealCpuModel(noise_std=500.0)
+        rng = make_rng(0)
+        for _ in range(100):
+            assert m.resolution_time(1, 1, 0, rng) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RealCpuModel(mem_access_cycles=0)
+        with pytest.raises(ConfigError):
+            RealCpuModel(spike_prob=2.0)
+        with pytest.raises(ConfigError):
+            RealCpuModel(spike_min=10, spike_max=5)
+        m = RealCpuModel()
+        with pytest.raises(ConfigError):
+            m.resolution_time(0, 1, 0, make_rng(0))
+        with pytest.raises(ConfigError):
+            m.resolution_time(1, -1, 0, make_rng(0))

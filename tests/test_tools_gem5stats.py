@@ -1,0 +1,110 @@
+"""Tests for repro.tools.gem5stats — the artifact-appendix workflow."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.tools.gem5stats import (
+    SCHEME_CLEANUP,
+    SCHEME_UNSAFE,
+    artifact_overhead,
+    parse_stats,
+    run_gem5_style,
+)
+from repro.workloads import get_profile, synthesize
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthesize(get_profile("gcc_r"), instructions=3000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def stats_pair(workload):
+    unsafe = run_gem5_style(
+        workload.program, SCHEME_UNSAFE, maxinst_count=2500, startinst_count=500
+    )
+    cleanup = run_gem5_style(
+        workload.program, SCHEME_CLEANUP, maxinst_count=2500, startinst_count=500
+    )
+    return unsafe, cleanup
+
+
+class TestRunGem5Style:
+    def test_counters_sane(self, stats_pair):
+        unsafe, cleanup = stats_pair
+        assert unsafe.sim_ticks > unsafe.start_cycles > 0
+        assert cleanup.sim_ticks >= unsafe.sim_ticks
+        assert unsafe.extra_cleanup_squash_time == {}
+        assert set(cleanup.extra_cleanup_squash_time) == {25, 30, 35, 45, 65}
+
+    def test_extras_monotone_in_constant(self, stats_pair):
+        _, cleanup = stats_pair
+        extras = [cleanup.extra_cleanup_squash_time[c] for c in (25, 30, 35, 45, 65)]
+        assert all(b >= a for a, b in zip(extras, extras[1:]))
+        assert extras[0] > 0  # squashes happened in the window
+
+    def test_unknown_scheme_rejected(self, workload):
+        with pytest.raises(ExperimentError):
+            run_gem5_style(workload.program, "Bogus", 100, 10)
+
+    def test_window_validation(self, workload):
+        with pytest.raises(ExperimentError):
+            run_gem5_style(workload.program, SCHEME_UNSAFE, 100, 100)
+
+
+class TestRenderParse:
+    def test_round_trip(self, stats_pair):
+        _, cleanup = stats_pair
+        text = cleanup.render()
+        parsed = parse_stats(text)
+        assert parsed["sim_ticks"] == cleanup.sim_ticks
+        assert parsed["system.cpu.fetch.startCycles"] == cleanup.start_cycles
+        key = "system.cpu.iew.lsq.thread0.extraCleanupSquashTimeCycles65"
+        assert parsed[key] == cleanup.extra_cleanup_squash_time[65]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ExperimentError):
+            parse_stats("sim_ticks not_a_number")
+
+    def test_parse_skips_comments(self):
+        assert parse_stats("# hello\nsim_ticks 5\n") == {"sim_ticks": 5}
+
+
+class TestArtifactCalculation:
+    def test_no_const_overhead_small(self, stats_pair):
+        unsafe, cleanup = stats_pair
+        ratio = artifact_overhead(unsafe, cleanup)
+        assert 1.0 <= ratio < 1.3  # plain CleanupSpec is cheap
+
+    def test_const_overhead_grows(self, stats_pair):
+        unsafe, cleanup = stats_pair
+        r25 = artifact_overhead(unsafe, cleanup, constant=25)
+        r65 = artifact_overhead(unsafe, cleanup, constant=65)
+        assert r65 > r25 > artifact_overhead(unsafe, cleanup)
+
+    def test_matches_direct_simulation_roughly(self, workload):
+        """The appendix formula approximates a real ConstantTimeRollback run
+        when both cover the same (whole-program) window."""
+        from repro.cache import CacheHierarchy
+        from repro.cpu import Core
+        from repro.defense import ConstantTimeRollback, UnsafeBaseline
+
+        total = len(workload.program)
+        unsafe = run_gem5_style(workload.program, SCHEME_UNSAFE, total, 0)
+        cleanup = run_gem5_style(workload.program, SCHEME_CLEANUP, total, 0)
+        formula = artifact_overhead(unsafe, cleanup, constant=65) - 1.0
+
+        def run(mk):
+            h = CacheHierarchy(seed=0)
+            return Core(h, mk(h)).run(workload.program, max_instructions=10_000_000)
+
+        base = run(lambda h: UnsafeBaseline(h)).cycles
+        direct = run(lambda h: ConstantTimeRollback(h, 65)).cycles / base - 1.0
+        # The formula adds padding post-hoc (no second-order fetch effects,
+        # no t3/t4 interaction); same ballpark is all it promises.
+        assert abs(formula - direct) < max(0.15, 0.5 * direct)
+
+    def test_missing_constant_rejected(self, stats_pair):
+        unsafe, cleanup = stats_pair
+        with pytest.raises(ExperimentError):
+            artifact_overhead(unsafe, cleanup, constant=99)

@@ -1,0 +1,119 @@
+"""Tests for repro.workloads — patterns, profiles, program synthesis."""
+
+import pytest
+
+from repro.cache import CacheHierarchy
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.cpu import Core
+from repro.defense import UnsafeBaseline
+from repro.workloads.patterns import (
+    ColdRegion,
+    HotRegion,
+    WarmRegion,
+    pointer_chase_stream,
+    strided_stream,
+)
+from repro.workloads.profiles import PROFILES_BY_NAME, SPEC2017_PROFILES, get_profile
+from repro.workloads.synth import synthesize
+
+
+class TestPatterns:
+    def test_hot_region_bounded(self):
+        hot = HotRegion(lines=16)
+        rng = make_rng(0)
+        addrs = {hot.pick(rng) for _ in range(500)}
+        assert len(addrs) <= 16
+        assert all(hot.base <= a < hot.base + 16 * 64 for a in addrs)
+
+    def test_cold_region_never_repeats(self):
+        cold = ColdRegion()
+        rng = make_rng(0)
+        addrs = [cold.pick(rng) for _ in range(100)]
+        assert len(set(addrs)) == 100
+
+    def test_warm_region_larger_than_l1(self):
+        assert WarmRegion().lines * 64 > 32 * 1024
+
+    def test_strided(self):
+        assert strided_stream(0, 64, 3) == [0, 64, 128]
+        with pytest.raises(ConfigError):
+            strided_stream(0, 0, 3)
+
+    def test_pointer_chase_covers_lines(self):
+        stream = pointer_chase_stream(0x1000, 8, 8, make_rng(1))
+        assert len({a for a in stream}) == 8
+
+
+class TestProfiles:
+    def test_twelve_profiles(self):
+        assert len(SPEC2017_PROFILES) == 12
+        assert len(PROFILES_BY_NAME) == 12
+
+    def test_get_profile(self):
+        assert get_profile("mcf_r").name == "mcf_r"
+        with pytest.raises(ConfigError):
+            get_profile("nonexistent")
+
+    def test_memory_mix_sums_to_one(self):
+        for p in SPEC2017_PROFILES:
+            assert abs(p.l1_frac + p.l2_frac + p.mem_frac - 1.0) < 1e-9
+
+    def test_memory_heavy_vs_compute_profiles(self):
+        assert get_profile("mcf_r").mem_frac > get_profile("imagick_r").mem_frac
+        assert get_profile("lbm_r").branch_fraction < get_profile("gcc_r").branch_fraction
+
+    def test_validation(self):
+        from repro.workloads.profiles import WorkloadProfile
+
+        with pytest.raises(ConfigError):
+            WorkloadProfile("bad", 0.5, 0.1, 0.1, 0.4, 0.2, 0.5, 0.3, 0.2)
+        with pytest.raises(ConfigError):
+            WorkloadProfile("bad", 0.1, 0.1, 0.1, 0.2, 0.1, 0.5, 0.3, 0.3)
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        p = SPEC2017_PROFILES[0]
+        a = synthesize(p, instructions=500, seed=1)
+        b = synthesize(p, instructions=500, seed=1)
+        assert [str(i) for i in a.program] == [str(i) for i in b.program]
+
+    def test_seed_changes_program(self):
+        p = SPEC2017_PROFILES[0]
+        a = synthesize(p, instructions=500, seed=1)
+        b = synthesize(p, instructions=500, seed=2)
+        assert [str(i) for i in a.program] != [str(i) for i in b.program]
+
+    def test_report_matches_emission(self):
+        from repro.isa.instructions import Branch, Load, Store
+
+        wl = synthesize(SPEC2017_PROFILES[1], instructions=1500, seed=0)
+        branches = sum(1 for i in wl.program if isinstance(i, Branch))
+        loads = sum(1 for i in wl.program if isinstance(i, Load))
+        stores = sum(1 for i in wl.program if isinstance(i, Store))
+        assert branches == wl.report.branches
+        assert loads == wl.report.loads
+        assert stores == wl.report.stores
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ConfigError):
+            synthesize(SPEC2017_PROFILES[0], instructions=10)
+
+    def test_runs_to_completion_with_controlled_mispredicts(self):
+        wl = synthesize(get_profile("gcc_r"), instructions=2000, seed=0)
+        h = CacheHierarchy(seed=0)
+        core = Core(h, UnsafeBaseline(h))
+        res = core.run(wl.program, max_instructions=5_000_000)
+        # Straight-line + fresh counters: mispredicts == taken branches.
+        assert res.mispredictions == wl.report.taken_branches
+
+    def test_memory_mix_realised(self):
+        wl = synthesize(get_profile("mcf_r"), instructions=4000, seed=0)
+        h = CacheHierarchy(seed=0)
+        core = Core(h, UnsafeBaseline(h))
+        core.run(wl.program, max_instructions=5_000_000)
+        total = h.l1.stats.hits + h.l1.stats.misses
+        miss_rate = h.l1.stats.misses / total
+        # mcf profile: ~30% of loads miss L1 (plus cold-start effects).
+        assert 0.1 < miss_rate < 0.6
