@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments report quick-report examples clean
+.PHONY: install test bench experiments report quick-report stats examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,10 @@ report:
 
 quick-report:
 	$(PYTHON) -m repro.experiments report --quick --out REPORT.md
+
+stats:
+	$(PYTHON) -m repro.experiments fig3 --quick --stats-out stats.json
+	$(PYTHON) -m repro.obs stats.json --profile
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -27,6 +27,7 @@ from ..common.errors import ConfigError
 from ..common.rng import derive_rng
 from ..memory.dram import Dram
 from ..memory.mshr import MshrFile
+from ..obs import Observability, get_default_obs
 from .coherence import CoherenceGuard
 from .randomized import RandomizedIndexing
 from .replacement import NoMoPartition, RandomReplacement, ReplacementPolicy
@@ -64,6 +65,7 @@ class CacheHierarchy:
         l2_policy: Optional[ReplacementPolicy] = None,
         randomize_l2: bool = True,
         nomo_threads: int = 2,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config or SystemConfig()
         self.latency: LatencyConfig = self.config.latency
@@ -88,6 +90,23 @@ class CacheHierarchy:
         self.l1_guard = CoherenceGuard(
             miss_latency=self.latency.memory_total, hit_latency=self.latency.l1_hit
         )
+        self.obs: Optional[Observability] = None
+        self.attach_obs(obs if obs is not None else get_default_obs())
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_obs(self, obs: Optional[Observability]) -> None:
+        """Report stats/events through ``obs`` (idempotent once attached)."""
+        if obs is None or self.obs is not None:
+            return
+        self.obs = obs
+        reg = obs.registry
+        self.l1.register_stats(reg, "l1d")
+        self.l2.register_stats(reg, "l2")
+        self.dram.register_stats(reg, "dram")
+        self.mshr.register_stats(reg, "mshr")
 
     # ------------------------------------------------------------------
     # demand accesses
@@ -111,11 +130,15 @@ class CacheHierarchy:
         if speculative and epoch is None:
             raise ConfigError("speculative access requires an epoch")
         self.mshr.retire_completed(cycle)
+        obs = self.obs
+        trace = obs.trace if obs is not None and obs.trace.full_events else None
 
         line1 = self.l1.lookup(addr, cycle)
         if line1 is not None:
             if is_write:
                 line1.write(cycle)
+            if trace is not None:
+                trace.emit(cycle, "cache.hit", (self.l1.line_addr_of(addr), "L1"))
             return AccessResult(
                 addr=addr,
                 latency=self.latency.l1_hit,
@@ -129,9 +152,13 @@ class CacheHierarchy:
         if line2 is not None:
             latency = self.latency.l2_total
             level = "L2"
+            if trace is not None:
+                trace.emit(cycle, "cache.hit", (self.l2.line_addr_of(addr), "L2"))
         else:
             latency = self.latency.memory_total
             level = "MEM"
+            if trace is not None:
+                trace.emit(cycle, "cache.miss", (self.l2.line_addr_of(addr), "MEM"))
             self.dram.read_word(self.l2.line_addr_of(addr))
             ev2 = self._install_l2(addr, cycle, speculative, epoch, thread)
             installed.append("L2")
@@ -197,6 +224,8 @@ class CacheHierarchy:
             epoch=epoch,
             thread=thread,
         )
+        if self.obs is not None:
+            self._emit_install("L1", addr, cycle, speculative, epoch, eviction)
         if eviction is not None and eviction.dirty:
             # Writeback into L2 (data already in DRAM functional store).
             self.l2.install(eviction.line_addr, cycle, dirty=True, thread=thread)
@@ -229,6 +258,8 @@ class CacheHierarchy:
         line, eviction = self.l2.install(
             addr, cycle, dirty=False, speculative=speculative, epoch=epoch, thread=thread
         )
+        if self.obs is not None:
+            self._emit_install("L2", addr, cycle, speculative, epoch, eviction)
         if eviction is not None:
             # L2 victims leave the hierarchy entirely; the inclusive-ish
             # model also drops any L1 copy of the victim.
@@ -252,6 +283,36 @@ class CacheHierarchy:
                     was_speculative=eviction.was_speculative,
                 )
         return eviction
+
+    def _emit_install(
+        self,
+        level: str,
+        addr: int,
+        cycle: int,
+        speculative: bool,
+        epoch: Optional[int],
+        eviction: Optional[Eviction],
+    ) -> None:
+        """Trace one install (and its eviction, if any) at ``level``."""
+        trace = self.obs.trace
+        cache = self.l1 if level == "L1" else self.l2
+        trace.emit(
+            cycle,
+            "cache.install",
+            (
+                cache.line_addr_of(addr),
+                level,
+                speculative,
+                epoch,
+                eviction.line_addr if eviction is not None else None,
+            ),
+        )
+        if eviction is not None:
+            trace.emit(
+                cycle,
+                "cache.evict",
+                (eviction.line_addr, level, eviction.dirty, eviction.was_speculative),
+            )
 
     # ------------------------------------------------------------------
     # flush (clflush)
@@ -335,6 +396,10 @@ class CacheHierarchy:
             preferred_way=eviction.way,
         )
         self.l1.stats.restorations += 1
+        if self.obs is not None:
+            self.obs.trace.emit(
+                0, "cache.restore", (eviction.line_addr, eviction.way)
+            )
         return True
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     installs: int = 0
+    spec_installs: int = 0
     evictions: int = 0
     dirty_evictions: int = 0
     invalidations: int = 0
@@ -175,6 +176,8 @@ class SetAssociativeCache:
         )
         ways[target] = new_line
         self.stats.installs += 1
+        if speculative:
+            self.stats.spec_installs += 1
         return new_line, eviction
 
     # -- removal -----------------------------------------------------------------
@@ -235,3 +238,34 @@ class SetAssociativeCache:
     def clear(self) -> None:
         for s in range(self.geometry.sets):
             self._sets[s] = [None] * self.geometry.ways
+
+    # -- observability -------------------------------------------------------
+
+    def register_stats(self, registry, prefix: str) -> None:
+        """Publish this level's counters under ``prefix`` (e.g. ``l1d``).
+
+        Pull-based: the registry reads ``self.stats`` at dump time, so the
+        lookup/install hot paths pay nothing.  Several caches registering
+        under the same prefix (one per hierarchy in a campaign) aggregate.
+        """
+        st = self.stats
+        pulls = (
+            ("hits", "demand hits at this level", lambda: st.hits),
+            ("misses", "demand misses at this level", lambda: st.misses),
+            ("installs", "lines installed", lambda: st.installs),
+            ("spec_installs", "speculatively installed lines", lambda: st.spec_installs),
+            ("evictions", "victims evicted by installs", lambda: st.evictions),
+            ("dirty_evictions", "dirty victims written back", lambda: st.dirty_evictions),
+            ("invalidations", "lines invalidated (incl. rollback)", lambda: st.invalidations),
+            ("restorations", "rollback-restored victims", lambda: st.restorations),
+            ("flushes", "clflush invalidations", lambda: st.flushes),
+        )
+        for name, desc, fn in pulls:
+            registry.gauge(f"{prefix}.{name}", desc).add_source(fn)
+        hits = registry.gauge(f"{prefix}.hits")
+        misses = registry.gauge(f"{prefix}.misses")
+        registry.formula(
+            f"{prefix}.miss_rate",
+            lambda h=hits, m=misses: m.value() / max(1, h.value() + m.value()),
+            desc="misses / accesses at this level",
+        )

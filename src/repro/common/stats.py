@@ -149,9 +149,11 @@ def optimal_threshold(zeros: Sequence[float], ones: Sequence[float]) -> float:
     if z.size == 0 or o.size == 0:
         raise ValueError("both classes need at least one sample")
     pooled = np.unique(np.concatenate([z, o]))
-    candidates = (pooled[:-1] + pooled[1:]) / 2.0
-    if candidates.size == 0:
-        return float(pooled[0])
+    midpoints = (pooled[:-1] + pooled[1:]) / 2.0
+    # Also consider thresholds outside the pooled range: with degenerate or
+    # fully overlapping classes the best split may classify everything as a
+    # single class, which no interior midpoint can express.
+    candidates = np.concatenate(([pooled[0] - 1.0], midpoints, [pooled[-1] + 1.0]))
     best_thr = float(candidates[0])
     best_err = float("inf")
     for thr in candidates:

@@ -56,6 +56,7 @@ from ..isa.instructions import (
 )
 from ..isa.program import Program
 from ..isa.registers import RegisterFile
+from ..obs import Observability, get_default_obs
 from .lsq import InflightMemTracker
 from .noise import NoiseModel
 from .predictor import BimodalPredictor, WEAK_TAKEN
@@ -96,6 +97,7 @@ class Core:
         squash_delay: int = DEFAULT_SQUASH_DELAY,
         noise_seed: int = 0,
         record_timeline: bool = False,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.hierarchy = hierarchy
         self.defense = defense
@@ -110,6 +112,43 @@ class Core:
         #: Wrong-path execution is bounded by the ROB (an instruction can
         #: only issue speculatively if it fits behind the branch).
         self.max_wrong_path = self.config.rob_entries
+        #: Observability: explicit > hierarchy's > process default > None.
+        self.obs = obs or hierarchy.obs or get_default_obs()
+        if self.obs is not None:
+            hierarchy.attach_obs(self.obs)
+            if hasattr(defense, "attach_obs"):
+                defense.attach_obs(self.obs)
+            self._register_stats(self.obs.registry)
+
+    def _register_stats(self, reg) -> None:
+        """Create (or share) the ``core.*`` stats this core bumps."""
+        self._st_runs = reg.counter("core.runs", "programs executed to Halt")
+        self._st_instructions = reg.counter("core.instructions", "committed instructions")
+        self._st_cycles = reg.counter("core.cycles", "total run cycles")
+        self._st_squashes = reg.counter("core.squashes", "branch mispredict squashes")
+        self._st_wp_executed = reg.counter(
+            "core.wrong_path.executed", "wrong-path instructions issued"
+        )
+        self._st_wp_loads = reg.counter(
+            "core.wrong_path.loads", "wrong-path loads issued"
+        )
+        self._st_wp_inflight = reg.counter(
+            "core.wrong_path.inflight", "wrong-path loads still in flight at squash"
+        )
+        self._st_noise = reg.counter("core.noise_cycles", "system-noise event cycles")
+        self._st_defense_stall = reg.counter(
+            "core.defense_stall_cycles", "cycles stalled for the defense after squashes"
+        )
+        self._st_squash_stall = reg.distribution(
+            "core.squash.stall", "per-squash defense stall seen by the core"
+        )
+        self._st_run_cycles = reg.distribution("core.run.cycles", "cycles per run")
+        reg.formula(
+            "core.ipc",
+            lambda i=self._st_instructions, c=self._st_cycles: i.value()
+            / max(1, c.value()),
+            desc="committed instructions per cycle",
+        )
 
     # ------------------------------------------------------------------
     # main entry point
@@ -128,6 +167,11 @@ class Core:
         rob = RobModel(cfg.rob_entries, cfg.dispatch_width)
         mem = InflightMemTracker()
         result = RunResult(program_name=program.name, cycles=0, instructions=0, registers=regs)
+
+        obs = self.obs
+        trace = obs.trace if obs is not None else None
+        emit_commit = trace is not None and trace.commit_events
+        emit_full = trace is not None and trace.full_events
 
         fetch_available = 0
         last_complete_all = 0
@@ -271,6 +315,24 @@ class Core:
                         fence_barrier=mem.fence_barrier,
                     )
                     delta = self.hierarchy.squash_epoch_delta(epoch)
+                    if trace is not None:
+                        trace.emit(
+                            squash_point,
+                            "squash.begin",
+                            (pc, resolve, wp.executed, wp.loads_issued, wp.inflight),
+                        )
+                        trace.emit(
+                            squash_point,
+                            "spec.delta",
+                            (
+                                epoch,
+                                sum(1 for i in delta.installs if i.level == "L1"),
+                                sum(1 for i in delta.installs if i.level == "L2"),
+                                sum(1 for e in delta.evictions if e.level == "L1"),
+                                sum(1 for e in delta.evictions if e.level == "L2"),
+                                wp.inflight,
+                            ),
+                        )
                     ctx = SquashContext(
                         resolve_cycle=squash_point,
                         delta=delta,
@@ -282,6 +344,30 @@ class Core:
                         squash_point + cfg.mispredict_penalty + outcome.stall_cycles
                     )
                     fetch_available = max(fetch_available, fetch_resume)
+                    if obs is not None:
+                        trace.emit(
+                            fetch_resume,
+                            "squash.end",
+                            (
+                                pc,
+                                fetch_resume,
+                                outcome.stall_cycles,
+                                outcome.stage("t3_mshr_clean"),
+                                outcome.stage("t4_inflight_wait"),
+                                outcome.stage("t5_rollback"),
+                                outcome.stage("dummy"),
+                                outcome.stage("padding"),
+                                outcome.invalidated_l1,
+                                outcome.invalidated_l2,
+                                outcome.restored_l1,
+                            ),
+                        )
+                        self._st_squashes.inc()
+                        self._st_wp_executed.inc(wp.executed)
+                        self._st_wp_loads.inc(wp.loads_issued)
+                        self._st_wp_inflight.inc(wp.inflight)
+                        self._st_defense_stall.inc(outcome.stall_cycles)
+                        self._st_squash_stall.add(outcome.stall_cycles)
                     result.squashes.append(
                         SquashEvent(
                             branch_pc=pc,
@@ -302,6 +388,16 @@ class Core:
             rob.record_commit(complete)
             last_complete_all = max(last_complete_all, complete)
             committed += 1
+            if emit_commit:
+                trace.emit(
+                    complete,
+                    "inst.commit",
+                    (committed - 1, pc, dispatch, start, complete, level),
+                )
+                if emit_full:
+                    trace.emit(dispatch, "inst.dispatch", (committed - 1, pc))
+                    trace.emit(start, "inst.issue", (committed - 1, pc))
+                    trace.emit(complete, "inst.complete", (committed - 1, pc, level))
             if self.record_timeline:
                 result.timeline.append(
                     InstructionTiming(
@@ -318,6 +414,13 @@ class Core:
 
         result.cycles = max(last_complete_all, fetch_available)
         result.instructions = committed
+        if obs is not None:
+            self._st_runs.inc()
+            self._st_instructions.inc(committed)
+            self._st_cycles.inc(result.cycles)
+            self._st_noise.inc(result.noise_event_cycles)
+            self._st_run_cycles.add(result.cycles)
+            result.stats = obs.registry.to_dict()
         return result
 
     # ------------------------------------------------------------------

@@ -7,7 +7,7 @@ experiments read timer registers, squash events and counters from it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..defense.base import SquashOutcome
 from ..isa.registers import RegisterFile
@@ -57,6 +57,9 @@ class RunResult:
     squashes: List[SquashEvent] = field(default_factory=list)
     timeline: List[InstructionTiming] = field(default_factory=list)
     noise_event_cycles: int = 0
+    #: Hierarchical stats snapshot (``StatRegistry.to_dict()``) taken at the
+    #: end of the run, when the core has an observability attached.
+    stats: Optional[Dict[str, object]] = None
 
     def timer(self, reg_name: str) -> int:
         """Value of a timestamp register (``ReadTimer`` destination)."""

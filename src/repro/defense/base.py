@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..obs import Observability
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..cache.hierarchy import CacheHierarchy
@@ -82,6 +84,37 @@ class Defense(abc.ABC):
         self.hierarchy = hierarchy
         self.squash_count = 0
         self.total_stall = 0
+        self.obs: Optional[Observability] = None
+        attached = getattr(hierarchy, "obs", None)
+        if attached is not None:
+            self.obs = attached
+            self._register_base_stats(attached.registry)
+
+    # -- observability ------------------------------------------------------
+
+    def attach_obs(self, obs: Optional[Observability]) -> None:
+        """Report through ``obs`` (idempotent once attached)."""
+        if obs is None or self.obs is not None:
+            return
+        self.obs = obs
+        self._register_base_stats(obs.registry)
+        self._register_extra_stats(obs.registry)
+
+    def _register_base_stats(self, registry) -> None:
+        registry.gauge("defense.squashes", "squashes handled by the defense").add_source(
+            lambda: self.squash_count
+        )
+        registry.gauge(
+            "defense.stall_cycles", "cumulative post-squash stall"
+        ).add_source(lambda: self.total_stall)
+
+    def _register_extra_stats(self, registry) -> None:
+        """Hook for subclass-specific stats; called once obs is known.
+
+        Subclasses whose counters exist only after their own ``__init__``
+        ran must register here (and call it themselves when the hierarchy
+        already carries an obs at construction time).
+        """
 
     @abc.abstractmethod
     def handle_squash(self, ctx: SquashContext) -> SquashOutcome:
@@ -92,4 +125,14 @@ class Defense(abc.ABC):
         outcome = self.handle_squash(ctx)
         self.squash_count += 1
         self.total_stall += outcome.stall_cycles
+        obs = self.obs
+        if obs is not None:
+            reg = obs.registry
+            reg.distribution(
+                "defense.stall", "per-squash defense stall (the unXpec observable)"
+            ).add(outcome.stall_cycles)
+            for stage, cycles in outcome.breakdown.items():
+                reg.distribution(
+                    f"defense.stage.{stage}", "per-squash stage duration"
+                ).add(cycles)
         return outcome

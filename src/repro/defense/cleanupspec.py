@@ -42,6 +42,22 @@ class CleanupSpec(Defense):
         self.total_invalidations_l1 = 0
         self.total_invalidations_l2 = 0
         self.total_restorations = 0
+        if self.obs is not None:
+            self._register_extra_stats(self.obs.registry)
+
+    def _register_extra_stats(self, registry) -> None:
+        registry.gauge(
+            "defense.cleanup.invalidations_l1",
+            "transient L1 lines invalidated by rollback (T5)",
+        ).add_source(lambda: self.total_invalidations_l1)
+        registry.gauge(
+            "defense.cleanup.invalidations_l2",
+            "transient L2 lines invalidated by rollback (T5)",
+        ).add_source(lambda: self.total_invalidations_l2)
+        registry.gauge(
+            "defense.cleanup.restores",
+            "evicted L1 victims restored by rollback (T5)",
+        ).add_source(lambda: self.total_restorations)
 
     def handle_squash(self, ctx: SquashContext) -> SquashOutcome:
         delta = ctx.delta

@@ -43,6 +43,13 @@ class FuzzyCleanup(Defense):
         self._rng: np.random.Generator = derive_rng(seed, "fuzzy-cleanup")
         self.name = f"FuzzyCleanup[<= {max_dummy_cycles}cyc]"
         self.total_dummy = 0
+        if self.obs is not None:
+            self._register_extra_stats(self.obs.registry)
+
+    def _register_extra_stats(self, registry) -> None:
+        registry.gauge(
+            "defense.fuzzy.dummy_cycles", "cumulative random dummy-cleanup stall"
+        ).add_source(lambda: self.total_dummy)
 
     def handle_squash(self, ctx: SquashContext) -> SquashOutcome:
         inner = self.inner.handle_squash(ctx)

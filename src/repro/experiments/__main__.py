@@ -6,6 +6,13 @@ Usage::
     python -m repro.experiments fig3
     python -m repro.experiments all --quick
     python -m repro.experiments fig7 --json out.json --seed 7
+    python -m repro.experiments fig3 --quick --stats-out stats.json
+
+``--stats-out`` attaches a process-wide :class:`~repro.obs.Observability`
+for the duration of the run — every core/hierarchy/defense the experiments
+construct registers its counters — and writes the hierarchical stats dump
+(plus per-experiment wall-clock profile) as JSON. Pretty-print it with
+``python -m repro.obs stats.json``.
 """
 
 from __future__ import annotations
@@ -13,11 +20,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import nullcontext
+from typing import List, Optional
 
 from . import registry
 
 
-def main(argv: list = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the unXpec paper's tables and figures.",
@@ -37,12 +46,42 @@ def main(argv: list = None) -> int:
     parser.add_argument(
         "--out", metavar="PATH", default="REPORT.md", help="report output path"
     )
+    parser.add_argument(
+        "--stats-out",
+        metavar="PATH",
+        help="dump hierarchical stats + phase profile JSON after the run",
+    )
     args = parser.parse_args(argv)
 
+    obs = None
+    if args.stats_out:
+        from ..obs import Observability, observe
+
+        # "squash" keeps only the security-relevant events in the ring so
+        # campaign-scale runs don't pay for per-commit tracing.
+        obs = Observability(trace_level="squash")
+        attached = observe(obs)
+    else:
+        attached = nullcontext()
+
+    with attached:
+        code = _dispatch(args, obs)
+    if obs is not None:
+        obs.dump_json(args.stats_out)
+        print(f"wrote {args.stats_out}")
+    return code
+
+
+def _dispatch(args: argparse.Namespace, obs) -> int:
     if args.experiment == "report":
         from .report import write_report
 
-        results = write_report(args.out, quick=args.quick, seed=args.seed)
+        results = write_report(
+            args.out,
+            quick=args.quick,
+            seed=args.seed,
+            profiler=obs.profiler if obs is not None else None,
+        )
         ok = sum(1 for r in results for c in r.checks if c.passed)
         total = sum(len(r.checks) for r in results)
         print(f"wrote {args.out}: {ok}/{total} checks passed")
@@ -59,7 +98,11 @@ def main(argv: list = None) -> int:
     for exp_id in ids:
         exp = registry.get(exp_id)
         started = time.time()
-        result = exp.run(quick=args.quick, seed=args.seed)
+        if obs is not None:
+            with obs.profile(f"experiment.{exp_id}"):
+                result = exp.run(quick=args.quick, seed=args.seed)
+        else:
+            result = exp.run(quick=args.quick, seed=args.seed)
         elapsed = time.time() - started
         print(result.render())
         print(f"({elapsed:.1f}s)")

@@ -3,49 +3,85 @@
 ``python -m repro.experiments report [--quick] [--out PATH]`` runs the
 entire registry and writes a single markdown file with a summary
 check-matrix followed by each experiment's full tables — the file a
-reviewer would diff against the paper.
+reviewer would diff against the paper. Per-experiment wall-clock is
+measured with an :class:`~repro.obs.Profiler` (pass one in to share it
+with a wider observability scope, e.g. the CLI's ``--stats-out``).
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
+from ..obs import Profiler
 from . import registry
 from .base import ExperimentResult
+
+#: Profiler phase prefix for one experiment run.
+_PHASE_PREFIX = "experiment."
 
 
 def run_all(
     quick: bool = False,
     seed: int = 0,
     ids: Optional[Sequence[str]] = None,
+    profiler: Optional[Profiler] = None,
 ) -> List[ExperimentResult]:
-    """Run the requested experiments (default: all) and return results."""
+    """Run the requested experiments (default: all) and return results.
+
+    When a ``profiler`` is given, each run is timed under the phase
+    ``experiment.<id>``.
+    """
     results = []
     for exp_id in ids or registry.all_ids():
-        results.append(registry.get(exp_id).run(quick=quick, seed=seed))
+        exp = registry.get(exp_id)
+        if profiler is not None:
+            with profiler.phase(_PHASE_PREFIX + exp_id):
+                results.append(exp.run(quick=quick, seed=seed))
+        else:
+            results.append(exp.run(quick=quick, seed=seed))
     return results
 
 
-def render_markdown(results: Sequence[ExperimentResult], elapsed: float = 0.0) -> str:
-    """Render a combined markdown report."""
+def experiment_timings(profiler: Profiler) -> Mapping[str, float]:
+    """Extract ``{experiment_id: seconds}`` from a profiler's phases."""
+    return {
+        name[len(_PHASE_PREFIX) :]: profiler.seconds(name)
+        for name in profiler.phases()
+        if name.startswith(_PHASE_PREFIX)
+    }
+
+
+def render_markdown(
+    results: Sequence[ExperimentResult],
+    elapsed: float = 0.0,
+    timings: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render a combined markdown report.
+
+    ``timings`` (``{experiment_id: seconds}``) adds a wall-clock column to
+    the summary matrix when given.
+    """
     total = sum(len(r.checks) for r in results)
     passed = sum(1 for r in results for c in r.checks if c.passed)
+    with_time = timings is not None
     lines = [
         "# unXpec reproduction report",
         "",
         f"{len(results)} experiments, {passed}/{total} paper-vs-measured checks passed"
         + (f" ({elapsed:.0f}s)." if elapsed else "."),
         "",
-        "| experiment | title | checks |",
-        "|---|---|---|",
+        "| experiment | title | checks |" + (" time |" if with_time else ""),
+        "|---|---|---|" + ("---|" if with_time else ""),
     ]
     for r in results:
         ok = sum(1 for c in r.checks if c.passed)
         status = "PASS" if r.all_passed else "**FAIL**"
-        lines.append(
-            f"| `{r.experiment_id}` | {r.title} | {ok}/{len(r.checks)} {status} |"
-        )
+        row = f"| `{r.experiment_id}` | {r.title} | {ok}/{len(r.checks)} {status} |"
+        if with_time:
+            secs = timings.get(r.experiment_id)
+            row += f" {secs:.1f}s |" if secs is not None else " — |"
+        lines.append(row)
     lines.append("")
     for r in results:
         lines.append("---")
@@ -62,11 +98,17 @@ def write_report(
     quick: bool = False,
     seed: int = 0,
     ids: Optional[Sequence[str]] = None,
+    profiler: Optional[Profiler] = None,
 ) -> List[ExperimentResult]:
     """Run experiments and write the markdown report to ``path``."""
+    profiler = profiler if profiler is not None else Profiler()
     started = time.time()
-    results = run_all(quick=quick, seed=seed, ids=ids)
-    text = render_markdown(results, elapsed=time.time() - started)
+    results = run_all(quick=quick, seed=seed, ids=ids, profiler=profiler)
+    text = render_markdown(
+        results,
+        elapsed=time.time() - started,
+        timings=experiment_timings(profiler),
+    )
     with open(path, "w") as fh:
         fh.write(text)
     return results

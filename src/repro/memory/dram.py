@@ -64,6 +64,27 @@ class Dram:
         self._check(line_addr)
         self.stats.writebacks += 1
 
+    def register_stats(self, registry, prefix: str = "dram") -> None:
+        """Publish traffic counters under ``prefix`` (pull-based, no hot cost)."""
+        st = self.stats
+        registry.gauge(f"{prefix}.reads", "line fills read from DRAM").add_source(
+            lambda: st.reads
+        )
+        registry.gauge(f"{prefix}.writes", "functional word writes").add_source(
+            lambda: st.writes
+        )
+        registry.gauge(f"{prefix}.writebacks", "dirty-line writebacks").add_source(
+            lambda: st.writebacks
+        )
+        reads = registry.gauge(f"{prefix}.reads")
+        writes = registry.gauge(f"{prefix}.writes")
+        writebacks = registry.gauge(f"{prefix}.writebacks")
+        registry.formula(
+            f"{prefix}.accesses",
+            lambda r=reads, w=writes, b=writebacks: r.value() + w.value() + b.value(),
+            desc="total DRAM traffic (reads + writes + writebacks)",
+        )
+
     def peek(self, addr: int) -> int:
         """Read without touching statistics (for assertions in tests)."""
         self._check(addr)

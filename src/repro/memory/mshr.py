@@ -123,3 +123,19 @@ class MshrFile:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def register_stats(self, registry, prefix: str = "mshr") -> None:
+        """Publish MSHR counters under ``prefix`` (pull-based)."""
+        st = self.stats
+        registry.gauge(f"{prefix}.allocations", "misses allocated an entry").add_source(
+            lambda: st.allocations
+        )
+        registry.gauge(f"{prefix}.merges", "misses merged into entries").add_source(
+            lambda: st.merges
+        )
+        registry.gauge(f"{prefix}.stalls", "allocation stalls (file full)").add_source(
+            lambda: st.stall_events
+        )
+        registry.gauge(
+            f"{prefix}.cleaned_inflight", "speculative entries cleaned at squash (T3)"
+        ).add_source(lambda: st.cleaned_inflight)

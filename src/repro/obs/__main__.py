@@ -1,0 +1,79 @@
+"""Pretty-print a ``--stats-out`` JSON dump as a text stats listing.
+
+Usage::
+
+    python -m repro.experiments fig3 --quick --stats-out stats.json
+    python -m repro.obs stats.json                 # whole dump
+    python -m repro.obs stats.json --prefix l1d    # one subtree
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def _flatten(tree: dict, prefix: str = "") -> "list[tuple]":
+    rows = []
+    for key in sorted(tree):
+        value = tree[key]
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            # Distribution entries are leaf dicts of scalar moments.
+            if value and all(not isinstance(v, dict) for v in value.values()):
+                for sub, scalar in value.items():
+                    rows.append((f"{name}::{sub}", scalar))
+            else:
+                rows.extend(_flatten(value, prefix=name + "."))
+        else:
+            rows.append((name, value))
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render a --stats-out JSON dump as text.",
+    )
+    parser.add_argument("path", help="stats JSON written by --stats-out")
+    parser.add_argument(
+        "--prefix", default="", help="only show stats under this dotted prefix"
+    )
+    parser.add_argument(
+        "--profile", action="store_true", help="also show the phase-timing table"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.path) as fh:
+        doc = json.load(fh)
+
+    stats = doc.get("stats", doc)
+    rows = _flatten(stats)
+    if args.prefix:
+        dotted = args.prefix if args.prefix.endswith(".") else args.prefix + "."
+        rows = [r for r in rows if r[0] == args.prefix or r[0].startswith(dotted)]
+    if not rows:
+        print("(no matching stats)")
+        return 1
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        if isinstance(value, float) and not float(value).is_integer():
+            print(f"{name:<{width}}  {value:>14.6f}")
+        else:
+            print(f"{name:<{width}}  {int(value):>14}")
+
+    if args.profile and doc.get("profile"):
+        print()
+        phases = doc["profile"]
+        pw = max(len(p) for p in phases)
+        print(f"{'phase':<{pw}}  {'seconds':>10}  {'calls':>6}")
+        for name in sorted(phases, key=lambda p: -phases[p]["seconds"]):
+            entry = phases[name]
+            print(f"{name:<{pw}}  {entry['seconds']:>10.3f}  {entry['calls']:>6}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Wall-clock phase profiling for experiment runs.
+
+A :class:`Profiler` accumulates elapsed wall time per named phase through
+a context manager::
+
+    prof = Profiler()
+    with prof.phase("fig3.sample"):
+        attack.sample(1)
+
+Phase names use the same dotted convention as stat names, so a report can
+group them (``report.fig3``, ``report.fig7`` …).  Phases re-enter freely
+(times accumulate, calls count up) and nest (each level is accounted
+separately; the profiler does not subtract child time from parents —
+self-time bookkeeping is not worth the complexity at experiment
+granularity).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+
+class Profiler:
+    """Accumulates wall-clock seconds and call counts per phase name."""
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - started
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def record(self, name: str, seconds: float) -> None:
+        """Account already-measured time (for callers timing externally)."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        return self._calls.get(name, 0)
+
+    def phases(self) -> List[str]:
+        return sorted(self._seconds)
+
+    def __len__(self) -> int:
+        return len(self._seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self._seconds.values())
+
+    def to_dict(self) -> Dict[str, dict]:
+        return {
+            name: {"seconds": self._seconds[name], "calls": self._calls[name]}
+            for name in self.phases()
+        }
+
+    def render(self) -> str:
+        """Text table of phases, slowest first."""
+        if not self._seconds:
+            return "(no phases profiled)"
+        ordered = sorted(self._seconds.items(), key=lambda kv: -kv[1])
+        width = max(len(name) for name, _ in ordered)
+        lines = [f"{'phase':<{width}}  {'seconds':>10}  {'calls':>6}"]
+        for name, secs in ordered:
+            lines.append(f"{name:<{width}}  {secs:>10.3f}  {self._calls[name]:>6}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._seconds.clear()
+        self._calls.clear()

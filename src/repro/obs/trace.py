@@ -1,0 +1,206 @@
+"""Cycle-stamped structured event tracing.
+
+The simulator emits *typed* events into an :class:`EventTrace` — a
+fixed-capacity ring buffer, so tracing a million-instruction run keeps the
+most recent window instead of exhausting memory.  Each event is stored as
+a compact ``(cycle, kind, data-tuple)`` record; the per-kind field names
+live in :data:`EVENT_SCHEMAS` and the :class:`TraceEvent` view zips them
+back together for rendering and the JSONL sink.
+
+Trace *levels* bound the hot-path cost (the acceptance bar is <15%
+wall-clock overhead on a default core run):
+
+* ``"squash"`` — only speculation events: spec-delta, squash begin/end,
+  cache install/evict/restore;
+* ``"commit"`` (default) — plus one ``inst.commit`` event per committed
+  instruction carrying its dispatch/start/complete cycles;
+* ``"full"`` — plus separate ``inst.dispatch``/``inst.issue``/
+  ``inst.complete`` events and per-access ``cache.hit``/``cache.miss``
+  probes.
+
+The JSONL sink (:meth:`EventTrace.to_jsonl`) writes one
+``{"cycle": …, "kind": …, <fields>}`` object per line — the format
+``docs/observability.md`` documents and ``tools/trace.py`` renders from.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..common.errors import ConfigError
+
+#: Field names per event kind, in the order they appear in the data tuple.
+EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
+    # pipeline
+    "inst.dispatch": ("index", "pc"),
+    "inst.issue": ("index", "pc"),
+    "inst.complete": ("index", "pc", "level"),
+    "inst.commit": ("index", "pc", "dispatch", "start", "complete", "level"),
+    # caches
+    "cache.hit": ("addr", "level"),
+    "cache.miss": ("addr", "level"),
+    "cache.install": ("addr", "level", "speculative", "epoch", "victim"),
+    "cache.evict": ("addr", "level", "dirty", "was_speculative"),
+    "cache.restore": ("addr", "way"),
+    # speculation / defense
+    "spec.delta": (
+        "epoch",
+        "installs_l1",
+        "installs_l2",
+        "evictions_l1",
+        "evictions_l2",
+        "inflight",
+    ),
+    "squash.begin": (
+        "pc",
+        "resolve",
+        "wrong_path_executed",
+        "transient_loads",
+        "inflight",
+    ),
+    "squash.end": (
+        "pc",
+        "fetch_resume",
+        "stall",
+        "t3",
+        "t4",
+        "t5",
+        "dummy",
+        "padding",
+        "invalidated_l1",
+        "invalidated_l2",
+        "restored_l1",
+    ),
+}
+
+#: Trace verbosity levels, ordered.
+LEVELS = ("squash", "commit", "full")
+
+
+class TraceEvent:
+    """Read view of one ring-buffer record."""
+
+    __slots__ = ("cycle", "kind", "data")
+
+    def __init__(self, cycle: int, kind: str, data: tuple) -> None:
+        self.cycle = cycle
+        self.kind = kind
+        self.data = data
+
+    def field(self, name: str):
+        schema = EVENT_SCHEMAS[self.kind]
+        try:
+            return self.data[schema.index(name)]
+        except ValueError:
+            raise ConfigError(f"event kind {self.kind!r} has no field {name!r}") from None
+
+    def to_dict(self) -> dict:
+        out = {"cycle": self.cycle, "kind": self.kind}
+        schema = EVENT_SCHEMAS.get(self.kind)
+        if schema is None:
+            out["data"] = list(self.data)
+        else:
+            out.update(zip(schema, self.data))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug cosmetic
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.to_dict().items())
+        return f"TraceEvent({fields})"
+
+
+class EventTrace:
+    """Ring-buffered, cycle-stamped event log with an optional JSONL sink."""
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        level: str = "commit",
+        jsonl_path: Optional[str] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError("trace capacity must be >= 1")
+        if level not in LEVELS:
+            raise ConfigError(f"unknown trace level {level!r}, want one of {LEVELS}")
+        self.capacity = capacity
+        self.level = level
+        self.jsonl_path = jsonl_path
+        #: Fast hot-path flags (checked by the core per instruction).
+        self.commit_events = level in ("commit", "full")
+        self.full_events = level == "full"
+        self._buf: deque = deque(maxlen=capacity)
+        self.emitted = 0
+
+    # -- emission (hot path) ------------------------------------------------
+
+    def emit(self, cycle: int, kind: str, data: tuple = ()) -> None:
+        """Append one event record. ``data`` follows EVENT_SCHEMAS[kind]."""
+        self._buf.append((cycle, kind, data))
+        self.emitted += 1
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring by later emissions."""
+        return self.emitted - len(self._buf)
+
+    def events(self, kind: Optional[str] = None) -> Iterator[TraceEvent]:
+        """Events in emission order, optionally filtered by ``kind``.
+
+        ``kind`` may be exact (``"inst.commit"``) or a dotted prefix
+        (``"cache"`` matches every ``cache.*`` event).
+        """
+        if kind is not None and kind not in EVENT_SCHEMAS:
+            prefix = kind + "."
+            for cycle, k, data in list(self._buf):
+                if k.startswith(prefix):
+                    yield TraceEvent(cycle, k, data)
+            return
+        for cycle, k, data in list(self._buf):
+            if kind is None or k == kind:
+                yield TraceEvent(cycle, k, data)
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceEvent]:
+        for cycle, k, data in reversed(self._buf):
+            if kind is None or k == kind:
+                return TraceEvent(cycle, k, data)
+        return None
+
+    def counts(self) -> Dict[str, int]:
+        """Buffered event count per kind."""
+        out: Dict[str, int] = {}
+        for _, kind, _ in self._buf:
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self.emitted = 0
+
+    # -- JSONL sink ---------------------------------------------------------
+
+    def to_jsonl(self, path: Optional[str] = None) -> str:
+        """Write the buffered events as JSON Lines; return the path used."""
+        target = path or self.jsonl_path
+        if target is None:
+            raise ConfigError("no JSONL path given (pass path= or jsonl_path=)")
+        with open(target, "w") as fh:
+            for event in self.events():
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        return target
+
+
+def read_jsonl(path: str) -> "list[dict]":
+    """Load a JSONL trace dump back into event dicts (analysis helper)."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -11,16 +11,20 @@ benchmark and extracting three counters from ``benchmark_name.txt``:
 
 then computes ``overhead = (no-const or XX-const) / unsafe-time`` over the
 post-warm-up window. This module reproduces that exact workflow against
-our simulator: :func:`run_gem5_style` emits a stats text with the same
-keys, :func:`parse_stats` reads one back, and :func:`artifact_overhead`
-implements the appendix's Calculation section verbatim — so the repository
-can be driven the way the artifact documents, not only through
-:mod:`repro.experiments`.
+our simulator, driven by the :mod:`repro.obs` subsystem rather than an
+ad-hoc recompute: :func:`run_gem5_style` runs the program under an
+attached :class:`~repro.obs.Observability`, reads the commit boundaries
+and per-squash rollback stages out of the **event trace**, cross-checks
+them against the **stat registry**, and ships the registry snapshot with
+the result. :func:`parse_stats` reads a rendered stats text back and
+:func:`artifact_overhead` implements the appendix's Calculation section
+verbatim — so the repository can be driven the way the artifact
+documents, not only through :mod:`repro.experiments`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..cache.hierarchy import CacheHierarchy
@@ -30,6 +34,7 @@ from ..defense.base import Defense
 from ..defense.cleanupspec import CleanupSpec
 from ..defense.unsafe import UnsafeBaseline
 from ..isa.program import Program
+from ..obs import Observability
 
 #: Artifact scheme names (the run_gem5spec.sh scheme_cleanupcache values).
 SCHEME_UNSAFE = "UnsafeBaseline"
@@ -46,6 +51,8 @@ class Gem5Stats:
     start_cycles: int
     #: constant -> extra stall cycles in the measurement window.
     extra_cleanup_squash_time: Dict[int, int]
+    #: Full hierarchical registry snapshot the counters were derived from.
+    registry_snapshot: Dict[str, object] = field(default_factory=dict, compare=False)
 
     @property
     def measured_ticks(self) -> int:
@@ -75,6 +82,7 @@ def run_gem5_style(
     constants: tuple = (25, 30, 35, 45, 65),
     seed: int = 0,
     benchmark: str = "benchmark",
+    obs: Optional[Observability] = None,
 ) -> Gem5Stats:
     """Run ``program`` under ``scheme`` and produce artifact-style stats.
 
@@ -83,11 +91,27 @@ def run_gem5_style(
     ``maxinst_count``. For ``Cleanup_FOR_L1L2`` the constant-time extras
     are derived per squash as ``max(const, t5) - t5`` over the measurement
     window — exactly what the relaxed scheme would add.
+
+    Every number is read out of the attached observability: commit
+    boundaries from the trace's ``inst.commit`` events, rollback stages
+    from its ``squash.end`` events, with the registry's ``core.*``
+    counters as a consistency cross-check (an inconsistent derivation
+    raises). Pass ``obs`` to share a registry across runs (its trace is
+    cleared first — the derivation must only see this run); by default
+    each run gets a fresh one, returned via ``registry_snapshot``.
     """
     if not 0 <= startinst_count < maxinst_count:
         raise ExperimentError("need 0 <= startinst_count < maxinst_count")
 
-    hierarchy = CacheHierarchy(seed=seed)
+    max_instructions = max(maxinst_count * 4, 1_000_000)
+    if obs is None:
+        # Size the ring so no commit event of a legal run can be dropped:
+        # the run aborts past max_instructions anyway. Squash/install events
+        # ride in the same ring; give them headroom.
+        obs = Observability(
+            trace_capacity=4 * max_instructions, trace_level="commit"
+        )
+    hierarchy = CacheHierarchy(seed=seed, obs=obs)
     defense: Defense
     if scheme == SCHEME_UNSAFE:
         defense = UnsafeBaseline(hierarchy)
@@ -96,27 +120,59 @@ def run_gem5_style(
     else:
         raise ExperimentError(f"unknown scheme_cleanupcache {scheme!r}")
 
-    core = Core(hierarchy, defense, record_timeline=True)
-    result = core.run(program, max_instructions=max(maxinst_count * 4, 1_000_000))
+    core = Core(hierarchy, defense, obs=obs)
+    reg = obs.registry
+    # Pre-run registry values: with a shared obs the counters accumulate
+    # across runs, so the cross-checks below compare this run's delta.
+    committed_before = reg["core.instructions"].value()
+    squashes_before = reg["core.squashes"].value()
+    obs.trace.clear()  # the derivation below must only see this run
+    result = core.run(program, max_instructions=max_instructions)
 
+    # ---- derive the artifact counters from the event trace ----
+    completes = [e.data[4] for e in obs.trace.events("inst.commit")]
+    if obs.trace.dropped:
+        raise ExperimentError(
+            f"trace ring dropped {obs.trace.dropped} events; "
+            "pass an Observability with a larger trace_capacity"
+        )
     # Warm-up boundary: completion time of the startinst_count-th commit.
     start_cycles = 0
     if startinst_count > 0:
-        idx = min(startinst_count, len(result.timeline)) - 1
-        start_cycles = result.timeline[idx].complete if idx >= 0 else 0
-    end_idx = min(maxinst_count, len(result.timeline)) - 1
-    sim_ticks = result.timeline[end_idx].complete if end_idx >= 0 else result.cycles
+        idx = min(startinst_count, len(completes)) - 1
+        start_cycles = completes[idx] if idx >= 0 else 0
+    end_idx = min(maxinst_count, len(completes)) - 1
+    sim_ticks = completes[end_idx] if end_idx >= 0 else result.cycles
 
     extras: Dict[int, int] = {}
+    squash_ends = list(obs.trace.events("squash.end"))
     if scheme == SCHEME_CLEANUP:
+        penalty = core.config.mispredict_penalty
         for const in constants:
             extra = 0
-            for event in result.squashes:
-                if not start_cycles <= event.squash_cycle <= sim_ticks:
+            for event in squash_ends:
+                # The event is stamped at fetch-resume; squash handling
+                # began mispredict-penalty + stall cycles earlier, which
+                # recovers the squash_cycle the artifact windows on.
+                squash_cycle = (
+                    event.field("fetch_resume") - penalty - event.field("stall")
+                )
+                if not start_cycles <= squash_cycle <= sim_ticks:
                     continue
-                t5 = event.outcome.stage("t5_rollback")
-                extra += max(0, const - t5)
+                extra += max(0, const - event.field("t5"))
             extras[const] = extra
+
+    # ---- registry cross-checks: trace and counters must agree ----
+    delta_committed = reg["core.instructions"].value() - committed_before
+    # The Halt commit never emits an inst.commit event (mirroring the
+    # recorded timeline); everything else must line up exactly.
+    if not delta_committed - 1 <= len(completes) <= delta_committed:
+        raise ExperimentError(
+            f"trace/registry mismatch: {len(completes)} commit events vs "
+            f"{delta_committed} committed instructions"
+        )
+    if reg["core.squashes"].value() - squashes_before != len(squash_ends):
+        raise ExperimentError("trace/registry mismatch on squash count")
 
     return Gem5Stats(
         benchmark=benchmark,
@@ -124,6 +180,7 @@ def run_gem5_style(
         sim_ticks=sim_ticks,
         start_cycles=start_cycles,
         extra_cleanup_squash_time=extras,
+        registry_snapshot=reg.to_dict(),
     )
 
 

@@ -1,25 +1,36 @@
-"""Execution-trace rendering: text waterfalls of a :class:`RunResult`.
+"""Execution-trace rendering: waterfalls and event logs.
 
 Debugging a timing channel means staring at *when* things happened. These
-helpers render a core run (recorded with ``Core(record_timeline=True)``) as
-an ASCII waterfall — one row per committed instruction, bars spanning
-dispatch→start→complete — plus a squash annotation view showing each
-mis-speculation's wrong-path size and defense stall breakdown.
+helpers render instruction timelines as an ASCII waterfall — one row per
+committed instruction, bars spanning dispatch→start→complete — plus a
+squash annotation view showing each mis-speculation's wrong-path size and
+defense stall breakdown.
+
+Two sources feed the same waterfall renderer:
+
+* a :class:`~repro.cpu.timing.RunResult` recorded with
+  ``Core(record_timeline=True)`` (:func:`render_timeline`), and
+* an :class:`~repro.obs.EventTrace` captured by an attached
+  :class:`~repro.obs.Observability` (:func:`render_trace_timeline`), built
+  from the trace's ``inst.commit`` events — the structured source that
+  also drives the JSONL dump and :func:`render_events`.
 
 Example::
 
-    h = CacheHierarchy()
-    core = Core(h, CleanupSpec(h), record_timeline=True)
+    obs = Observability()
+    h = CacheHierarchy(obs=obs)
+    core = Core(h, CleanupSpec(h), obs=obs)
     result = core.run(program)
-    print(render_timeline(result))
-    print(render_squashes(result))
+    print(render_trace_timeline(obs.trace, program=program))
+    print(render_events(obs.trace, kinds="squash"))
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional, Sequence
 
-from ..cpu.timing import RunResult
+from ..cpu.timing import InstructionTiming, RunResult
+from ..obs import EventTrace
 
 #: Bar glyphs: queued (dispatch→start) and executing (start→complete).
 _QUEUE_CHAR = "."
@@ -33,41 +44,33 @@ def _scale(cycle: int, t0: int, t1: int, width: int) -> int:
     return max(0, min(width - 1, pos))
 
 
-def render_timeline(
-    result: RunResult,
-    width: int = 64,
-    max_rows: Optional[int] = None,
-    start_cycle: int = 0,
-    end_cycle: Optional[int] = None,
+def _render_waterfall(
+    entries: Sequence[InstructionTiming],
+    width: int,
+    max_rows: Optional[int],
+    start_cycle: int,
+    end_cycle: Optional[int],
 ) -> str:
-    """ASCII waterfall of the recorded instruction timeline.
-
-    ``width`` is the number of character columns the cycle axis maps onto;
-    ``start_cycle``/``end_cycle`` clip the view window.
-    """
-    if not result.timeline:
-        return "(timeline empty — run the core with record_timeline=True)"
-    t_end = end_cycle if end_cycle is not None else max(
-        e.complete for e in result.timeline
-    )
-    entries = [
-        e
-        for e in result.timeline
-        if e.complete >= start_cycle and e.dispatch <= t_end
+    """Shared waterfall renderer over timeline-like entries."""
+    if not entries:
+        return "(timeline empty — attach an Observability or record_timeline=True)"
+    t_end = end_cycle if end_cycle is not None else max(e.complete for e in entries)
+    visible = [
+        e for e in entries if e.complete >= start_cycle and e.dispatch <= t_end
     ]
     if max_rows is not None:
-        entries = entries[:max_rows]
-    if not entries:
+        visible = visible[:max_rows]
+    if not visible:
         return "(no instructions in the requested window)"
 
-    label_width = max(len(e.text) for e in entries)
+    label_width = max(len(e.text) for e in visible)
     label_width = min(label_width, 28)
     header = (
         f"{'idx':>4} {'inst':<{label_width}} "
         f"|{str(start_cycle):<{width // 2 - 1}}{str(t_end):>{width - width // 2 - 1}}|"
     )
     lines: List[str] = [header]
-    for e in entries:
+    for e in visible:
         row = [" "] * width
         d = _scale(max(e.dispatch, start_cycle), start_cycle, t_end, width)
         s = _scale(max(e.start, start_cycle), start_cycle, t_end, width)
@@ -80,6 +83,96 @@ def render_timeline(
         text = e.text if len(e.text) <= label_width else e.text[: label_width - 1] + "~"
         lines.append(f"{e.index:>4} {text:<{label_width}} |{''.join(row)}|{level}")
     return "\n".join(lines)
+
+
+def trace_timeline(trace: EventTrace, program=None) -> List[InstructionTiming]:
+    """Rebuild per-instruction timeline entries from ``inst.commit`` events.
+
+    The trace stores only the pc (building instruction text per commit
+    would tax the hot path); pass the ``program`` to recover the assembly
+    text, otherwise rows are labelled ``pc=N``.
+    """
+    entries: List[InstructionTiming] = []
+    for event in trace.events("inst.commit"):
+        index, pc, dispatch, start, complete, level = event.data
+        if program is not None and 0 <= pc < len(program):
+            text = str(program[pc])
+        else:
+            text = f"pc={pc}"
+        entries.append(
+            InstructionTiming(
+                index=index,
+                pc=pc,
+                text=text,
+                dispatch=dispatch,
+                start=start,
+                complete=complete,
+                level=level,
+            )
+        )
+    return entries
+
+
+def render_timeline(
+    result: RunResult,
+    width: int = 64,
+    max_rows: Optional[int] = None,
+    start_cycle: int = 0,
+    end_cycle: Optional[int] = None,
+) -> str:
+    """ASCII waterfall of a run recorded with ``record_timeline=True``.
+
+    ``width`` is the number of character columns the cycle axis maps onto;
+    ``start_cycle``/``end_cycle`` clip the view window.
+    """
+    if not result.timeline:
+        return "(timeline empty — run the core with record_timeline=True)"
+    return _render_waterfall(result.timeline, width, max_rows, start_cycle, end_cycle)
+
+
+def render_trace_timeline(
+    trace: EventTrace,
+    program=None,
+    width: int = 64,
+    max_rows: Optional[int] = None,
+    start_cycle: int = 0,
+    end_cycle: Optional[int] = None,
+) -> str:
+    """ASCII waterfall built from an :class:`EventTrace`'s commit events."""
+    entries = trace_timeline(trace, program=program)
+    if not entries:
+        return "(no inst.commit events — trace level 'commit' or 'full' required)"
+    return _render_waterfall(entries, width, max_rows, start_cycle, end_cycle)
+
+
+def render_events(
+    trace: EventTrace,
+    kinds: Optional[Iterable[str]] = None,
+    max_rows: Optional[int] = None,
+) -> str:
+    """Flat ``cycle kind field=value …`` log of the buffered events.
+
+    ``kinds`` filters by exact kind or dotted prefix (``"cache"``,
+    ``"squash"``); a plain string is treated as one filter.
+    """
+    if isinstance(kinds, str):
+        kinds = [kinds]
+    rows: List[str] = []
+    for event in trace.events():
+        if kinds is not None and not any(
+            event.kind == k or event.kind.startswith(k + ".") for k in kinds
+        ):
+            continue
+        payload = event.to_dict()
+        fields = " ".join(
+            f"{k}={v}" for k, v in payload.items() if k not in ("cycle", "kind")
+        )
+        rows.append(f"{event.cycle:>10} {event.kind:<14} {fields}")
+        if max_rows is not None and len(rows) >= max_rows:
+            break
+    if not rows:
+        return "(no matching events)"
+    return "\n".join(rows)
 
 
 def render_squashes(result: RunResult) -> str:

@@ -1,0 +1,236 @@
+"""Tests for repro.obs.registry — the hierarchical stat store."""
+
+import json
+import statistics
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs import Counter, Distribution, Gauge, StatRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("core.squashes")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_reset(self):
+        c = Counter("core.squashes")
+        c.inc(3)
+        c.reset()
+        assert c.value() == 0
+
+    def test_name_validation(self):
+        with pytest.raises(ConfigError):
+            Counter("Core.Squashes")
+        with pytest.raises(ConfigError):
+            Counter("core..squashes")
+        with pytest.raises(ConfigError):
+            Counter("core.sq-ashes")
+
+
+class TestGauge:
+    def test_set_value(self):
+        g = Gauge("l1d.hits")
+        g.set(7)
+        assert g.value() == 7
+
+    def test_sources_aggregate(self):
+        """Two components under one name sum — the campaign-wide view."""
+        g = Gauge("l1d.hits")
+        a, b = {"hits": 3}, {"hits": 10}
+        g.add_source(lambda: a["hits"])
+        g.add_source(lambda: b["hits"])
+        assert g.value() == 13
+        a["hits"] = 5  # pull-based: reads the live component counter
+        assert g.value() == 15
+
+    def test_reset_keeps_sources(self):
+        g = Gauge("l1d.hits")
+        g.add_source(lambda: 2)
+        g.set(10)
+        g.reset()
+        assert g.value() == 2
+
+
+class TestDistribution:
+    def test_exact_moments(self):
+        d = Distribution("defense.stall")
+        samples = [22, 0, 5, 22, 13]
+        for s in samples:
+            d.add(s)
+        assert d.count == len(samples)
+        assert d.total == sum(samples)
+        assert d.minimum == min(samples)
+        assert d.maximum == max(samples)
+        assert d.mean == pytest.approx(statistics.mean(samples))
+        assert d.stddev == pytest.approx(statistics.stdev(samples))
+
+    def test_empty_moments_are_zero(self):
+        d = Distribution("defense.stall")
+        assert (d.count, d.mean, d.minimum, d.maximum, d.stddev) == (0, 0, 0, 0, 0)
+        assert d.percentile(99) == 0.0
+
+    def test_percentile_interpolation(self):
+        d = Distribution("x")
+        for v in (10, 20, 30, 40):
+            d.add(v)
+        assert d.percentile(0) == 10
+        assert d.percentile(100) == 40
+        assert d.percentile(50) == pytest.approx(25.0)  # between 20 and 30
+        assert d.percentile(75) == pytest.approx(32.5)
+
+    def test_percentile_range_checked(self):
+        d = Distribution("x")
+        d.add(1)
+        with pytest.raises(ConfigError):
+            d.percentile(101)
+
+    def test_reservoir_bounds_memory_but_moments_stay_exact(self):
+        d = Distribution("x", reservoir=64)
+        n = 10_000
+        for i in range(n):
+            d.add(i)
+        assert d.count == n
+        assert d.total == n * (n - 1) / 2
+        assert d.maximum == n - 1
+        assert len(d._samples) == 64
+        # Subsampled percentiles stay order-of-magnitude right on a uniform
+        # stream (deterministic slots, so this cannot flake).
+        assert 0 <= d.percentile(50) <= n
+
+    def test_deterministic_across_runs(self):
+        def fill():
+            d = Distribution("x", reservoir=16)
+            for i in range(1000):
+                d.add(i * 7 % 101)
+            return d.percentile(90)
+
+        assert fill() == fill()
+
+    def test_to_entry_keys(self):
+        d = Distribution("x")
+        d.add(4)
+        entry = d.to_entry()
+        assert set(entry) == {
+            "count", "total", "min", "max", "mean", "stddev", "p50", "p90", "p99",
+        }
+
+    def test_bad_reservoir(self):
+        with pytest.raises(ConfigError):
+            Distribution("x", reservoir=0)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = StatRegistry()
+        a = reg.counter("core.squashes", desc="squash count")
+        b = reg.counter("core.squashes")
+        assert a is b
+        assert b.desc == "squash count"
+
+    def test_kind_mismatch_rejected(self):
+        reg = StatRegistry()
+        reg.counter("core.squashes")
+        with pytest.raises(ConfigError):
+            reg.gauge("core.squashes")
+        with pytest.raises(ConfigError):
+            reg.distribution("core.squashes")
+        with pytest.raises(ConfigError):
+            reg.formula("core.squashes", lambda: 0)
+
+    def test_formula_evaluates_lazily(self):
+        reg = StatRegistry()
+        inst = reg.counter("core.instructions")
+        cyc = reg.counter("core.cycles")
+        ipc = reg.formula("core.ipc", lambda: inst.value() / max(1, cyc.value()))
+        inst.inc(30)
+        cyc.inc(10)
+        assert ipc.value() == 3.0
+
+    def test_getitem_and_contains(self):
+        reg = StatRegistry()
+        reg.counter("a.b")
+        assert "a.b" in reg
+        assert reg["a.b"].value() == 0
+        with pytest.raises(ConfigError):
+            reg["missing.stat"]
+        assert reg.get("missing.stat") is None
+
+    def test_names_prefix_filter(self):
+        reg = StatRegistry()
+        for name in ("l1d.hits", "l1d.misses", "l2.hits", "core.runs"):
+            reg.counter(name)
+        assert reg.names("l1d") == ["l1d.hits", "l1d.misses"]
+        # "l1" must not prefix-match "l1d.*" (dotted segments only)
+        assert reg.names("l1") == []
+        assert len(reg.names()) == 4
+
+    def test_reset_all(self):
+        reg = StatRegistry()
+        reg.counter("a.b").inc(5)
+        reg.distribution("a.d").add(3)
+        reg.reset()
+        assert reg["a.b"].value() == 0
+        assert reg["a.d"].count == 0
+
+
+class TestDumps:
+    def _registry(self):
+        reg = StatRegistry()
+        reg.counter("core.squashes", desc="mis-speculations").inc(2)
+        reg.gauge("l1d.hits").set(10)
+        reg.gauge("l1d.misses").set(5)
+        reg.formula("l1d.miss_rate", lambda: 5 / 15)
+        d = reg.distribution("defense.stall")
+        d.add(22)
+        d.add(0)
+        return reg
+
+    def test_to_dict_nests_dotted_names(self):
+        tree = self._registry().to_dict()
+        assert tree["core"]["squashes"] == 2
+        assert tree["l1d"]["hits"] == 10
+        assert tree["defense"]["stall"]["count"] == 2
+        assert tree["defense"]["stall"]["max"] == 22
+
+    def test_to_dict_leaf_with_children_uses_value_key(self):
+        reg = StatRegistry()
+        reg.counter("l1d").inc(1)
+        reg.counter("l1d.hits").inc(2)
+        tree = reg.to_dict()
+        assert tree["l1d"]["_value"] == 1
+        assert tree["l1d"]["hits"] == 2
+
+    def test_dump_json_round_trip(self, tmp_path):
+        reg = self._registry()
+        path = tmp_path / "stats.json"
+        reg.dump_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == reg.to_dict()
+        assert loaded["l1d"]["miss_rate"] == pytest.approx(1 / 3)
+
+    def test_dump_text_gem5_style(self):
+        text = self._registry().dump_text()
+        assert "core.squashes" in text
+        assert "# mis-speculations" in text
+        # distributions expand to name::key rows
+        assert "defense.stall::count" in text
+        assert "defense.stall::p99" in text
+
+    def test_dump_text_prefix(self):
+        text = self._registry().dump_text(prefix="core")
+        assert "core.squashes" in text
+        assert "l1d" not in text
+
+    def test_snapshot_is_flat(self):
+        snap = self._registry().snapshot()
+        assert snap["core.squashes"] == 2
+        assert isinstance(snap["defense.stall"], dict)
+
+    def test_float_formatting(self):
+        reg = StatRegistry()
+        reg.formula("x.ratio", lambda: 1 / 3)
+        assert "0.333333" in reg.dump_text()
