@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments report quick-report stats examples clean
+.PHONY: install test bench experiments report quick-report campaign-smoke stats examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,19 @@ report:
 
 quick-report:
 	$(PYTHON) -m repro.experiments report --quick --out REPORT.md
+
+# Campaign engine smoke: the full quick report on 1 and 2 workers, no
+# cache, then assert the merged stats + trace sections are bit-identical
+# (the docs/campaign.md determinism contract). CI uploads the artifacts.
+campaign-smoke:
+	$(PYTHON) -m repro.experiments report --quick --jobs 1 --no-cache \
+	    --out REPORT-campaign-jobs1.md --stats-out campaign-stats-jobs1.json
+	$(PYTHON) -m repro.experiments report --quick --jobs 2 --no-cache \
+	    --out REPORT-campaign-jobs2.md --stats-out campaign-stats-jobs2.json
+	$(PYTHON) -c "import json; a, b = (json.load(open(p)) for p in \
+	    ('campaign-stats-jobs1.json', 'campaign-stats-jobs2.json')); \
+	    assert a['stats'] == b['stats'] and a['trace'] == b['trace'], \
+	    'jobs=1 vs jobs=2 stats diverged'; print('campaign-smoke: jobs-invariant')"
 
 stats:
 	$(PYTHON) -m repro.experiments fig3 --quick --stats-out stats.json

@@ -1,0 +1,69 @@
+"""Benchmarks: campaign engine — cold vs warm-cache wall-clock.
+
+The load-bearing assertion lives here: a warm-cache rerun of the same
+campaign must take less than 25% of the cold wall-clock, because every
+experiment is served from the content-addressed result cache instead of
+being recomputed.  A representative three-experiment slice keeps the
+benchmark suite's runtime bounded while exercising both shard execution
+and cache hydration.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+
+#: A parameter sweep, a slice-merge, and a real leakage campaign.
+CAMPAIGN_IDS = ["fig3", "fig9", "fig10"]
+
+
+def _run_campaign(cache):
+    from repro.campaign import CampaignRunner
+
+    runner = CampaignRunner(jobs=1, cache=cache)
+    return runner.run(ids=CAMPAIGN_IDS, quick=True, seed=0)
+
+
+def test_campaign_cold(benchmark, tmp_path):
+    from repro.campaign import ResultCache
+
+    cache = ResultCache(str(tmp_path / "cache"))
+    outcomes = benchmark.pedantic(
+        lambda: _run_campaign(cache), rounds=1, iterations=1
+    )
+    assert all(not o.cached for o in outcomes)
+    for o in outcomes:
+        assert o.result.all_passed, o.experiment_id
+
+
+def test_campaign_warm_cache_under_quarter_of_cold(tmp_path, benchmark):
+    """Warm rerun < 25% of cold: the acceptance-criteria speedup bound."""
+    from repro.campaign import ResultCache
+
+    cache = ResultCache(str(tmp_path / "cache"))
+
+    cold_start = time.perf_counter()
+    cold = _run_campaign(cache)
+    cold_elapsed = time.perf_counter() - cold_start
+    assert all(not o.cached for o in cold)
+
+    warm = benchmark.pedantic(
+        lambda: _run_campaign(cache), rounds=1, iterations=1
+    )
+    warm_elapsed = sum(o.wall_seconds for o in warm)
+    assert all(o.cached for o in warm)
+    assert cache.hits == len(CAMPAIGN_IDS)
+
+    # The cache must serve back byte-identical results.
+    def dump(outcomes):
+        return json.dumps(
+            {o.experiment_id: o.result.to_json() for o in outcomes},
+            sort_keys=True,
+            default=str,
+        )
+
+    assert dump(cold) == dump(warm)
+    assert warm_elapsed < 0.25 * cold_elapsed, (
+        f"warm rerun {warm_elapsed:.2f}s is not <25% of cold {cold_elapsed:.2f}s"
+    )

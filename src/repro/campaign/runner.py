@@ -1,0 +1,272 @@
+"""Parallel cached campaign execution engine.
+
+``CampaignRunner`` turns the experiment registry into a task list — one
+task per shard for :class:`~repro.experiments.base.ShardableExperiment`
+subclasses, one whole-run task otherwise — executes it either in-process
+(``jobs=1``) or across a ``multiprocessing`` pool, and folds per-shard
+partials, stat snapshots, and timings back into per-experiment
+:class:`ExperimentOutcome` records.
+
+Determinism contract (tested in tests/test_campaign_determinism.py):
+tables, metrics, and checks are bit-identical for every ``jobs`` value,
+because shard plans depend only on ``(quick, seed)``, shard bodies derive
+their own RNG substreams, and merges happen in shard-index order
+regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments import registry
+from ..experiments.base import ExperimentResult, Shard, ShardableExperiment
+from .cache import ResultCache
+from .merge import (
+    StatSnapshot,
+    merge_snapshots,
+    merge_trace_meta,
+    snapshot_with_kinds,
+)
+
+#: One unit of worker work: (experiment id, shard or None, quick, seed).
+TaskSpec = Tuple[str, Optional[Shard], bool, int]
+
+
+@dataclass
+class _TaskResult:
+    experiment_id: str
+    shard_index: int
+    payload: object  # shard partial, or a whole ExperimentResult
+    seconds: float
+    stats: StatSnapshot
+    trace_meta: dict
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's merged result plus campaign metadata."""
+
+    experiment_id: str
+    result: ExperimentResult
+    wall_seconds: float = 0.0
+    worker_seconds: float = 0.0
+    n_shards: int = 1
+    cached: bool = False
+    stats: StatSnapshot = field(default_factory=dict)
+    trace_meta: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Worker-time / parent-wall-time ratio (>1 means shards overlapped)."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.worker_seconds / self.wall_seconds
+
+
+def _execute_task(task: TaskSpec) -> _TaskResult:
+    """Run one task under its own observability scope (worker side)."""
+    from ..obs import Observability, observe
+
+    exp_id, shard, quick, seed = task
+    started = time.perf_counter()
+    # "squash" keeps only security-relevant events buffered, so campaign
+    # runs don't pay for per-commit tracing (same policy as --stats-out).
+    with observe(Observability(trace_level="squash")) as obs:
+        exp = registry.get(exp_id)
+        if shard is None:
+            payload: object = exp.run(quick=quick, seed=seed)
+        else:
+            payload = exp.run_shard(shard, quick=quick, seed=seed)
+    seconds = time.perf_counter() - started
+    return _TaskResult(
+        experiment_id=exp_id,
+        shard_index=-1 if shard is None else shard.index,
+        payload=payload,
+        seconds=seconds,
+        stats=snapshot_with_kinds(obs.registry),
+        trace_meta={
+            "level": obs.trace.level,
+            "capacity": obs.trace.capacity,
+            "emitted": obs.trace.emitted,
+            "buffered": len(obs.trace),
+            "dropped": obs.trace.dropped,
+        },
+    )
+
+
+def _pool_context():
+    """Prefer fork (fast, inherits sys.path); fall back to the default."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class CampaignRunner:
+    """Shard, schedule, cache, and merge a set of experiments."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs)) if jobs else (os.cpu_count() or 1)
+        self.cache = cache
+        self._progress = progress
+        #: Outcomes of the most recent :meth:`run` (for stats dumps).
+        self.last_outcomes: List[ExperimentOutcome] = []
+
+    def _say(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    # -- cache entry (de)hydration -------------------------------------------
+
+    @staticmethod
+    def _outcome_from_entry(
+        exp_id: str, entry: dict, load_seconds: float
+    ) -> ExperimentOutcome:
+        stats = {
+            name: (kind, value)
+            for name, (kind, value) in (
+                (n, tuple(kv)) for n, kv in entry.get("stats", {}).items()
+            )
+        }
+        return ExperimentOutcome(
+            experiment_id=exp_id,
+            result=ExperimentResult.from_json(entry["result"]),
+            wall_seconds=load_seconds,
+            worker_seconds=float(entry.get("worker_seconds", 0.0)),
+            n_shards=int(entry.get("n_shards", 1)),
+            cached=True,
+            stats=stats,
+            trace_meta=entry.get("trace", {}),
+        )
+
+    @staticmethod
+    def _entry_from_outcome(outcome: ExperimentOutcome) -> dict:
+        return {
+            "experiment_id": outcome.experiment_id,
+            "result": outcome.result.to_json(),
+            "stats": {n: list(kv) for n, kv in outcome.stats.items()},
+            "trace": outcome.trace_meta,
+            "worker_seconds": outcome.worker_seconds,
+            "n_shards": outcome.n_shards,
+        }
+
+    # -- execution ------------------------------------------------------------
+
+    def run(
+        self,
+        ids: Optional[Sequence[str]] = None,
+        quick: bool = False,
+        seed: int = 0,
+        profiler=None,
+    ) -> List[ExperimentOutcome]:
+        """Run ``ids`` (default: every registered experiment).
+
+        ``profiler`` (a :class:`repro.obs.Profiler`) receives the
+        *parent-observed* per-experiment wall-clock under
+        ``experiment.<id>`` — correct even when shards ran in workers,
+        where process-local profilers cannot see the time.
+        """
+        ids = list(ids) if ids else registry.all_ids()
+        outcomes: Dict[str, ExperimentOutcome] = {}
+
+        # Cache probe pass.
+        keys: Dict[str, str] = {}
+        for exp_id in ids:
+            if self.cache is None:
+                continue
+            started = time.perf_counter()
+            key = self.cache.key(exp_id, quick, seed)
+            keys[exp_id] = key
+            entry = self.cache.get(exp_id, key)
+            if entry is not None:
+                outcome = self._outcome_from_entry(
+                    exp_id, entry, time.perf_counter() - started
+                )
+                outcomes[exp_id] = outcome
+                self._say(f"{exp_id}: cache hit ({outcome.n_shards} shards)")
+
+        # Task list for the misses, grouped by experiment in id order.
+        plans: Dict[str, List[Optional[Shard]]] = {}
+        tasks: List[TaskSpec] = []
+        for exp_id in ids:
+            if exp_id in outcomes:
+                continue
+            exp = registry.get(exp_id)
+            if isinstance(exp, ShardableExperiment):
+                shards: List[Optional[Shard]] = list(
+                    exp.shard_plan(quick=quick, seed=seed)
+                )
+            else:
+                shards = [None]
+            plans[exp_id] = shards
+            tasks.extend((exp_id, shard, quick, seed) for shard in shards)
+
+        if tasks:
+            self._say(
+                f"running {len(plans)} experiments / {len(tasks)} shards "
+                f"on {min(self.jobs, len(tasks))} worker(s)"
+            )
+
+        done: Dict[str, List[_TaskResult]] = {exp_id: [] for exp_id in plans}
+        starts: Dict[str, float] = {}
+
+        def finish(exp_id: str) -> None:
+            results = sorted(done[exp_id], key=lambda t: t.shard_index)
+            exp = registry.get(exp_id)
+            if isinstance(exp, ShardableExperiment):
+                result = exp.merge_shards(
+                    [t.payload for t in results], quick=quick, seed=seed
+                )
+            else:
+                result = results[0].payload
+            outcome = ExperimentOutcome(
+                experiment_id=exp_id,
+                result=result,
+                wall_seconds=time.perf_counter() - starts[exp_id],
+                worker_seconds=sum(t.seconds for t in results),
+                n_shards=len(results),
+                cached=False,
+                stats=merge_snapshots([t.stats for t in results]),
+                trace_meta=merge_trace_meta([t.trace_meta for t in results]),
+            )
+            outcomes[exp_id] = outcome
+            if self.cache is not None:
+                self.cache.put(exp_id, keys[exp_id], self._entry_from_outcome(outcome))
+            checks = result.checks
+            ok = sum(1 for c in checks if c.passed)
+            self._say(
+                f"{exp_id}: {ok}/{len(checks)} checks in {outcome.wall_seconds:.1f}s "
+                f"({outcome.n_shards} shard{'s' if outcome.n_shards != 1 else ''})"
+            )
+
+        def absorb(task_result: _TaskResult) -> None:
+            exp_id = task_result.experiment_id
+            done[exp_id].append(task_result)
+            if len(done[exp_id]) == len(plans[exp_id]):
+                finish(exp_id)
+
+        if self.jobs == 1 or len(tasks) <= 1:
+            for task in tasks:
+                starts.setdefault(task[0], time.perf_counter())
+                absorb(_execute_task(task))
+        else:
+            submit = time.perf_counter()
+            for exp_id in plans:
+                starts[exp_id] = submit
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(self.jobs, len(tasks))) as pool:
+                for task_result in pool.imap_unordered(_execute_task, tasks):
+                    absorb(task_result)
+
+        if profiler is not None:
+            for exp_id in ids:
+                profiler.record(f"experiment.{exp_id}", outcomes[exp_id].wall_seconds)
+        self.last_outcomes = [outcomes[exp_id] for exp_id in ids]
+        return self.last_outcomes

@@ -1,0 +1,49 @@
+"""Trial-grid splitting and per-shard RNG substream derivation.
+
+The campaign runner's determinism rests on two properties enforced here:
+
+* :func:`split_trials` partitions ``n`` trials into at most ``k``
+  contiguous, disjoint, non-empty spans that cover every trial exactly
+  once — and the partition depends only on ``(n, k)``, never on how many
+  workers happen to execute it;
+* :func:`shard_seed` derives a child seed per ``(experiment, shard)``
+  through :func:`repro.common.rng.derive_seed`, so shard RNG streams are
+  statistically disjoint from each other and from the master seed, and a
+  shard's stream does not shift when its neighbours change size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..common.errors import ExperimentError
+from ..common.rng import derive_seed
+
+
+def split_trials(n_trials: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Partition ``n_trials`` into ``min(n_shards, n_trials)`` spans.
+
+    Returns ``[(start, stop), ...]`` half-open ranges in ascending order.
+    The first ``n_trials % shards`` spans are one trial longer, so sizes
+    differ by at most one.
+    """
+    if n_shards < 1:
+        raise ExperimentError(f"n_shards must be >= 1, got {n_shards}")
+    if n_trials < 0:
+        raise ExperimentError(f"n_trials must be >= 0, got {n_trials}")
+    if n_trials == 0:
+        return []
+    shards = min(n_shards, n_trials)
+    base, extra = divmod(n_trials, shards)
+    spans = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+def shard_seed(parent_seed: int, experiment_id: str, shard_index: int) -> int:
+    """Deterministic substream seed for one shard of one experiment."""
+    return derive_seed(parent_seed, f"campaign.{experiment_id}.shard{shard_index}")

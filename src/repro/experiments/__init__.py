@@ -1,14 +1,24 @@
 """Per-table/figure reproduction experiments and their runner."""
 
-from .base import Check, Experiment, ExperimentResult, ResultTable
-from .registry import all_ids, get, register
+from .base import (
+    Check,
+    Experiment,
+    ExperimentResult,
+    ResultTable,
+    Shard,
+    ShardableExperiment,
+)
+from .registry import all_ids, get, get_class, register
 
 __all__ = [
     "Experiment",
     "ExperimentResult",
     "ResultTable",
     "Check",
+    "Shard",
+    "ShardableExperiment",
     "register",
     "get",
+    "get_class",
     "all_ids",
 ]

@@ -1,29 +1,41 @@
-"""Command-line experiment runner.
+"""Command-line experiment runner (parallel, cached).
 
 Usage::
 
+    python -m repro.experiments                      # full cached report
+    python -m repro.experiments --jobs 8             # ... on 8 workers
     python -m repro.experiments list
     python -m repro.experiments fig3
-    python -m repro.experiments all --quick
+    python -m repro.experiments all --quick --no-cache
     python -m repro.experiments fig7 --json out.json --seed 7
     python -m repro.experiments fig3 --quick --stats-out stats.json
 
-``--stats-out`` attaches a process-wide :class:`~repro.obs.Observability`
-for the duration of the run — every core/hierarchy/defense the experiments
-construct registers its counters — and writes the hierarchical stats dump
-(plus per-experiment wall-clock profile) as JSON. Pretty-print it with
-``python -m repro.obs stats.json``.
+Every run goes through :mod:`repro.campaign`: shardable experiments split
+across ``--jobs`` worker processes (default: all cores), and merged
+results land in a content-addressed cache keyed by experiment id, config,
+and a hash of the ``repro`` sources — so re-running a campaign only
+recomputes figures whose code or config actually changed.  ``--jobs 1``
+and ``--jobs N`` produce bit-identical tables/metrics/checks (see
+docs/campaign.md for the determinism contract).
+
+``--stats-out`` writes the hierarchical stats dump merged across every
+worker (plus the parent's per-experiment wall-clock profile) as JSON.
+Pretty-print it with ``python -m repro.obs stats.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
-from contextlib import nullcontext
 from typing import List, Optional
 
 from . import registry
+
+#: Default cache location (overridable with --cache-dir / REPRO_CACHE_DIR).
+DEFAULT_CACHE_DIR = ".campaign-cache"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -33,12 +45,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), or 'all', 'list', or 'report'",
+        nargs="?",
+        default="report",
+        help="experiment id (see 'list'), or 'all', 'list', or 'report' "
+        "(the default)",
     )
     parser.add_argument(
         "--quick", action="store_true", help="fewer samples, faster run"
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for shard execution (default: all cores); "
+        "results are bit-identical for any value",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
+        help="result cache directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    parser.add_argument(
+        "--cache-clear",
+        action="store_true",
+        help="delete every cache entry before running",
+    )
     parser.add_argument("--json", metavar="PATH", help="also dump result JSON")
     parser.add_argument(
         "--csv", metavar="DIR", help="also dump every result table as CSV"
@@ -49,43 +86,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--stats-out",
         metavar="PATH",
-        help="dump hierarchical stats + phase profile JSON after the run",
+        help="dump merged hierarchical stats + phase profile JSON after the run",
     )
     args = parser.parse_args(argv)
-
-    obs = None
-    if args.stats_out:
-        from ..obs import Observability, observe
-
-        # "squash" keeps only the security-relevant events in the ring so
-        # campaign-scale runs don't pay for per-commit tracing.
-        obs = Observability(trace_level="squash")
-        attached = observe(obs)
-    else:
-        attached = nullcontext()
-
-    with attached:
-        code = _dispatch(args, obs)
-    if obs is not None:
-        obs.dump_json(args.stats_out)
-        print(f"wrote {args.stats_out}")
-    return code
-
-
-def _dispatch(args: argparse.Namespace, obs) -> int:
-    if args.experiment == "report":
-        from .report import write_report
-
-        results = write_report(
-            args.out,
-            quick=args.quick,
-            seed=args.seed,
-            profiler=obs.profiler if obs is not None else None,
-        )
-        ok = sum(1 for r in results for c in r.checks if c.passed)
-        total = sum(len(r.checks) for r in results)
-        print(f"wrote {args.out}: {ok}/{total} checks passed")
-        return 0 if ok == total else 1
 
     if args.experiment == "list":
         for exp_id in registry.all_ids():
@@ -93,28 +96,88 @@ def _dispatch(args: argparse.Namespace, obs) -> int:
             print(f"{exp_id:14s} {exp.title}")
         return 0
 
-    ids = registry.all_ids() if args.experiment == "all" else [args.experiment]
-    failed = 0
-    for exp_id in ids:
-        exp = registry.get(exp_id)
+    from ..campaign import CampaignRunner, ResultCache
+    from ..obs import Profiler
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+        if args.cache_clear:
+            removed = cache.clear()
+            print(f"cleared {removed} cache entries from {args.cache_dir}",
+                  file=sys.stderr)
+    runner = CampaignRunner(
+        jobs=args.jobs,
+        cache=cache,
+        progress=lambda msg: print(f"[campaign] {msg}", file=sys.stderr),
+    )
+    profiler = Profiler()
+
+    code = _dispatch(args, runner, profiler)
+    if args.stats_out:
+        print(f"wrote {args.stats_out}")
+    return code
+
+
+def _dispatch(args: argparse.Namespace, runner, profiler) -> int:
+    if args.experiment == "report":
+        from .report import write_report
+
         started = time.time()
-        if obs is not None:
-            with obs.profile(f"experiment.{exp_id}"):
-                result = exp.run(quick=args.quick, seed=args.seed)
-        else:
-            result = exp.run(quick=args.quick, seed=args.seed)
-        elapsed = time.time() - started
+        results = write_report(
+            args.out,
+            quick=args.quick,
+            seed=args.seed,
+            profiler=profiler,
+            runner=runner,
+        )
+        if args.stats_out:
+            _write_stats(args.stats_out, runner, profiler)
+        ok = sum(1 for r in results for c in r.checks if c.passed)
+        total = sum(len(r.checks) for r in results)
+        hits = runner.cache.hits if runner.cache is not None else 0
+        print(
+            f"wrote {args.out}: {ok}/{total} checks passed "
+            f"({time.time() - started:.0f}s, {hits} cache hits)"
+        )
+        return 0 if ok == total else 1
+
+    ids = registry.all_ids() if args.experiment == "all" else [args.experiment]
+    outcomes = runner.run(ids=ids, quick=args.quick, seed=args.seed, profiler=profiler)
+    if args.stats_out:
+        _write_stats(args.stats_out, runner, profiler)
+    failed = 0
+    for outcome in outcomes:
+        result = outcome.result
         print(result.render())
-        print(f"({elapsed:.1f}s)")
+        source = "cache" if outcome.cached else f"{outcome.n_shards} shards"
+        print(f"({outcome.wall_seconds:.1f}s, {source})")
         print()
         if args.json:
-            path = args.json if len(ids) == 1 else f"{exp_id}_{args.json}"
+            path = args.json if len(ids) == 1 else f"{outcome.experiment_id}_{args.json}"
             result.dump_json(path)
         if args.csv:
             result.dump_csv(args.csv)
         if not result.all_passed:
             failed += 1
     return 1 if failed else 0
+
+
+def _write_stats(path: str, runner, profiler) -> None:
+    """The ``--stats-out`` document: worker stats merged across all tasks."""
+    from ..campaign import merge_snapshots, merge_trace_meta, snapshot_values
+    from ..obs import nest_dotted
+
+    outcomes = runner.last_outcomes
+    merged = merge_snapshots([o.stats for o in outcomes])
+    doc = {
+        "stats": nest_dotted(snapshot_values(merged)),
+        "profile": profiler.to_dict(),
+        "trace": merge_trace_meta([o.trace_meta for o in outcomes]),
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
 
 
 if __name__ == "__main__":

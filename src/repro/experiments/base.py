@@ -111,6 +111,26 @@ class ExperimentResult:
             "all_passed": self.all_passed,
         }
 
+    @classmethod
+    def from_json(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output (cache hydration)."""
+        result = cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            paper_claim=data["paper_claim"],
+        )
+        for name, tbl in data.get("tables", {}).items():
+            result.tables[name] = ResultTable(
+                headers=list(tbl["headers"]), rows=[list(r) for r in tbl["rows"]]
+            )
+        for name, value in data.get("metrics", {}).items():
+            result.metrics[name] = float(value)
+        for c in data.get("checks", []):
+            result.checks.append(
+                Check(name=c["name"], passed=bool(c["passed"]), detail=c["detail"])
+            )
+        return result
+
     def dump_json(self, path: str) -> None:
         with open(path, "w") as fh:
             json.dump(self.to_json(), fh, indent=2, default=str)
@@ -152,3 +172,51 @@ class Experiment(abc.ABC):
         return ExperimentResult(
             experiment_id=self.id, title=self.title, paper_claim=self.paper_claim
         )
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independently-runnable slice of an experiment's trial grid.
+
+    A shard is a pure *description* — a picklable parameter record the
+    campaign runner can ship to a worker process.  ``params`` carries the
+    experiment-specific slice (a load count, a bit range, …).
+    """
+
+    index: int
+    count: int
+    tag: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+class ShardableExperiment(Experiment):
+    """Experiment whose trials split into independent, mergeable shards.
+
+    The determinism contract (docs/campaign.md): :meth:`shard_plan` may
+    depend only on ``(quick, seed)`` — never on worker count — and
+    :meth:`merge_shards` receives partials in shard-index order.  Together
+    these make the campaign runner's output bit-identical for any
+    ``--jobs`` value, including the in-process ``--jobs 1`` path, because
+    the same shard bodies run with the same RNG substreams and merge in
+    the same order.
+    """
+
+    @abc.abstractmethod
+    def shard_plan(self, quick: bool = False, seed: int = 0) -> List[Shard]:
+        """The fixed decomposition of this run's trials into shards."""
+
+    @abc.abstractmethod
+    def run_shard(self, shard: Shard, quick: bool = False, seed: int = 0) -> object:
+        """Execute one shard; the return value must be picklable."""
+
+    @abc.abstractmethod
+    def merge_shards(
+        self, partials: Sequence[object], quick: bool = False, seed: int = 0
+    ) -> ExperimentResult:
+        """Fold shard partials (in shard-index order) into the result."""
+
+    def run(self, quick: bool = False, seed: int = 0) -> ExperimentResult:
+        """Serial reference path: run every shard in order, then merge."""
+        shards = self.shard_plan(quick=quick, seed=seed)
+        partials = [self.run_shard(s, quick=quick, seed=seed) for s in shards]
+        return self.merge_shards(partials, quick=quick, seed=seed)

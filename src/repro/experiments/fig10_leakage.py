@@ -3,16 +3,34 @@
 One latency sample per bit, threshold decoding. Paper: 867 of 1,000 bits
 decoded correctly (86.7%); the per-bit scatter clusters around the two
 class means with occasional large outliers.
+
+Shardable: the secret splits into ``N_SHARDS`` contiguous bit ranges and
+each shard leaks its range through an *independent* attacker instance
+whose noise stream is derived from :func:`~repro.campaign.sharding.shard_seed`
+— disjoint RNG substreams, so no shard's measurements depend on how many
+bits its neighbours leaked.  Each shard calibrates its own threshold (an
+attacker restarting mid-secret would do the same); the merge re-indexes
+the per-bit records into one global scatter and reports the count-weighted
+mean threshold.
 """
 
 from __future__ import annotations
 
-from ..attack.campaign import CampaignResult, LeakageCampaign
+from typing import List
+
+from ..attack.campaign import BitRecord, CampaignResult, LeakageCampaign
 from ..attack.secrets import random_bits
 from ..attack.unxpec import UnxpecAttack
+from ..campaign.sharding import shard_seed, split_trials
 from ..cpu.noise import campaign_noise
-from .base import Experiment, ExperimentResult
+from .base import ExperimentResult, Shard, ShardableExperiment
 from .registry import register
+
+#: Fixed shard counts — part of the determinism contract (a function of
+#: the run configuration only, never of the worker count).  Quick mode
+#: uses fewer shards because each shard pays its own calibration rounds.
+N_SHARDS = 4
+N_SHARDS_QUICK = 2
 
 
 def run_leakage_campaign(
@@ -60,14 +78,79 @@ def fill_leakage_result(
 
 
 @register
-class Fig10Leakage(Experiment):
+class Fig10Leakage(ShardableExperiment):
     id = "fig10"
     title = "Secret leakage without eviction sets (Figure 10)"
     paper_claim = "867/1000 bits decoded correctly (86.7%) at one sample per bit"
 
-    def run(self, quick: bool = False, seed: int = 0) -> ExperimentResult:
-        bits = 200 if quick else 1000
+    CALIBRATION_ROUNDS = 150
+
+    @staticmethod
+    def _bits(quick: bool) -> int:
+        return 200 if quick else 1000
+
+    def shard_plan(self, quick: bool = False, seed: int = 0) -> List[Shard]:
+        bits = self._bits(quick)
+        n_shards = N_SHARDS_QUICK if quick else N_SHARDS
+        return [
+            Shard(
+                index=i,
+                count=stop - start,
+                tag=f"bits[{start}:{stop})",
+                params={"start": start, "stop": stop, "bits": bits},
+            )
+            for i, (start, stop) in enumerate(split_trials(bits, n_shards))
+        ]
+
+    def run_shard(self, shard: Shard, quick: bool = False, seed: int = 0) -> dict:
+        start, stop = shard.params["start"], shard.params["stop"]
+        secret = random_bits(shard.params["bits"], seed=seed)[start:stop]
+        attack = UnxpecAttack(
+            use_eviction_sets=False,
+            noise=campaign_noise(),
+            seed=shard_seed(seed, self.id, shard.index),
+        )
+        campaign = LeakageCampaign(
+            attack, calibration_rounds=self.CALIBRATION_ROUNDS
+        )
+        return {"start": start, "campaign": campaign.run(secret)}
+
+    def merge_shards(self, partials, quick: bool = False, seed: int = 0):
         result = self.new_result()
-        campaign = run_leakage_campaign(False, seed, bits)
-        fill_leakage_result(result, campaign, 0.78, 0.93, "86.7%")
+        merged = merge_campaigns(partials)
+        fill_leakage_result(result, merged, 0.78, 0.93, "86.7%")
         return result
+
+
+def merge_campaigns(partials) -> CampaignResult:
+    """Fold per-shard :class:`CampaignResult` slices into one campaign.
+
+    Records are re-indexed into the global bit numbering; the threshold
+    becomes the count-weighted mean of the shard thresholds (each shard
+    calibrated independently); cycle totals sum.
+    """
+    records: List[BitRecord] = []
+    cycles_total = 0
+    threshold_weighted = 0.0
+    for p in partials:
+        campaign: CampaignResult = p["campaign"]
+        offset = p["start"]
+        for r in campaign.records:
+            records.append(
+                BitRecord(
+                    index=offset + r.index,
+                    secret=r.secret,
+                    latencies=r.latencies,
+                    guess=r.guess,
+                )
+            )
+        cycles_total += campaign.cycles_total
+        threshold_weighted += campaign.threshold * campaign.bits
+    first = partials[0]["campaign"]
+    return CampaignResult(
+        records=records,
+        threshold=threshold_weighted / len(records),
+        samples_per_bit=first.samples_per_bit,
+        cycles_total=cycles_total,
+        frequency_hz=first.frequency_hz,
+    )

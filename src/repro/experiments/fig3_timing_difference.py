@@ -8,9 +8,11 @@ necessarily yield a significant growth of timing difference".
 
 from __future__ import annotations
 
+from typing import List
+
 from ..attack.gadgets import GadgetParams
 from ..attack.unxpec import UnxpecAttack
-from .base import Experiment, ExperimentResult
+from .base import ExperimentResult, Shard, ShardableExperiment
 from .registry import register
 
 LOAD_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8)
@@ -38,7 +40,7 @@ def timing_difference_series(
 
 
 @register
-class Fig3TimingDifference(Experiment):
+class Fig3TimingDifference(ShardableExperiment):
     id = "fig3"
     title = "Rollback timing difference vs #squashed loads (Figure 3)"
     paper_claim = (
@@ -46,20 +48,43 @@ class Fig3TimingDifference(Experiment):
         "(about 25 cycles at 8 loads); sufficient for a timing channel"
     )
 
-    def run(self, quick: bool = False, seed: int = 0) -> ExperimentResult:
-        load_counts = (1, 2, 4, 8) if quick else LOAD_COUNTS
-        result = self.new_result()
-        series = timing_difference_series(False, seed, load_counts)
+    # Each load count builds its own attack instance from the master seed
+    # (exactly as the serial loop always did), so the parameter sweep is
+    # embarrassingly parallel: one shard per point.
 
+    def shard_plan(self, quick: bool = False, seed: int = 0) -> List[Shard]:
+        load_counts = (1, 2, 4, 8) if quick else LOAD_COUNTS
+        return [
+            Shard(index=i, count=1, tag=f"loads={n}", params={"n_loads": n})
+            for i, n in enumerate(load_counts)
+        ]
+
+    def run_shard(self, shard: Shard, quick: bool = False, seed: int = 0) -> dict:
+        n_loads = shard.params["n_loads"]
+        attack = UnxpecAttack(
+            params=GadgetParams(n_loads=n_loads), use_eviction_sets=False, seed=seed
+        )
+        attack.prepare()
+        s0 = attack.sample(0)
+        s1 = attack.sample(1)
+        return {
+            "n_loads": n_loads,
+            "diff": s1.latency - s0.latency,
+            "inval_l1": s1.invalidated_l1,
+            "inval_l2": s1.invalidated_l2,
+            "restored": s1.restored_l1,
+        }
+
+    def merge_shards(self, partials, quick: bool = False, seed: int = 0):
+        result = self.new_result()
         tbl = result.table(
             "timing_difference",
             ["squashed loads", "diff (cycles)", "inval L1", "inval L2", "restored"],
         )
-        for n_loads in load_counts:
-            diff, s1, _ = series[n_loads]
-            tbl.add(n_loads, diff, s1.invalidated_l1, s1.invalidated_l2, s1.restored_l1)
+        for p in partials:
+            tbl.add(p["n_loads"], p["diff"], p["inval_l1"], p["inval_l2"], p["restored"])
 
-        diffs = [series[n][0] for n in load_counts]
+        diffs = [p["diff"] for p in partials]
         result.metric("diff_1_load", diffs[0])
         result.metric("diff_max", max(diffs))
         result.check_band("single_load_diff", diffs[0], 18, 26, "22 cycles")

@@ -21,9 +21,14 @@ def register(cls: Type[Experiment]) -> Type[Experiment]:
 
 
 def get(experiment_id: str) -> Experiment:
+    return get_class(experiment_id)()
+
+
+def get_class(experiment_id: str) -> Type[Experiment]:
+    """The registered class itself (campaign workers instantiate lazily)."""
     _ensure_loaded()
     try:
-        return _REGISTRY[experiment_id]()
+        return _REGISTRY[experiment_id]
     except KeyError as exc:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; available: {all_ids()}"

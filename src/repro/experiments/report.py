@@ -56,23 +56,39 @@ def render_markdown(
     results: Sequence[ExperimentResult],
     elapsed: float = 0.0,
     timings: Optional[Mapping[str, float]] = None,
+    cache_hits: Optional[Mapping[str, bool]] = None,
+    speedups: Optional[Mapping[str, float]] = None,
 ) -> str:
     """Render a combined markdown report.
 
-    ``timings`` (``{experiment_id: seconds}``) adds a wall-clock column to
-    the summary matrix when given.
+    ``timings`` (``{experiment_id: seconds}``, parent-observed wall clock)
+    adds a time column to the summary matrix; campaign runs additionally
+    pass ``speedups`` (worker-seconds / parent-wall ratio) and
+    ``cache_hits`` for their own columns.
     """
     total = sum(len(r.checks) for r in results)
     passed = sum(1 for r in results for c in r.checks if c.passed)
     with_time = timings is not None
+    with_speedup = speedups is not None
+    with_cache = cache_hits is not None
+    header = "| experiment | title | checks |"
+    rule = "|---|---|---|"
+    for enabled, column in (
+        (with_time, " time |"),
+        (with_speedup, " speedup |"),
+        (with_cache, " cache |"),
+    ):
+        if enabled:
+            header += column
+            rule += "---|"
     lines = [
         "# unXpec reproduction report",
         "",
         f"{len(results)} experiments, {passed}/{total} paper-vs-measured checks passed"
         + (f" ({elapsed:.0f}s)." if elapsed else "."),
         "",
-        "| experiment | title | checks |" + (" time |" if with_time else ""),
-        "|---|---|---|" + ("---|" if with_time else ""),
+        header,
+        rule,
     ]
     for r in results:
         ok = sum(1 for c in r.checks if c.passed)
@@ -81,6 +97,13 @@ def render_markdown(
         if with_time:
             secs = timings.get(r.experiment_id)
             row += f" {secs:.1f}s |" if secs is not None else " — |"
+        if with_speedup:
+            cached = cache_hits is not None and cache_hits.get(r.experiment_id)
+            ratio = speedups.get(r.experiment_id)
+            row += f" {ratio:.1f}x |" if ratio is not None and not cached else " — |"
+        if with_cache:
+            hit = cache_hits.get(r.experiment_id)
+            row += " hit |" if hit else (" miss |" if hit is not None else " — |")
         lines.append(row)
     lines.append("")
     for r in results:
@@ -99,16 +122,35 @@ def write_report(
     seed: int = 0,
     ids: Optional[Sequence[str]] = None,
     profiler: Optional[Profiler] = None,
+    runner=None,
 ) -> List[ExperimentResult]:
-    """Run experiments and write the markdown report to ``path``."""
+    """Run experiments and write the markdown report to ``path``.
+
+    With a :class:`~repro.campaign.CampaignRunner` as ``runner``, the
+    experiments execute through the campaign engine (sharded, cached) and
+    the summary matrix gains speedup and cache-hit columns.  Timings are
+    parent-observed wall clock either way — a campaign worker's
+    process-local profiler cannot be read from here.
+    """
     profiler = profiler if profiler is not None else Profiler()
     started = time.time()
-    results = run_all(quick=quick, seed=seed, ids=ids, profiler=profiler)
-    text = render_markdown(
-        results,
-        elapsed=time.time() - started,
-        timings=experiment_timings(profiler),
-    )
+    if runner is not None:
+        outcomes = runner.run(ids=ids, quick=quick, seed=seed, profiler=profiler)
+        results = [o.result for o in outcomes]
+        text = render_markdown(
+            results,
+            elapsed=time.time() - started,
+            timings=experiment_timings(profiler),
+            cache_hits={o.experiment_id: o.cached for o in outcomes},
+            speedups={o.experiment_id: o.speedup for o in outcomes},
+        )
+    else:
+        results = run_all(quick=quick, seed=seed, ids=ids, profiler=profiler)
+        text = render_markdown(
+            results,
+            elapsed=time.time() - started,
+            timings=experiment_timings(profiler),
+        )
     with open(path, "w") as fh:
         fh.write(text)
     return results

@@ -45,6 +45,7 @@ from .registry import (
     Gauge,
     Stat,
     StatRegistry,
+    nest_dotted,
 )
 from .trace import EVENT_SCHEMAS, EventTrace, TraceEvent, read_jsonl
 
@@ -61,6 +62,7 @@ __all__ = [
     "StatRegistry",
     "TraceEvent",
     "get_default_obs",
+    "nest_dotted",
     "observe",
     "read_jsonl",
     "set_default_obs",

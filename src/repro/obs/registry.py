@@ -255,6 +255,32 @@ class Formula(Stat):
         return self._fn()
 
 
+def nest_dotted(flat: Dict[str, object]) -> Dict[str, object]:
+    """Nest a flat ``{dotted name: value}`` mapping into a tree.
+
+    Shared by :meth:`StatRegistry.to_dict` and the campaign runner's
+    merged-snapshot dump, so both produce the same JSON shape.
+    """
+    tree: Dict[str, object] = {}
+    for name, entry in flat.items():
+        node = tree
+        parts = name.split(".")
+        for part in parts[:-1]:
+            nxt = node.setdefault(part, {})
+            if not isinstance(nxt, dict):
+                # A leaf ("l1d") also has children ("l1d.hits"): keep the
+                # leaf under the reserved key "_value".
+                nxt = {"_value": nxt}
+                node[part] = nxt
+            node = nxt
+        leaf = parts[-1]
+        if isinstance(node.get(leaf), dict) and not isinstance(entry, dict):
+            node[leaf]["_value"] = entry
+        else:
+            node[leaf] = entry
+    return tree
+
+
 class StatRegistry:
     """Flat store of dotted-name stats with hierarchical dump views."""
 
@@ -345,24 +371,16 @@ class StatRegistry:
 
     def to_dict(self, prefix: str = "") -> Dict[str, object]:
         """Nested dict keyed by the dotted hierarchy (JSON-dump shape)."""
-        tree: Dict[str, object] = {}
-        for name, entry in self.snapshot(prefix).items():
-            node = tree
-            parts = name.split(".")
-            for part in parts[:-1]:
-                nxt = node.setdefault(part, {})
-                if not isinstance(nxt, dict):
-                    # A leaf ("l1d") also has children ("l1d.hits"): keep the
-                    # leaf under the reserved key "_value".
-                    nxt = {"_value": nxt}
-                    node[part] = nxt
-                node = nxt
-            leaf = parts[-1]
-            if isinstance(node.get(leaf), dict) and not isinstance(entry, dict):
-                node[leaf]["_value"] = entry
-            else:
-                node[leaf] = entry
-        return tree
+        return nest_dotted(self.snapshot(prefix))
+
+    def kinds(self, prefix: str = "") -> Dict[str, str]:
+        """``{dotted name: stat kind}`` for the (filtered) registry.
+
+        The campaign runner ships this beside :meth:`snapshot` so the
+        parent process knows how to merge each entry (counters sum,
+        distributions pool moments, …).
+        """
+        return {name: self._stats[name].kind for name in self.names(prefix)}
 
     def dump_json(self, path: str, indent: int = 2, prefix: str = "") -> None:
         with open(path, "w") as fh:

@@ -1,0 +1,115 @@
+"""Campaign runner determinism and cache-correctness tests.
+
+The load-bearing contract of :mod:`repro.campaign`: tables, metrics, and
+checks are bit-identical no matter how many workers execute the shards —
+``--jobs 1`` runs in-process, ``--jobs 4`` forks a pool, and both must
+produce byte-for-byte the same JSON.  The cache must serve exactly those
+bytes back on a same-config rerun and must *miss* whenever the config
+changes.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, ResultCache
+from repro.experiments import get
+from repro.experiments.base import ShardableExperiment
+
+#: The representative experiments: a parameter sweep (fig3), a cheap
+#: slice-merge (fig9), and a real multi-shard leakage campaign (fig10).
+REPRESENTATIVE = ["fig3", "fig9", "fig10"]
+
+
+def results_json(outcomes) -> str:
+    """Canonical byte representation of every result's tables/metrics/checks."""
+    return json.dumps(
+        {o.experiment_id: o.result.to_json() for o in outcomes},
+        sort_keys=True,
+        default=str,
+    )
+
+
+def stats_json(outcomes) -> str:
+    return json.dumps([o.stats for o in outcomes], sort_keys=True, default=str)
+
+
+@pytest.fixture(scope="module")
+def jobs1_outcomes():
+    return CampaignRunner(jobs=1).run(ids=REPRESENTATIVE, quick=True, seed=0)
+
+
+@pytest.fixture(scope="module")
+def jobs4_outcomes():
+    return CampaignRunner(jobs=4).run(ids=REPRESENTATIVE, quick=True, seed=0)
+
+
+class TestJobsInvariance:
+    def test_representative_experiments_are_shardable(self):
+        for exp_id in REPRESENTATIVE:
+            assert isinstance(get(exp_id), ShardableExperiment), exp_id
+
+    def test_results_bit_identical_across_jobs(self, jobs1_outcomes, jobs4_outcomes):
+        assert results_json(jobs1_outcomes) == results_json(jobs4_outcomes)
+
+    def test_merged_stats_identical_across_jobs(self, jobs1_outcomes, jobs4_outcomes):
+        assert stats_json(jobs1_outcomes) == stats_json(jobs4_outcomes)
+
+    def test_runner_matches_direct_run(self, jobs1_outcomes):
+        """The campaign path and Experiment.run() are the same computation."""
+        for outcome in jobs1_outcomes:
+            direct = get(outcome.experiment_id).run(quick=True, seed=0)
+            assert json.dumps(direct.to_json(), sort_keys=True, default=str) == (
+                json.dumps(outcome.result.to_json(), sort_keys=True, default=str)
+            )
+
+    def test_shard_plan_independent_of_jobs(self):
+        for exp_id in REPRESENTATIVE:
+            exp = get(exp_id)
+            plan = exp.shard_plan(quick=True, seed=0)
+            assert plan == exp.shard_plan(quick=True, seed=0)
+            assert [s.index for s in plan] == list(range(len(plan)))
+
+
+class TestCacheBehavior:
+    IDS = ["fig3", "fig9"]
+
+    def test_second_same_seed_run_hits(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        runner = CampaignRunner(jobs=1, cache=cache)
+        cold = runner.run(ids=self.IDS, quick=True, seed=0)
+        assert cache.hits == 0 and cache.misses == len(self.IDS)
+        assert all(not o.cached for o in cold)
+
+        warm = runner.run(ids=self.IDS, quick=True, seed=0)
+        assert cache.hits == len(self.IDS)
+        assert all(o.cached for o in warm)
+        # The cache serves back the exact same tables/metrics/checks.
+        assert results_json(cold) == results_json(warm)
+
+    def test_changed_config_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        runner = CampaignRunner(jobs=1, cache=cache)
+        runner.run(ids=["fig9"], quick=True, seed=0)
+
+        seed_changed = runner.run(ids=["fig9"], quick=True, seed=1)
+        assert not seed_changed[0].cached
+        quick_changed_key = cache.key("fig9", quick=False, seed=0)
+        assert quick_changed_key != cache.key("fig9", quick=True, seed=0)
+
+    def test_cached_stats_survive_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        runner = CampaignRunner(jobs=1, cache=cache)
+        cold = runner.run(ids=["fig3"], quick=True, seed=0)
+        warm = runner.run(ids=["fig3"], quick=True, seed=0)
+        assert warm[0].cached
+        assert stats_json(cold) == stats_json(warm)
+        assert warm[0].trace_meta["level"] == cold[0].trace_meta["level"]
+
+    def test_clear_empties_the_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        runner = CampaignRunner(jobs=1, cache=cache)
+        runner.run(ids=["fig9"], quick=True, seed=0)
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0

@@ -106,3 +106,255 @@ class TestDefenseGroundTruthGolden:
         s = attack.sample(1)
         assert (s.invalidated_l1, s.invalidated_l2, s.restored_l1) == (1, 1, 1)
         assert s.stall == 32
+
+
+#: Fixed-seed (quick, seed=0) digest of the *entire* campaign: per-
+#: experiment check pass/fail vector plus metrics rounded to 6 decimals.
+#: Regenerate with:
+#:   PYTHONPATH=src python -c "import json; from repro.campaign import \
+#:     CampaignRunner, campaign_digest; print(json.dumps(campaign_digest(\
+#:     CampaignRunner(jobs=1).run(quick=True, seed=0)), indent=2, sort_keys=True))"
+GOLDEN_CAMPAIGN_DIGEST = {
+    "abl_capacity": {
+        "checks": "PPP",
+        "metrics": {
+            "capacity_evsets_kbps": 605.457799,
+            "mi_evsets": 0.667364,
+            "mi_plain": 0.414646,
+        },
+    },
+    "abl_cleanup_mode": {
+        "checks": "PP",
+        "metrics": {
+            "l1_only_diff_1_load": 4.0,
+            "l1l2_diff_1_load": 22.0,
+        },
+    },
+    "abl_geometry": {
+        "checks": "PP",
+        "metrics": {
+            "diff_max": 22.0,
+            "diff_min": 22.0,
+        },
+    },
+    "abl_replacement": {
+        "checks": "PP",
+        "metrics": {
+            "lru_accuracy": 1.0,
+            "random_accuracy": 0.59375,
+        },
+    },
+    "abl_samples": {
+        "checks": "PP",
+        "metrics": {
+            "accuracy_1_sample": 0.9,
+            "accuracy_7_samples": 1.0,
+        },
+    },
+    "abl_significance": {
+        "checks": "PPPP",
+        "metrics": {
+            "acc_ci_low_evsets": 0.891667,
+            "cohens_d_evsets": 1.715976,
+            "cohens_d_plain": 1.834151,
+            "diff_ci_low_plain": 19.98975,
+            "welch_p_plain": 0.0,
+        },
+    },
+    "abl_train": {
+        "checks": "PP",
+        "metrics": {
+            "accuracy_max_train": 0.85,
+            "accuracy_min_train": 0.883333,
+            "kbps_max_train": 159.405312,
+            "kbps_min_train": 5519.525321,
+        },
+    },
+    "abl_window": {
+        "checks": "PP",
+        "metrics": {
+            "diff_max": 22.0,
+            "diff_min": 22.0,
+        },
+    },
+    "ext_fuzzy": {
+        "checks": "PPP",
+        "metrics": {
+            "accuracy_max_dummy": 0.625,
+            "accuracy_no_dummy": 0.85,
+            "const65_overhead_pct": 86.543428,
+            "overhead_max_dummy_pct": 67.120799,
+        },
+    },
+    "ext_invisible": {
+        "checks": "PPP",
+        "metrics": {
+            "overhead_cleanupspec_pct": 13.652708,
+            "overhead_delay_on_miss_pct": 55.277111,
+            "unxpec_diff_cleanupspec": 22.0,
+            "unxpec_diff_delay_on_miss": 0.0,
+        },
+    },
+    "ext_spectre": {
+        "checks": "PPP",
+        "metrics": {
+            "spectre_cleanupspec_footprints": 0.0,
+            "spectre_unsafe_success": 1.0,
+            "unxpec_diff_on_cleanupspec": 22.0,
+        },
+    },
+    "fig1": {
+        "checks": "PPPP",
+        "metrics": {
+            "resolution_secret0": 110.0,
+            "resolution_secret1": 110.0,
+            "t3_t4_residue": 0.0,
+            "t5_secret0": 0.0,
+            "t5_secret1": 32.0,
+        },
+    },
+    "fig10": {
+        "checks": "PPP",
+        "metrics": {
+            "accuracy": 0.825,
+            "bits": 200.0,
+            "errors": 35.0,
+            "threshold": 149.5,
+        },
+    },
+    "fig11": {
+        "checks": "PPPP",
+        "metrics": {
+            "accuracy": 0.93,
+            "accuracy_no_evsets": 0.86,
+            "bits": 200.0,
+            "errors": 14.0,
+            "threshold": 159.0,
+        },
+    },
+    "fig12": {
+        "checks": "PPPPP",
+        "metrics": {
+            "avg_const25_pct": 32.850759,
+            "avg_const65_pct": 79.493522,
+            "avg_no_const_pct": 9.605023,
+        },
+    },
+    "fig13": {
+        "checks": "PPPP",
+        "metrics": {
+            "level_N1": 334.5,
+            "level_N2": 615.75,
+            "level_N3": 896.5,
+            "median_spread_N1": 15.5,
+            "median_spread_N2": 5.0,
+            "median_spread_N3": 7.5,
+        },
+    },
+    "fig2": {
+        "checks": "PPPP",
+        "metrics": {
+            "mean_N1": 110.0,
+            "mean_N2": 232.0,
+            "mean_N3": 354.0,
+            "spread_N1": 0.0,
+            "spread_N2": 0.0,
+            "spread_N3": 0.0,
+        },
+    },
+    "fig3": {
+        "checks": "PPPP",
+        "metrics": {
+            "diff_1_load": 22.0,
+            "diff_max": 26.0,
+        },
+    },
+    "fig6": {
+        "checks": "PPPPP",
+        "metrics": {
+            "diff_1_load": 32.0,
+            "diff_8_loads": 64.0,
+        },
+    },
+    "fig7": {
+        "checks": "PPP",
+        "metrics": {
+            "mean_difference": 20.3,
+            "mean_secret0": 139.43,
+            "mean_secret1": 159.73,
+            "mode_secret0": 129.966102,
+            "mode_secret1": 159.050847,
+            "threshold": 149.5,
+        },
+    },
+    "fig8": {
+        "checks": "PPPP",
+        "metrics": {
+            "mean_difference": 27.9,
+            "mean_difference_no_evsets": 18.93,
+            "mean_secret0": 139.605,
+            "mean_secret1": 167.505,
+            "mode_secret0": 140.711864,
+            "mode_secret1": 175.813559,
+            "threshold": 159.5,
+        },
+    },
+    "fig9": {
+        "checks": "PPP",
+        "metrics": {
+            "bits": 200.0,
+            "longest_run": 10.0,
+            "ones_fraction": 0.5,
+            "transition_fraction": 0.547739,
+        },
+    },
+    "leakage_rate": {
+        "checks": "PPP",
+        "metrics": {
+            "default_kbps": 913.012714,
+            "matched_evset_kbps": 159.458479,
+            "matched_kbps": 159.469286,
+        },
+    },
+    "table1": {
+        "checks": "PPPPPP",
+        "metrics": {
+            "frequency_ghz": 2.0,
+            "memory_latency_cycles": 100.0,
+            "rob_entries": 192.0,
+        },
+    },
+}
+
+class TestCampaignGoldenDigest:
+    """One frozen digest of the full quick campaign at seed 0.
+
+    Any change that moves a table, metric, or check in *any* experiment —
+    core scheduling, cache latencies, shard plans, merge logic — fails
+    here first, naming the experiment and value that moved.
+    """
+
+    @pytest.fixture(scope="class")
+    def digest(self):
+        from repro.campaign import CampaignRunner, campaign_digest
+
+        outcomes = CampaignRunner(jobs=1).run(quick=True, seed=0)
+        return campaign_digest(outcomes)
+
+    def test_covers_every_registered_experiment(self, digest):
+        from repro.experiments import registry
+
+        assert set(digest) == set(registry.all_ids())
+        assert set(digest) == set(GOLDEN_CAMPAIGN_DIGEST)
+
+    def test_check_vectors_match(self, digest):
+        for exp_id in sorted(GOLDEN_CAMPAIGN_DIGEST):
+            assert digest[exp_id]["checks"] == (
+                GOLDEN_CAMPAIGN_DIGEST[exp_id]["checks"]
+            ), f"{exp_id}: check vector moved"
+
+    def test_rounded_metrics_match(self, digest):
+        for exp_id in sorted(GOLDEN_CAMPAIGN_DIGEST):
+            golden = GOLDEN_CAMPAIGN_DIGEST[exp_id]["metrics"]
+            measured = digest[exp_id]["metrics"]
+            assert measured == golden, f"{exp_id}: metrics moved"

@@ -135,3 +135,108 @@ class TestTraceRobustness:
         assert render_timeline(result)
         assert render_squashes(result)
         assert summarize_run(result)
+
+
+class TestShardingInvariants:
+    """Campaign sharding: k shards of N trials always cover exactly N."""
+
+    @given(st.integers(0, 5000), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_split_covers_exactly_n_trials(self, n_trials, n_shards):
+        from repro.campaign import split_trials
+
+        spans = split_trials(n_trials, n_shards)
+        assert sum(stop - start for start, stop in spans) == n_trials
+        # Contiguous, ascending, disjoint half-open spans.
+        cursor = 0
+        for start, stop in spans:
+            assert start == cursor and stop > start
+            cursor = stop
+        assert cursor == n_trials
+        # Never more shards than trials; sizes balanced within one.
+        assert len(spans) == min(n_shards, n_trials)
+        if spans:
+            sizes = [stop - start for start, stop in spans]
+            assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(0, 2**62), st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_shard_seeds_are_disjoint_substreams(self, parent_seed, n_shards):
+        from repro.campaign import shard_seed
+
+        seeds = [shard_seed(parent_seed, "fig10", i) for i in range(n_shards)]
+        assert len(set(seeds)) == n_shards, "substream collision"
+        assert parent_seed not in seeds
+        # Different experiments draw from different substream families.
+        other = [shard_seed(parent_seed, "fig9", i) for i in range(n_shards)]
+        assert not set(seeds) & set(other)
+
+    @given(st.integers(0, 2**62), st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_shard_seeds_deterministic(self, parent_seed, index):
+        from repro.campaign import shard_seed
+
+        assert shard_seed(parent_seed, "fig3", index) == shard_seed(
+            parent_seed, "fig3", index
+        )
+
+
+class TestSnapshotMergeInvariants:
+    """Merging per-shard stat snapshots must equal whole-dataset stats."""
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(-1e6, 1e6, allow_nan=False), min_size=0, max_size=30
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pooled_moments_match_whole_dataset(self, shards):
+        import math
+
+        from repro.campaign import merge_snapshots, snapshot_with_kinds
+        from repro.obs import StatRegistry
+
+        snapshots = []
+        for samples in shards:
+            reg = StatRegistry()
+            dist = reg.distribution("x.lat")
+            for v in samples:
+                dist.add(v)
+            snapshots.append(snapshot_with_kinds(reg))
+
+        whole = StatRegistry().distribution("x.lat")
+        for samples in shards:
+            for v in samples:
+                whole.add(v)
+
+        _, entry = merge_snapshots(snapshots)["x.lat"]
+        assert entry["count"] == whole.count
+        assert math.isclose(entry["total"], whole.total, abs_tol=1e-6)
+        if whole.count:
+            assert entry["min"] == whole.minimum
+            assert entry["max"] == whole.maximum
+            assert math.isclose(entry["mean"], whole.mean, abs_tol=1e-6)
+            assert math.isclose(
+                entry["stddev"], whole.stddev, rel_tol=1e-6, abs_tol=1e-6
+            )
+
+    @given(
+        st.lists(st.integers(0, 1000), min_size=1, max_size=8),
+        st.lists(st.integers(0, 1000), min_size=1, max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_counters_sum_exactly(self, a_counts, b_counts):
+        from repro.campaign import merge_snapshots
+
+        snapshots = [
+            {"core.squashes": ("counter", a), "l1d.fills": ("counter", b)}
+            for a, b in zip(a_counts, b_counts)
+        ]
+        merged = merge_snapshots(snapshots)
+        n = len(snapshots)
+        assert merged["core.squashes"] == ("counter", sum(a_counts[:n]))
+        assert merged["l1d.fills"] == ("counter", sum(b_counts[:n]))
