@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments report quick-report campaign-smoke stats examples clean
+.PHONY: install test bench experiments report quick-report campaign-smoke campaign-fault-smoke stats examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -35,6 +35,27 @@ campaign-smoke:
 	    assert a['stats'] == b['stats'] and a['trace'] == b['trace'], \
 	    'jobs=1 vs jobs=2 stats diverged'; print('campaign-smoke: jobs-invariant')"
 
+# Fault-injection smoke (docs/campaign.md "Failure model"): force every
+# fig9 shard down, then assert the campaign still finishes, exits
+# non-zero, marks exactly fig9 FAILED with a traceback section, and no
+# other experiment's row regressed.
+campaign-fault-smoke:
+	@REPRO_FAULT_INJECT='fig9:*:*:AssertionError' \
+	    $(PYTHON) -m repro.experiments report --quick --jobs 4 --no-cache \
+	    --retries 0 --out REPORT-faults.md; \
+	    status=$$?; \
+	    if [ $$status -eq 0 ]; then echo 'FAIL: expected non-zero exit'; exit 1; fi; \
+	    echo "campaign-fault-smoke: exit code $$status (non-zero, as required)"
+	@$(PYTHON) -c "import sys; \
+	    text = open('REPORT-faults.md').read(); \
+	    rows = [l for l in text.splitlines() if l.startswith('| \`')]; \
+	    failed = [l for l in rows if 'FAILED' in l]; \
+	    assert len(failed) == 1 and 'fig9' in failed[0], failed; \
+	    assert '<details>' in text and 'AssertionError' in text, 'no traceback section'; \
+	    bad = [l for l in rows if 'FAIL' in l and 'fig9' not in l]; \
+	    assert not bad, 'other experiments regressed: %r' % bad; \
+	    print('campaign-fault-smoke: FAILED row isolated to fig9, others pass')"
+
 stats:
 	$(PYTHON) -m repro.experiments fig3 --quick --stats-out stats.json
 	$(PYTHON) -m repro.obs stats.json --profile
@@ -49,5 +70,5 @@ examples:
 	$(PYTHON) examples/mitigation_tradeoff.py
 
 clean:
-	rm -rf .pytest_cache .hypothesis build dist *.egg-info REPORT.md
+	rm -rf .pytest_cache .hypothesis build dist *.egg-info REPORT.md REPORT-faults.md
 	find . -name __pycache__ -type d -exec rm -rf {} +

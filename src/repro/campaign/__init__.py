@@ -27,6 +27,14 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from .cache import CACHE_SCHEMA, ResultCache, code_version
+from .faults import (
+    FAULT_INJECT_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    TaskTimeout,
+    is_transient,
+)
 from .merge import (
     StatSnapshot,
     merge_snapshots,
@@ -34,17 +42,24 @@ from .merge import (
     snapshot_values,
     snapshot_with_kinds,
 )
-from .runner import CampaignRunner, ExperimentOutcome
+from .runner import CampaignRunner, ExperimentOutcome, TaskFailure
 from .sharding import shard_seed, split_trials
 
 __all__ = [
     "CACHE_SCHEMA",
     "CampaignRunner",
     "ExperimentOutcome",
+    "FAULT_INJECT_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "ResultCache",
     "StatSnapshot",
+    "TaskFailure",
+    "TaskTimeout",
     "campaign_digest",
     "code_version",
+    "is_transient",
     "merge_snapshots",
     "merge_trace_meta",
     "shard_seed",

@@ -110,13 +110,24 @@ class ResultCache:
         return path
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps orphaned ``*.json.tmp`` files a crashed :meth:`put`
+        may have left behind (not counted — they were never entries), and
+        tolerates another process deleting files concurrently.
+        """
         removed = 0
         for fname in os.listdir(self.root):
-            if fname.endswith(".json"):
+            if not (fname.endswith(".json") or fname.endswith(".json.tmp")):
+                continue
+            try:
                 os.unlink(os.path.join(self.root, fname))
+            except FileNotFoundError:
+                continue
+            if fname.endswith(".json"):
                 removed += 1
         return removed
 
     def __len__(self) -> int:
+        """Number of entries (``*.json.tmp`` write leftovers don't count)."""
         return sum(1 for f in os.listdir(self.root) if f.endswith(".json"))

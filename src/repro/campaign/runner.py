@@ -12,19 +12,33 @@ tables, metrics, and checks are bit-identical for every ``jobs`` value,
 because shard plans depend only on ``(quick, seed)``, shard bodies derive
 their own RNG substreams, and merges happen in shard-index order
 regardless of completion order.
+
+Fault tolerance (tested in tests/test_campaign_faults.py): a worker
+exception never aborts the campaign.  ``_execute_task`` retries transient
+faults with capped exponential backoff, enforces a per-attempt wall-clock
+timeout, and on exhaustion returns a picklable :class:`TaskFailure`
+instead of raising; the parent degrades the affected experiment to a
+``failed`` :class:`ExperimentOutcome` (error + traceback preserved) while
+every other experiment completes untouched.  If the pool itself breaks,
+the unfinished tasks re-run in-process.  See docs/campaign.md.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
 import time
+import traceback as traceback_mod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..experiments import registry
 from ..experiments.base import ExperimentResult, Shard, ShardableExperiment
 from .cache import ResultCache
+from .faults import FaultPlan, TaskTimeout, is_transient
 from .merge import (
     StatSnapshot,
     merge_snapshots,
@@ -32,8 +46,29 @@ from .merge import (
     snapshot_with_kinds,
 )
 
-#: One unit of worker work: (experiment id, shard or None, quick, seed).
-TaskSpec = Tuple[str, Optional[Shard], bool, int]
+#: Stat names the runner itself records (parent side); stripped from
+#: cache entries so warm hits do not replay stale failure/retry counts.
+FAILED_TASKS_STAT = "campaign.tasks.failed"
+RETRIES_STAT = "campaign.retries"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of worker work plus its fault policy (fully picklable)."""
+
+    experiment_id: str
+    shard: Optional[Shard]
+    quick: bool
+    seed: int
+    retries: int = 0
+    task_timeout: Optional[float] = None
+    backoff: float = 0.1
+    backoff_cap: float = 2.0
+    faults: Optional[FaultPlan] = None
+
+    @property
+    def shard_index(self) -> int:
+        return -1 if self.shard is None else self.shard.index
 
 
 @dataclass
@@ -44,6 +79,20 @@ class _TaskResult:
     seconds: float
     stats: StatSnapshot
     trace_meta: dict
+    attempts: int = 1
+
+
+@dataclass
+class TaskFailure:
+    """A task that exhausted its attempts; picklable, carries the evidence."""
+
+    experiment_id: str
+    shard_index: int
+    error: str  # repr() of the final exception
+    exc_type: str
+    traceback: str
+    attempts: int = 1
+    seconds: float = 0.0
 
 
 @dataclass
@@ -58,33 +107,72 @@ class ExperimentOutcome:
     cached: bool = False
     stats: StatSnapshot = field(default_factory=dict)
     trace_meta: dict = field(default_factory=dict)
+    failed: bool = False
+    error: str = ""
+    error_traceback: str = ""
+    retries: int = 0
 
     @property
     def speedup(self) -> float:
-        """Worker-time / parent-wall-time ratio (>1 means shards overlapped)."""
-        if self.wall_seconds <= 0:
+        """Worker-time / parent-wall-time ratio (>1 means shards overlapped).
+
+        Cached outcomes report 1.0: their ``wall_seconds`` is the cache
+        *load* time, so the raw ratio would be meaninglessly huge.
+        """
+        if self.cached or self.wall_seconds <= 0:
             return 1.0
         return self.worker_seconds / self.wall_seconds
 
 
-def _execute_task(task: TaskSpec) -> _TaskResult:
-    """Run one task under its own observability scope (worker side)."""
+@contextmanager
+def _attempt_deadline(seconds: Optional[float]):
+    """Raise :class:`TaskTimeout` in the body after ``seconds`` wall-clock.
+
+    Uses ``SIGALRM``, so it is active only on POSIX main threads — which
+    is exactly where campaign tasks run (pool workers execute tasks on
+    their main thread, and ``jobs=1`` runs in the parent's).  Elsewhere
+    the timeout is quietly best-effort-disabled.
+    """
+    if (
+        not seconds
+        or seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TaskTimeout(f"task exceeded --task-timeout={seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_attempt(task: TaskSpec, attempt: int, faults: FaultPlan) -> _TaskResult:
+    """Run one task attempt under its own observability scope (worker side)."""
     from ..obs import Observability, observe
 
-    exp_id, shard, quick, seed = task
     started = time.perf_counter()
     # "squash" keeps only security-relevant events buffered, so campaign
     # runs don't pay for per-commit tracing (same policy as --stats-out).
     with observe(Observability(trace_level="squash")) as obs:
-        exp = registry.get(exp_id)
-        if shard is None:
-            payload: object = exp.run(quick=quick, seed=seed)
-        else:
-            payload = exp.run_shard(shard, quick=quick, seed=seed)
+        with _attempt_deadline(task.task_timeout):
+            faults.trigger(task.experiment_id, task.shard_index, attempt)
+            exp = registry.get(task.experiment_id)
+            if task.shard is None:
+                payload: object = exp.run(quick=task.quick, seed=task.seed)
+            else:
+                payload = exp.run_shard(task.shard, quick=task.quick, seed=task.seed)
     seconds = time.perf_counter() - started
     return _TaskResult(
-        experiment_id=exp_id,
-        shard_index=-1 if shard is None else shard.index,
+        experiment_id=task.experiment_id,
+        shard_index=task.shard_index,
         payload=payload,
         seconds=seconds,
         stats=snapshot_with_kinds(obs.registry),
@@ -95,7 +183,40 @@ def _execute_task(task: TaskSpec) -> _TaskResult:
             "buffered": len(obs.trace),
             "dropped": obs.trace.dropped,
         },
+        attempts=attempt,
     )
+
+
+def _execute_task(task: TaskSpec) -> Union[_TaskResult, TaskFailure]:
+    """Run one task to completion or exhaustion; never raises.
+
+    Transient exceptions (see :func:`repro.campaign.faults.is_transient`)
+    are retried up to ``task.retries`` times with capped exponential
+    backoff; deterministic failures return immediately.  The return value
+    is always picklable, so nothing can propagate out of the worker pool.
+    """
+    faults = task.faults if task.faults is not None else FaultPlan.from_env()
+    started = time.perf_counter()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return _run_attempt(task, attempt, faults)
+        except Exception as exc:
+            failure = TaskFailure(
+                experiment_id=task.experiment_id,
+                shard_index=task.shard_index,
+                error=repr(exc),
+                exc_type=type(exc).__name__,
+                traceback=traceback_mod.format_exc(),
+                attempts=attempt,
+                seconds=time.perf_counter() - started,
+            )
+            if attempt > task.retries or not is_transient(exc):
+                return failure
+            delay = min(task.backoff_cap, task.backoff * (2 ** (attempt - 1)))
+            if delay > 0:
+                time.sleep(delay)
 
 
 def _pool_context():
@@ -105,17 +226,33 @@ def _pool_context():
 
 
 class CampaignRunner:
-    """Shard, schedule, cache, and merge a set of experiments."""
+    """Shard, schedule, cache, and merge a set of experiments.
+
+    ``retries`` bounds in-worker re-attempts of *transient* faults
+    (deterministic failures never retry); ``task_timeout`` caps one
+    attempt's wall-clock; ``fault_plan`` injects deterministic failures
+    for testing (default: whatever ``$REPRO_FAULT_INJECT`` describes).
+    """
 
     def __init__(
         self,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         progress: Optional[Callable[[str], None]] = None,
+        retries: int = 1,
+        task_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_backoff: float = 0.1,
+        retry_backoff_cap: float = 2.0,
     ) -> None:
         self.jobs = max(1, int(jobs)) if jobs else (os.cpu_count() or 1)
         self.cache = cache
         self._progress = progress
+        self.retries = max(0, int(retries))
+        self.task_timeout = task_timeout
+        self.fault_plan = fault_plan
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
         #: Outcomes of the most recent :meth:`run` (for stats dumps).
         self.last_outcomes: List[ExperimentOutcome] = []
 
@@ -151,11 +288,45 @@ class CampaignRunner:
         return {
             "experiment_id": outcome.experiment_id,
             "result": outcome.result.to_json(),
-            "stats": {n: list(kv) for n, kv in outcome.stats.items()},
+            # campaign.* counters describe *this* run's scheduling luck,
+            # not the experiment's content — a warm hit must not replay them.
+            "stats": {
+                n: list(kv)
+                for n, kv in outcome.stats.items()
+                if not n.startswith("campaign.")
+            },
             "trace": outcome.trace_meta,
             "worker_seconds": outcome.worker_seconds,
             "n_shards": outcome.n_shards,
         }
+
+    # -- failure plumbing ------------------------------------------------------
+
+    @staticmethod
+    def _record_campaign_counters(n_failed: int, n_retries: int) -> None:
+        """Bump the process-default stats registry, when one is installed."""
+        from ..obs import get_default_obs
+
+        obs = get_default_obs()
+        if obs is None:
+            return
+        if n_failed:
+            obs.registry.counter(
+                FAILED_TASKS_STAT, "campaign tasks that exhausted their attempts"
+            ).inc(n_failed)
+        if n_retries:
+            obs.registry.counter(
+                RETRIES_STAT, "transient-fault task re-attempts"
+            ).inc(n_retries)
+
+    @staticmethod
+    def _failed_result(exp_id: str, detail: str) -> ExperimentResult:
+        exp = registry.get(exp_id)
+        result = ExperimentResult(
+            experiment_id=exp_id, title=exp.title, paper_claim=exp.paper_claim
+        )
+        result.check("campaign.execution", False, detail)
+        return result
 
     # -- execution ------------------------------------------------------------
 
@@ -172,6 +343,10 @@ class CampaignRunner:
         *parent-observed* per-experiment wall-clock under
         ``experiment.<id>`` — correct even when shards ran in workers,
         where process-local profilers cannot see the time.
+
+        Never raises on worker failure: a failed experiment surfaces as
+        an outcome with ``failed=True`` (error + traceback attached) and
+        the remaining experiments complete normally.
         """
         ids = list(ids) if ids else registry.all_ids()
         outcomes: Dict[str, ExperimentOutcome] = {}
@@ -206,7 +381,20 @@ class CampaignRunner:
             else:
                 shards = [None]
             plans[exp_id] = shards
-            tasks.extend((exp_id, shard, quick, seed) for shard in shards)
+            tasks.extend(
+                TaskSpec(
+                    experiment_id=exp_id,
+                    shard=shard,
+                    quick=quick,
+                    seed=seed,
+                    retries=self.retries,
+                    task_timeout=self.task_timeout,
+                    backoff=self.retry_backoff,
+                    backoff_cap=self.retry_backoff_cap,
+                    faults=self.fault_plan,
+                )
+                for shard in shards
+            )
 
         if tasks:
             self._say(
@@ -214,30 +402,75 @@ class CampaignRunner:
                 f"on {min(self.jobs, len(tasks))} worker(s)"
             )
 
-        done: Dict[str, List[_TaskResult]] = {exp_id: [] for exp_id in plans}
+        done: Dict[str, List[Union[_TaskResult, TaskFailure]]] = {
+            exp_id: [] for exp_id in plans
+        }
         starts: Dict[str, float] = {}
 
         def finish(exp_id: str) -> None:
-            results = sorted(done[exp_id], key=lambda t: t.shard_index)
+            results = done[exp_id]
+            failures = [t for t in results if isinstance(t, TaskFailure)]
+            successes = sorted(
+                (t for t in results if isinstance(t, _TaskResult)),
+                key=lambda t: t.shard_index,
+            )
+            n_retries = sum(max(0, t.attempts - 1) for t in results)
+            wall = time.perf_counter() - starts[exp_id]
+            worker = sum(t.seconds for t in results)
+            if failures:
+                first = failures[0]
+                detail = (
+                    f"{len(failures)}/{len(results)} task(s) failed after "
+                    f"{first.attempts} attempt(s); first: {first.error}"
+                )
+                stats: StatSnapshot = {
+                    FAILED_TASKS_STAT: ("counter", len(failures))
+                }
+                if n_retries:
+                    stats[RETRIES_STAT] = ("counter", n_retries)
+                outcome = ExperimentOutcome(
+                    experiment_id=exp_id,
+                    result=self._failed_result(exp_id, detail),
+                    wall_seconds=wall,
+                    worker_seconds=worker,
+                    n_shards=len(results),
+                    cached=False,
+                    stats=stats,
+                    trace_meta={},
+                    failed=True,
+                    error=first.error,
+                    error_traceback=first.traceback,
+                    retries=n_retries,
+                )
+                outcomes[exp_id] = outcome
+                self._record_campaign_counters(len(failures), n_retries)
+                self._say(f"{exp_id}: FAILED — {detail}")
+                return
             exp = registry.get(exp_id)
             if isinstance(exp, ShardableExperiment):
                 result = exp.merge_shards(
-                    [t.payload for t in results], quick=quick, seed=seed
+                    [t.payload for t in successes], quick=quick, seed=seed
                 )
             else:
-                result = results[0].payload
+                result = successes[0].payload
+            stats = merge_snapshots([t.stats for t in successes])
+            if n_retries:
+                stats = dict(stats)
+                stats[RETRIES_STAT] = ("counter", n_retries)
             outcome = ExperimentOutcome(
                 experiment_id=exp_id,
                 result=result,
-                wall_seconds=time.perf_counter() - starts[exp_id],
-                worker_seconds=sum(t.seconds for t in results),
-                n_shards=len(results),
+                wall_seconds=wall,
+                worker_seconds=worker,
+                n_shards=len(successes),
                 cached=False,
-                stats=merge_snapshots([t.stats for t in results]),
-                trace_meta=merge_trace_meta([t.trace_meta for t in results]),
+                stats=stats,
+                trace_meta=merge_trace_meta([t.trace_meta for t in successes]),
+                retries=n_retries,
             )
             outcomes[exp_id] = outcome
-            if self.cache is not None:
+            self._record_campaign_counters(0, n_retries)
+            if self.cache is not None and exp_id in keys:
                 self.cache.put(exp_id, keys[exp_id], self._entry_from_outcome(outcome))
             checks = result.checks
             ok = sum(1 for c in checks if c.passed)
@@ -246,7 +479,7 @@ class CampaignRunner:
                 f"({outcome.n_shards} shard{'s' if outcome.n_shards != 1 else ''})"
             )
 
-        def absorb(task_result: _TaskResult) -> None:
+        def absorb(task_result: Union[_TaskResult, TaskFailure]) -> None:
             exp_id = task_result.experiment_id
             done[exp_id].append(task_result)
             if len(done[exp_id]) == len(plans[exp_id]):
@@ -254,19 +487,57 @@ class CampaignRunner:
 
         if self.jobs == 1 or len(tasks) <= 1:
             for task in tasks:
-                starts.setdefault(task[0], time.perf_counter())
+                starts.setdefault(task.experiment_id, time.perf_counter())
                 absorb(_execute_task(task))
         else:
             submit = time.perf_counter()
             for exp_id in plans:
                 starts[exp_id] = submit
+            remaining = {
+                (task.experiment_id, task.shard_index): task for task in tasks
+            }
             ctx = _pool_context()
-            with ctx.Pool(processes=min(self.jobs, len(tasks))) as pool:
-                for task_result in pool.imap_unordered(_execute_task, tasks):
-                    absorb(task_result)
+            try:
+                with ctx.Pool(processes=min(self.jobs, len(tasks))) as pool:
+                    for task_result in pool.imap_unordered(_execute_task, tasks):
+                        remaining.pop(
+                            (task_result.experiment_id, task_result.shard_index),
+                            None,
+                        )
+                        absorb(task_result)
+            except Exception as exc:  # pool-level breakage (BrokenProcessPool &c.)
+                self._say(
+                    f"worker pool failed ({exc!r}); "
+                    f"re-running {len(remaining)} task(s) in-process"
+                )
+                for task in remaining.values():
+                    absorb(_execute_task(task))
+
+        # Belt-and-braces: no experiment may end without an outcome, even
+        # if a scheduling bug ever drops a task result on the floor.
+        for exp_id, shards in plans.items():
+            if exp_id in outcomes:
+                continue
+            seen = {t.shard_index for t in done[exp_id]}
+            for shard in shards:
+                index = -1 if shard is None else shard.index
+                if index not in seen:
+                    done[exp_id].append(
+                        TaskFailure(
+                            experiment_id=exp_id,
+                            shard_index=index,
+                            error="task result never arrived",
+                            exc_type="LostTask",
+                            traceback="(no traceback: the task result was lost)",
+                        )
+                    )
+            finish(exp_id)
 
         if profiler is not None:
             for exp_id in ids:
-                profiler.record(f"experiment.{exp_id}", outcomes[exp_id].wall_seconds)
-        self.last_outcomes = [outcomes[exp_id] for exp_id in ids]
+                outcome = outcomes.get(exp_id)
+                if outcome is None:
+                    continue
+                profiler.record(f"experiment.{exp_id}", outcome.wall_seconds)
+        self.last_outcomes = [outcomes[exp_id] for exp_id in ids if exp_id in outcomes]
         return self.last_outcomes

@@ -76,6 +76,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="delete every cache entry before running",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retry a task up to N times on transient faults (OSError, "
+        "timeouts, broken pools); deterministic failures never retry "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt wall-clock budget for one shard/run task; an "
+        "attempt over budget is killed and counts as a transient fault "
+        "(default: no timeout)",
+    )
     parser.add_argument("--json", metavar="PATH", help="also dump result JSON")
     parser.add_argument(
         "--csv", metavar="DIR", help="also dump every result table as CSV"
@@ -110,12 +128,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         cache=cache,
         progress=lambda msg: print(f"[campaign] {msg}", file=sys.stderr),
+        retries=args.retries,
+        task_timeout=args.task_timeout,
     )
     profiler = Profiler()
 
     code = _dispatch(args, runner, profiler)
     if args.stats_out:
         print(f"wrote {args.stats_out}")
+    failed = [o for o in runner.last_outcomes if o.failed]
+    if failed:
+        for outcome in failed:
+            print(
+                f"FAILED {outcome.experiment_id}: {outcome.error}", file=sys.stderr
+            )
+        code = code or 1
     return code
 
 
@@ -154,13 +181,25 @@ def _dispatch(args: argparse.Namespace, runner, profiler) -> int:
         print(f"({outcome.wall_seconds:.1f}s, {source})")
         print()
         if args.json:
-            path = args.json if len(ids) == 1 else f"{outcome.experiment_id}_{args.json}"
-            result.dump_json(path)
+            result.dump_json(_json_path(args.json, outcome.experiment_id, len(ids) > 1))
         if args.csv:
             result.dump_csv(args.csv)
         if not result.all_passed:
             failed += 1
     return 1 if failed else 0
+
+
+def _json_path(json_arg: str, experiment_id: str, multiple: bool) -> str:
+    """The per-experiment ``--json`` output path.
+
+    With several experiments the id prefixes the *basename* only —
+    ``out/res.json`` becomes ``out/fig3_res.json``, never the mangled
+    ``fig3_out/res.json``.
+    """
+    if not multiple:
+        return json_arg
+    directory, base = os.path.split(json_arg)
+    return os.path.join(directory, f"{experiment_id}_{base}")
 
 
 def _write_stats(path: str, runner, profiler) -> None:

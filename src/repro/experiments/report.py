@@ -58,14 +58,19 @@ def render_markdown(
     timings: Optional[Mapping[str, float]] = None,
     cache_hits: Optional[Mapping[str, bool]] = None,
     speedups: Optional[Mapping[str, float]] = None,
+    failures: Optional[Mapping[str, Sequence[str]]] = None,
 ) -> str:
     """Render a combined markdown report.
 
     ``timings`` (``{experiment_id: seconds}``, parent-observed wall clock)
     adds a time column to the summary matrix; campaign runs additionally
     pass ``speedups`` (worker-seconds / parent-wall ratio) and
-    ``cache_hits`` for their own columns.
+    ``cache_hits`` for their own columns.  ``failures`` maps experiment
+    ids whose campaign execution failed to ``(error, traceback)`` pairs;
+    those rows render as **FAILED** and the tracebacks land in a
+    collapsible section after the summary matrix.
     """
+    failures = failures or {}
     total = sum(len(r.checks) for r in results)
     passed = sum(1 for r in results for c in r.checks if c.passed)
     with_time = timings is not None
@@ -92,7 +97,10 @@ def render_markdown(
     ]
     for r in results:
         ok = sum(1 for c in r.checks if c.passed)
-        status = "PASS" if r.all_passed else "**FAIL**"
+        if r.experiment_id in failures:
+            status = "**FAILED**"
+        else:
+            status = "PASS" if r.all_passed else "**FAIL**"
         row = f"| `{r.experiment_id}` | {r.title} | {ok}/{len(r.checks)} {status} |"
         if with_time:
             secs = timings.get(r.experiment_id)
@@ -106,6 +114,22 @@ def render_markdown(
             row += " hit |" if hit else (" miss |" if hit is not None else " — |")
         lines.append(row)
     lines.append("")
+    if failures:
+        lines.append("## Failures")
+        lines.append("")
+        for r in results:
+            if r.experiment_id not in failures:
+                continue
+            error, trace = failures[r.experiment_id]
+            lines.append("<details>")
+            lines.append(f"<summary><code>{r.experiment_id}</code> — {error}</summary>")
+            lines.append("")
+            lines.append("```")
+            lines.append(str(trace).rstrip())
+            lines.append("```")
+            lines.append("")
+            lines.append("</details>")
+            lines.append("")
     for r in results:
         lines.append("---")
         lines.append("")
@@ -143,6 +167,11 @@ def write_report(
             timings=experiment_timings(profiler),
             cache_hits={o.experiment_id: o.cached for o in outcomes},
             speedups={o.experiment_id: o.speedup for o in outcomes},
+            failures={
+                o.experiment_id: (o.error, o.error_traceback)
+                for o in outcomes
+                if o.failed
+            },
         )
     else:
         results = run_all(quick=quick, seed=seed, ids=ids, profiler=profiler)
