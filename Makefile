@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments report quick-report campaign-smoke campaign-fault-smoke stats examples clean
+.PHONY: install test bench experiments report quick-report campaign-smoke campaign-fault-smoke stats examples lint specct-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -59,6 +59,29 @@ campaign-fault-smoke:
 stats:
 	$(PYTHON) -m repro.experiments fig3 --quick --stats-out stats.json
 	$(PYTHON) -m repro.obs stats.json --profile
+
+# Repo lint: the AST determinism checker (always), then ruff if it is
+# installed (CI installs it; locally it is optional).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.lint_determinism src/repro
+	@if command -v ruff >/dev/null 2>&1; then \
+	    ruff check .; \
+	else \
+	    echo "ruff not installed; skipping style lint (CI runs it)"; \
+	fi
+
+# Static-analyzer smoke: the gadget/workload/fig3 cross-validation suite
+# (every gadget flagged, every safe workload clean, static cache-delta
+# sign agrees with the dynamic timing delta), plus one example lint of
+# the paper's gadget via the main CLI alias.
+specct-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.specct --crossval --quick
+	PYTHONPATH=src $(PYTHON) -m repro.experiments lint-program gadget:round --n-loads 2; \
+	    status=$$?; \
+	    if [ $$status -ne 1 ]; then \
+	        echo "FAIL: expected exit 1 (findings) for the gadget, got $$status"; exit 1; \
+	    fi; \
+	    echo "specct-smoke: gadget flagged (exit 1), cross-validation passed"
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,4 +1,5 @@
-"""Information-theoretic channel analysis."""
+"""Channel analysis: information-theoretic (dynamic) and speculative-taint
+(static, :mod:`repro.analysis.specct`)."""
 
 from .validation import (
     BootstrapCI,
@@ -14,6 +15,14 @@ from .channel_capacity import (
     bsc_capacity,
     empirical_mutual_information,
 )
+from .specct import (
+    AnalyzerConfig,
+    Finding,
+    Report,
+    SpecCTAnalyzer,
+    analyze_program,
+    cross_validate,
+)
 
 __all__ = [
     "SeparationTest",
@@ -26,4 +35,10 @@ __all__ = [
     "binary_entropy",
     "bsc_capacity",
     "empirical_mutual_information",
+    "AnalyzerConfig",
+    "Finding",
+    "Report",
+    "SpecCTAnalyzer",
+    "analyze_program",
+    "cross_validate",
 ]

@@ -1,0 +1,85 @@
+"""``repro.analysis.specct`` — speculative-taint static analysis.
+
+A speculative-constant-time analyzer over :class:`repro.isa.program.Program`:
+CFG construction with bounded wrong-path edges, a fixpoint taint dataflow
+over registers and memory regions, findings for the unXpec/Spectre-v1
+patterns (secret-tainted transient load/store addresses, tainted branch
+conditions) and — specific to this paper — a per-branch bound on
+secret-dependent cache-state mutations inside the speculation window (the
+rollback-time channel).  See ``docs/static-analysis.md``.
+
+CLI::
+
+    python -m repro.analysis.specct gadget:round --n-loads 2
+    python -m repro.analysis.specct workload:mcf --format json
+    python -m repro.analysis.specct victim.s --secret 0x18280:0x18288
+    python -m repro.analysis.specct --crossval --quick
+    unxpec lint-program gadget:round        # same thing, via the main CLI
+"""
+
+from .analyzer import (
+    AnalyzerConfig,
+    SecretRanges,
+    SpecCTAnalyzer,
+    analyze_program,
+    normalize_ranges,
+)
+from .cfg import Cfg, CfgNode
+from .crossval import (
+    CaseResult,
+    CrossValReport,
+    SignCheck,
+    cross_validate,
+    fig3_sign_checks,
+    gadget_cases,
+    workload_cases,
+)
+from .dynamic import DynamicTaintInterpreter, DynEvent, dynamic_events
+from .findings import (
+    ALL_KINDS,
+    CACHE_DELTA,
+    TAINTED_BRANCH_COND,
+    TAINTED_FLUSH_ADDR,
+    TAINTED_LOAD_ADDR,
+    TAINTED_STORE_ADDR,
+    Finding,
+    Report,
+    SpecWindow,
+    severity_of,
+)
+from .lattice import AbsState, Value, overlaps_secret, value_alu, value_of
+
+__all__ = [
+    "ALL_KINDS",
+    "AbsState",
+    "AnalyzerConfig",
+    "CACHE_DELTA",
+    "CaseResult",
+    "Cfg",
+    "CfgNode",
+    "CrossValReport",
+    "DynEvent",
+    "DynamicTaintInterpreter",
+    "Finding",
+    "Report",
+    "SecretRanges",
+    "SignCheck",
+    "SpecCTAnalyzer",
+    "SpecWindow",
+    "TAINTED_BRANCH_COND",
+    "TAINTED_FLUSH_ADDR",
+    "TAINTED_LOAD_ADDR",
+    "TAINTED_STORE_ADDR",
+    "Value",
+    "analyze_program",
+    "cross_validate",
+    "dynamic_events",
+    "fig3_sign_checks",
+    "gadget_cases",
+    "normalize_ranges",
+    "overlaps_secret",
+    "severity_of",
+    "value_alu",
+    "value_of",
+    "workload_cases",
+]

@@ -1,0 +1,381 @@
+"""Speculative-taint / speculative-constant-time fixpoint analyzer.
+
+Two passes over the CFG of one program:
+
+1. **Architectural fixpoint** — a forward dataflow analysis with the
+   :mod:`lattice` domain over every architecturally possible path (both
+   sides of every branch, since conditions are statically unknown).  Its
+   result is a sound per-instruction abstract state; violations found
+   here (tainted load/store/flush addresses, tainted branch conditions)
+   hold on some committed path.
+
+2. **Speculative window pass** — from every reachable conditional
+   branch, a bounded wrong-path walk of up to ``config.window``
+   instructions, seeded with the branch's architectural in-state.  This
+   models transient execution past an unresolved branch: everything the
+   walk can do to the cache *before the squash* is what an undo-based
+   defense must roll back.  Violations found here are tagged
+   ``transient`` with the exposing branch and depth; the count of
+   secret-tainted loads/flushes per window is the program's static
+   **cache-state-delta bound** — when positive, the rollback's duration
+   depends on the secret, which is exactly the unXpec channel, so the
+   bound must agree in sign with the measured fig3 timing delta.
+
+A ``Fence`` ends the speculative walk by default
+(``fence_blocks_speculation``), modeling lfence-style serialization, so
+inserting a fence ahead of a leaking load makes the transient finding —
+and only the transient finding — disappear.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...common.errors import AnalysisError
+from ...isa.instructions import (
+    Branch,
+    Fence,
+    Flush,
+    Halt,
+    Instruction,
+    IntOp,
+    IntOpImm,
+    Load,
+    LoadImm,
+    ReadTimer,
+    Store,
+)
+from ...isa.program import Program
+from ...obs import get_default_obs
+from .cfg import Cfg
+from .findings import (
+    CACHE_DELTA,
+    TAINTED_BRANCH_COND,
+    TAINTED_FLUSH_ADDR,
+    TAINTED_LOAD_ADDR,
+    TAINTED_STORE_ADDR,
+    Finding,
+    Report,
+    SpecWindow,
+    severity_of,
+)
+from .lattice import TOP, AbsState, Value, overlaps_secret, value_alu, value_of
+
+#: (lo, hi) byte ranges, hi exclusive.
+SecretRanges = Tuple[Tuple[int, int], ...]
+
+
+def normalize_ranges(ranges: Iterable[Tuple[int, int]]) -> SecretRanges:
+    """Validate and canonicalize secret address ranges."""
+    out: List[Tuple[int, int]] = []
+    for lo, hi in ranges:
+        if hi <= lo:
+            raise AnalysisError(f"empty secret range [{lo:#x}, {hi:#x})")
+        out.append((int(lo), int(hi)))
+    return tuple(sorted(out))
+
+
+@dataclass(frozen=True)
+class AnalyzerConfig:
+    """Tunable knobs of the analysis."""
+
+    #: Max transient instructions executed past one unresolved branch.
+    window: int = 64
+    #: A load through a statically-unknown address may read the secret
+    #: region (the sound default).  Turning this off trades soundness on
+    #: attacker-indexed accesses for precision on pointer-heavy code.
+    unknown_addr_may_alias_secret: bool = True
+    #: ``mfence`` terminates wrong-path walks (lfence-style modeling).
+    fence_blocks_speculation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise AnalysisError("speculation window must be at least 1")
+
+
+#: One violation observed by a transfer: (kind, detail, counts_as_install).
+_Event = Tuple[str, str, bool]
+
+
+class SpecCTAnalyzer:
+    """Analyzes one program against one secret specification."""
+
+    def __init__(
+        self,
+        program: Program,
+        secret_ranges: Iterable[Tuple[int, int]] = (),
+        config: AnalyzerConfig = AnalyzerConfig(),
+    ) -> None:
+        self.program = program
+        self.cfg = Cfg(program)
+        self.ranges = normalize_ranges(secret_ranges)
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # transfer function (shared by both passes)
+    # ------------------------------------------------------------------
+
+    def _addr(self, state: AbsState, base: str, offset: int) -> Value:
+        return value_alu("add", state.get(base), Value(offset, False))
+
+    def _transfer(
+        self, pc: int, inst: Instruction, state: AbsState
+    ) -> Tuple[AbsState, List[_Event]]:
+        st = state.copy()
+        events: List[_Event] = []
+        if isinstance(inst, LoadImm):
+            st.set(inst.dst, value_of(inst.imm))
+        elif isinstance(inst, IntOp):
+            st.set(inst.dst, value_alu(inst.op, st.get(inst.src1), st.get(inst.src2)))
+        elif isinstance(inst, IntOpImm):
+            st.set(
+                inst.dst, value_alu(inst.op, st.get(inst.src1), Value(inst.imm, False))
+            )
+        elif isinstance(inst, Load):
+            addr = self._addr(st, inst.base, inst.offset)
+            if addr.taint:
+                events.append(
+                    (
+                        TAINTED_LOAD_ADDR,
+                        f"load address in {inst.base} is secret-derived",
+                        True,
+                    )
+                )
+            taint = (
+                addr.taint
+                or overlaps_secret(
+                    addr, self.ranges, self.config.unknown_addr_may_alias_secret
+                )
+                or st.mem_tainted_at(addr)
+            )
+            st.set(inst.dst, Value(None, taint))
+        elif isinstance(inst, Store):
+            addr = self._addr(st, inst.base, inst.offset)
+            if addr.taint:
+                events.append(
+                    (
+                        TAINTED_STORE_ADDR,
+                        f"store address in {inst.base} is secret-derived",
+                        False,
+                    )
+                )
+            st.taint_store(addr, st.get(inst.src))
+        elif isinstance(inst, Flush):
+            addr = self._addr(st, inst.base, inst.offset)
+            if addr.taint:
+                events.append(
+                    (
+                        TAINTED_FLUSH_ADDR,
+                        f"flushed address in {inst.base} is secret-derived",
+                        True,
+                    )
+                )
+        elif isinstance(inst, ReadTimer):
+            st.set(inst.dst, TOP)
+        elif isinstance(inst, Branch):
+            if st.get(inst.src1).taint or st.get(inst.src2).taint:
+                events.append(
+                    (
+                        TAINTED_BRANCH_COND,
+                        f"condition ({inst.src1}, {inst.src2}) is secret-derived",
+                        False,
+                    )
+                )
+        # Fence / Nop / Halt / Jump neither touch registers nor memory taint.
+        return st, events
+
+    # ------------------------------------------------------------------
+    # pass 1: architectural fixpoint
+    # ------------------------------------------------------------------
+
+    def _architectural_fixpoint(self) -> Dict[int, AbsState]:
+        in_states: Dict[int, AbsState] = {0: AbsState()}
+        work = deque([0])
+        queued = {0}
+        while work:
+            pc = work.popleft()
+            queued.discard(pc)
+            out, _ = self._transfer(pc, self.cfg.node(pc).instruction, in_states[pc])
+            for succ in self.cfg.successors(pc):
+                if succ in in_states:
+                    joined = in_states[succ].join(out)
+                    if joined == in_states[succ]:
+                        continue
+                    in_states[succ] = joined
+                else:
+                    in_states[succ] = out.copy()
+                if succ not in queued:
+                    queued.add(succ)
+                    work.append(succ)
+        return in_states
+
+    # ------------------------------------------------------------------
+    # pass 2: bounded speculative wrong-path walk per branch
+    # ------------------------------------------------------------------
+
+    def _spec_walk(
+        self, branch_pc: int, in_state: AbsState
+    ) -> Tuple[Dict[Tuple[str, int], Tuple[int, str]], List[int]]:
+        """Explore up to ``window`` transient instructions past ``branch_pc``.
+
+        Returns ``{(kind, pc): (min_depth, detail)}`` plus the sorted pcs
+        of secret-dependent cache mutations (loads/flushes with tainted
+        addresses) reachable inside the window.
+        """
+        window = self.config.window
+        events: Dict[Tuple[str, int], Tuple[int, str]] = {}
+        installs: set = set()
+        #: per-pc join of (state, remaining-budget) already explored.
+        best: Dict[int, Tuple[AbsState, int]] = {}
+        work: deque = deque(
+            (succ, in_state, window) for succ in self.cfg.successors(branch_pc)
+        )
+        while work:
+            pc, state, remaining = work.popleft()
+            if remaining <= 0:
+                continue
+            prev = best.get(pc)
+            if prev is not None:
+                joined = prev[0].join(state)
+                rem = max(prev[1], remaining)
+                if joined == prev[0] and rem == prev[1]:
+                    continue
+                state, remaining = joined, rem
+            best[pc] = (state, remaining)
+            inst = self.cfg.node(pc).instruction
+            new_state, evs = self._transfer(pc, inst, state)
+            depth = window - remaining + 1
+            for kind, detail, is_install in evs:
+                key = (kind, pc)
+                if key not in events or events[key][0] > depth:
+                    events[key] = (depth, detail)
+                if is_install:
+                    installs.add(pc)
+            if isinstance(inst, Halt):
+                continue
+            if isinstance(inst, Fence) and self.config.fence_blocks_speculation:
+                continue
+            for succ in self.cfg.successors(pc):
+                work.append((succ, new_state, remaining - 1))
+        return events, sorted(installs)
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def analyze(self) -> Report:
+        in_states = self._architectural_fixpoint()
+
+        # Architectural findings from the converged states.
+        arch: Dict[Tuple[str, int], str] = {}
+        for pc in sorted(in_states):
+            _, events = self._transfer(pc, self.cfg.node(pc).instruction, in_states[pc])
+            for kind, detail, _install in events:
+                arch.setdefault((kind, pc), detail)
+
+        # Transient findings + per-branch window summaries.
+        spec: Dict[Tuple[str, int], Tuple[int, int, str]] = {}  # -> branch, depth, detail
+        windows: List[SpecWindow] = []
+        for branch_pc in self.cfg.branch_pcs():
+            if branch_pc not in in_states:
+                continue  # unreachable branch
+            events, installs = self._spec_walk(branch_pc, in_states[branch_pc])
+            for (kind, pc), (depth, detail) in events.items():
+                prev = spec.get((kind, pc))
+                if prev is None or (depth, branch_pc) < (prev[1], prev[0]):
+                    spec[(kind, pc)] = (branch_pc, depth, detail)
+            node = self.cfg.node(branch_pc)
+            windows.append(
+                SpecWindow(
+                    branch_pc=branch_pc,
+                    instruction=str(node.instruction),
+                    tainted_installs=len(installs),
+                    install_pcs=tuple(installs),
+                    tainted_condition=(TAINTED_BRANCH_COND, branch_pc) in arch,
+                )
+            )
+
+        report = Report(
+            program=self.program.name,
+            instructions=len(self.program),
+            window=self.config.window,
+            secret_ranges=self.ranges,
+        )
+        for (kind, pc), detail in arch.items():
+            if (kind, pc) in spec:
+                continue  # the transient record below subsumes it
+            report.findings.append(
+                Finding(
+                    kind=kind,
+                    pc=pc,
+                    instruction=str(self.program[pc]),
+                    severity=severity_of(kind),
+                    transient=False,
+                    detail=detail,
+                )
+            )
+        for (kind, pc), (branch_pc, depth, detail) in spec.items():
+            report.findings.append(
+                Finding(
+                    kind=kind,
+                    pc=pc,
+                    instruction=str(self.program[pc]),
+                    severity=severity_of(kind),
+                    transient=True,
+                    branch_pc=branch_pc,
+                    depth=depth,
+                    detail=detail,
+                )
+            )
+        for w in windows:
+            if w.tainted_installs:
+                report.findings.append(
+                    Finding(
+                        kind=CACHE_DELTA,
+                        pc=w.branch_pc,
+                        instruction=w.instruction,
+                        severity=severity_of(CACHE_DELTA),
+                        transient=True,
+                        branch_pc=w.branch_pc,
+                        depth=None,
+                        detail=(
+                            f"{w.tainted_installs} secret-dependent cache "
+                            f"install(s)/eviction(s) in the speculation window "
+                            f"at pcs {list(w.install_pcs)} — rollback duration "
+                            "after a squash of this branch depends on the secret"
+                        ),
+                    )
+                )
+        report.windows = windows
+        report.sort()
+        self._count(report)
+        return report
+
+    @staticmethod
+    def _count(report: Report) -> None:
+        """Bump obs-registry counters when a default registry is installed."""
+        obs = get_default_obs()
+        if obs is None:
+            return
+        reg = obs.registry
+        reg.counter("specct.programs", "programs analyzed").inc()
+        reg.counter("specct.findings", "total findings reported").inc(
+            len(report.findings)
+        )
+        for f in report.findings:
+            reg.counter(f"specct.findings.{f.kind}", f"{f.kind} findings").inc()
+        if not report.findings:
+            reg.counter("specct.clean", "programs with no findings").inc()
+
+
+def analyze_program(
+    program: Program,
+    secret_ranges: Iterable[Tuple[int, int]] = (),
+    window: int = AnalyzerConfig.window,
+    config: Optional[AnalyzerConfig] = None,
+) -> Report:
+    """One-call convenience wrapper around :class:`SpecCTAnalyzer`."""
+    cfg = config or AnalyzerConfig(window=window)
+    return SpecCTAnalyzer(program, secret_ranges, cfg).analyze()

@@ -1,0 +1,72 @@
+"""Control-flow graph over a :class:`~repro.isa.program.Program`.
+
+Nodes are instruction indices; edges are the *architectural* successor
+relation with branch/jump labels resolved eagerly through the program's
+label table.  Because branch conditions are statically unknown, a
+conditional branch contributes both its fall-through and its taken edge —
+the speculative wrong-path exploration of the analyzer walks exactly the
+same edges, only bounded by the speculation window and seeded at a branch.
+
+A label may legally resolve to ``len(program)`` (one past the final
+``Halt``); such an edge falls off the end and is treated as program exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ...isa.instructions import Branch, Halt, Instruction, Jump
+from ...isa.program import Program
+
+
+@dataclass(frozen=True)
+class CfgNode:
+    """One instruction with its resolved architectural successors."""
+
+    pc: int
+    instruction: Instruction
+    successors: Tuple[int, ...]
+    #: Resolved taken-target for branches/jumps, None otherwise.
+    target: Optional[int] = None
+
+    @property
+    def is_branch(self) -> bool:
+        return isinstance(self.instruction, Branch)
+
+
+class Cfg:
+    """Immutable CFG of one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        n = len(program)
+        nodes: List[CfgNode] = []
+        for pc, inst in enumerate(program):
+            target: Optional[int] = None
+            if isinstance(inst, Halt):
+                succs: Tuple[int, ...] = ()
+            elif isinstance(inst, Jump):
+                target = program.resolve(inst.target)
+                succs = (target,) if target < n else ()
+            elif isinstance(inst, Branch):
+                target = program.resolve(inst.target)
+                succs = tuple(
+                    s for s in dict.fromkeys((pc + 1, target)) if s < n
+                )
+            else:
+                succs = (pc + 1,) if pc + 1 < n else ()
+            nodes.append(CfgNode(pc=pc, instruction=inst, successors=succs, target=target))
+        self.nodes: Tuple[CfgNode, ...] = tuple(nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, pc: int) -> CfgNode:
+        return self.nodes[pc]
+
+    def successors(self, pc: int) -> Tuple[int, ...]:
+        return self.nodes[pc].successors
+
+    def branch_pcs(self) -> List[int]:
+        return [n.pc for n in self.nodes if n.is_branch]

@@ -1,0 +1,243 @@
+"""Cross-validation harness: static verdicts vs. known ground truth.
+
+Three legs, each an acceptance criterion of the analyzer:
+
+* **True positives** — every attack gadget program (``UnxpecGadget``
+  round programs across a parameter sweep, the Spectre-v1 round) must be
+  flagged, with at least one *transient* tainted-load-address finding and
+  a positive cache-state-delta bound.
+* **No false positives** — every safe synthetic workload program
+  (:func:`repro.workloads.safe_programs`) must come back clean under the
+  same secret declaration.
+* **Sign agreement** — the static cache-delta bound of the fig3 gadget
+  configuration must agree in *sign* with the dynamically measured
+  secret=1 vs secret=0 rollback timing delta: both positive on the
+  leaking gadget.  This is what turns the simulator into a correctness
+  oracle for the analyzer (and vice versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ...attack.gadgets import GadgetParams, UnxpecGadget
+from ...attack.spectre import SpectreV1Attack
+from ...workloads.synth import safe_programs
+from .analyzer import AnalyzerConfig, SpecCTAnalyzer
+from .findings import TAINTED_LOAD_ADDR, Report
+
+#: (n_loads, condition_accesses) points of the gadget sweep.
+FULL_GADGET_SWEEP: Tuple[Tuple[int, int], ...] = tuple(
+    (n, acc) for n in (1, 2, 3, 4, 5, 6, 7, 8) for acc in (1, 2)
+)
+QUICK_GADGET_SWEEP: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 1), (4, 2), (8, 1))
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One program's verdict against its expectation."""
+
+    name: str
+    category: str  # "gadget" | "workload"
+    expected_flagged: bool
+    flagged: bool
+    transient_tainted_loads: int
+    cache_delta_bound: int
+    findings: int
+
+    @property
+    def ok(self) -> bool:
+        if self.expected_flagged:
+            return (
+                self.flagged
+                and self.transient_tainted_loads > 0
+                and self.cache_delta_bound > 0
+            )
+        return not self.flagged
+
+
+@dataclass(frozen=True)
+class SignCheck:
+    """Static cache-delta bound vs dynamic fig3-style timing delta."""
+
+    n_loads: int
+    static_delta_bound: int
+    dynamic_timing_delta: int
+
+    @property
+    def ok(self) -> bool:
+        # sign(static) must equal sign(dynamic); the gadget leaks, so both
+        # are expected strictly positive.
+        def sign(x: int) -> int:
+            return (x > 0) - (x < 0)
+
+        return sign(self.static_delta_bound) == sign(self.dynamic_timing_delta)
+
+
+@dataclass
+class CrossValReport:
+    cases: List[CaseResult] = field(default_factory=list)
+    sign_checks: List[SignCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.cases) and all(s.ok for s in self.sign_checks)
+
+    def render_text(self) -> str:
+        lines = ["specct cross-validation"]
+        for c in self.cases:
+            verdict = "ok" if c.ok else "MISMATCH"
+            expect = "flagged" if c.expected_flagged else "clean"
+            got = (
+                f"{c.findings} finding(s), "
+                f"{c.transient_tainted_loads} transient tainted load(s), "
+                f"delta bound {c.cache_delta_bound}"
+            )
+            lines.append(f"  [{verdict}] {c.category:8s} {c.name}: expect {expect}, got {got}")
+        for s in self.sign_checks:
+            verdict = "ok" if s.ok else "MISMATCH"
+            lines.append(
+                f"  [{verdict}] fig3 sign  n_loads={s.n_loads}: static delta bound "
+                f"{s.static_delta_bound}, dynamic timing delta "
+                f"{s.dynamic_timing_delta} cycles"
+            )
+        lines.append(
+            "PASS: static verdicts agree with ground truth"
+            if self.ok
+            else "FAIL: static verdicts disagree with ground truth"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "cases": [
+                {
+                    "name": c.name,
+                    "category": c.category,
+                    "expected_flagged": c.expected_flagged,
+                    "flagged": c.flagged,
+                    "transient_tainted_loads": c.transient_tainted_loads,
+                    "cache_delta_bound": c.cache_delta_bound,
+                    "findings": c.findings,
+                    "ok": c.ok,
+                }
+                for c in self.cases
+            ],
+            "sign_checks": [
+                {
+                    "n_loads": s.n_loads,
+                    "static_delta_bound": s.static_delta_bound,
+                    "dynamic_timing_delta": s.dynamic_timing_delta,
+                    "ok": s.ok,
+                }
+                for s in self.sign_checks
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# corpora
+# ---------------------------------------------------------------------------
+
+
+def gadget_cases(quick: bool = False):
+    """(name, program, secret_ranges) of every attacking program."""
+    sweep = QUICK_GADGET_SWEEP if quick else FULL_GADGET_SWEEP
+    cases = []
+    for n_loads, accesses in sweep:
+        gadget = UnxpecGadget(
+            params=GadgetParams(n_loads=n_loads, condition_accesses=accesses)
+        )
+        program = gadget.build_round()
+        cases.append((program.name, program, gadget.secret_ranges()))
+    spectre = SpectreV1Attack()
+    cases.append(("spectre-v1-round", spectre.build_round(), spectre.secret_ranges()))
+    return cases
+
+
+def workload_cases(quick: bool = False, seed: int = 0):
+    """(name, program, secret_ranges) of every safe program.
+
+    The secret declaration is the *same* one the gadgets use — the
+    workloads only ever touch their own regions, so they must be clean
+    even with the secret declared.
+    """
+    gadget = UnxpecGadget()
+    ranges = gadget.secret_ranges()
+    instructions = 200 if quick else 400
+    return [
+        (f"workload-{name}", program, ranges)
+        for name, program in safe_programs(instructions=instructions, seed=seed)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the harness
+# ---------------------------------------------------------------------------
+
+
+def _analyze(program, ranges, window: int) -> Report:
+    return SpecCTAnalyzer(program, ranges, AnalyzerConfig(window=window)).analyze()
+
+
+def _case(name, category, program, ranges, expected_flagged, window) -> CaseResult:
+    report = _analyze(program, ranges, window)
+    transient_loads = [
+        f for f in report.by_kind(TAINTED_LOAD_ADDR) if f.transient
+    ]
+    return CaseResult(
+        name=name,
+        category=category,
+        expected_flagged=expected_flagged,
+        flagged=not report.clean,
+        transient_tainted_loads=len(transient_loads),
+        cache_delta_bound=report.cache_delta_bound,
+        findings=len(report.findings),
+    )
+
+
+def fig3_sign_checks(
+    load_counts: Sequence[int] = (1, 4),
+    seed: int = 0,
+    window: int = AnalyzerConfig.window,
+) -> List[SignCheck]:
+    """Static delta bound vs dynamic fig3 timing delta per load count."""
+    from ...attack.unxpec import UnxpecAttack
+
+    checks = []
+    for n_loads in load_counts:
+        gadget = UnxpecGadget(params=GadgetParams(n_loads=n_loads))
+        report = _analyze(gadget.build_round(), gadget.secret_ranges(), window)
+        attack = UnxpecAttack(params=GadgetParams(n_loads=n_loads), seed=seed)
+        attack.prepare()
+        s0 = attack.sample(0)
+        s1 = attack.sample(1)
+        checks.append(
+            SignCheck(
+                n_loads=n_loads,
+                static_delta_bound=report.cache_delta_bound,
+                dynamic_timing_delta=s1.latency - s0.latency,
+            )
+        )
+    return checks
+
+
+def cross_validate(
+    quick: bool = False,
+    seed: int = 0,
+    window: int = AnalyzerConfig.window,
+    with_dynamic: bool = True,
+    load_counts: Optional[Sequence[int]] = None,
+) -> CrossValReport:
+    """Run all three legs; ``with_dynamic=False`` skips the simulator leg."""
+    report = CrossValReport()
+    for name, program, ranges in gadget_cases(quick=quick):
+        report.cases.append(_case(name, "gadget", program, ranges, True, window))
+    for name, program, ranges in workload_cases(quick=quick, seed=seed):
+        report.cases.append(_case(name, "workload", program, ranges, False, window))
+    if with_dynamic:
+        counts = load_counts if load_counts is not None else ((1,) if quick else (1, 4))
+        report.sign_checks = fig3_sign_checks(counts, seed=seed, window=window)
+    return report

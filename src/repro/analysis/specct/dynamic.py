@@ -1,0 +1,246 @@
+"""Dynamic taint-tracking reference interpreter.
+
+Executes a program *concretely* (registers start at zero, memory is a
+zero-filled word store) while tracking the same taint the static
+analyzer abstracts: a value is tainted when derived from a declared
+secret byte range.  At every conditional branch the interpreter also
+explores the *wrong* path — the direction the concrete condition did not
+take — for up to ``window`` instructions against a copy-on-write state,
+mirroring bounded transient execution.
+
+The interpreter is the ground truth for the static analyzer's soundness
+property: every event it observes (tainted load/store/flush address,
+tainted branch condition; architectural or transient) must correspond to
+a static finding of the same kind at the same pc.  The reverse need not
+hold — the static pass over-approximates (joins over paths, loads
+through unknown addresses) — which is what the hypothesis cross-check in
+``tests/test_property_specct_dynamic.py`` exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ...common.errors import AnalysisError
+from ...isa.instructions import (
+    Branch,
+    Fence,
+    Flush,
+    Halt,
+    Instruction,
+    IntOp,
+    IntOpImm,
+    Jump,
+    Load,
+    LoadImm,
+    Nop,
+    ReadTimer,
+    Store,
+    alu_eval,
+)
+from ...isa.program import Program
+from ...isa.registers import WORD_MASK
+from .analyzer import normalize_ranges
+from .findings import (
+    TAINTED_BRANCH_COND,
+    TAINTED_FLUSH_ADDR,
+    TAINTED_LOAD_ADDR,
+    TAINTED_STORE_ADDR,
+)
+from .lattice import WORD, align_word
+
+
+@dataclass(frozen=True)
+class DynEvent:
+    """One concrete taint event at one executed instruction."""
+
+    kind: str
+    pc: int
+    transient: bool
+    #: Branch whose wrong path exposed the event (transient only).
+    branch_pc: Optional[int] = None
+
+
+class _State:
+    """Concrete machine state with per-register / per-word taint."""
+
+    __slots__ = ("regs", "taint", "mem", "mem_taint")
+
+    def __init__(self) -> None:
+        self.regs: Dict[str, int] = {}
+        self.taint: Set[str] = set()
+        self.mem: Dict[int, int] = {}
+        self.mem_taint: Set[int] = set()
+
+    def fork(self) -> "_State":
+        child = _State()
+        child.regs = dict(self.regs)
+        child.taint = set(self.taint)
+        child.mem = dict(self.mem)
+        child.mem_taint = set(self.mem_taint)
+        return child
+
+    def get(self, reg: str) -> int:
+        return self.regs.get(reg, 0)
+
+    def set(self, reg: str, value: int, tainted: bool) -> None:
+        self.regs[reg] = value & WORD_MASK
+        if tainted:
+            self.taint.add(reg)
+        else:
+            self.taint.discard(reg)
+
+    def load(self, addr: int) -> int:
+        return self.mem.get(align_word(addr), 0)
+
+    def store(self, addr: int, value: int, tainted: bool) -> None:
+        word = align_word(addr)
+        self.mem[word] = value & WORD_MASK
+        if tainted:
+            self.mem_taint.add(word)
+        else:
+            self.mem_taint.discard(word)
+
+
+class DynamicTaintInterpreter:
+    """Concrete executor + taint tracker + bounded wrong-path explorer."""
+
+    def __init__(
+        self,
+        program: Program,
+        secret_ranges: Iterable[Tuple[int, int]] = (),
+        window: int = 64,
+        fence_blocks_speculation: bool = True,
+        max_steps: int = 200_000,
+        memory: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        self.program = program
+        self.ranges = normalize_ranges(secret_ranges)
+        self.window = window
+        self.fence_blocks_speculation = fence_blocks_speculation
+        self.max_steps = max_steps
+        self._initial_memory = dict(memory or {})
+
+    # ------------------------------------------------------------------
+
+    def _reads_secret(self, addr: int) -> bool:
+        word = align_word(addr)
+        return any(lo < word + WORD and word < hi for lo, hi in self.ranges)
+
+    def _step(
+        self,
+        pc: int,
+        state: _State,
+        events: List[DynEvent],
+        transient: bool,
+        branch_pc: Optional[int],
+    ) -> Optional[int]:
+        """Execute one instruction; return the concrete next pc (None = stop)."""
+        inst: Instruction = self.program[pc]
+        tag = dict(transient=transient, branch_pc=branch_pc)
+        if isinstance(inst, LoadImm):
+            state.set(inst.dst, inst.imm, False)
+        elif isinstance(inst, IntOp):
+            tainted = inst.src1 in state.taint or inst.src2 in state.taint
+            state.set(
+                inst.dst,
+                alu_eval(inst.op, state.get(inst.src1), state.get(inst.src2)),
+                tainted,
+            )
+        elif isinstance(inst, IntOpImm):
+            state.set(
+                inst.dst,
+                alu_eval(inst.op, state.get(inst.src1), inst.imm),
+                inst.src1 in state.taint,
+            )
+        elif isinstance(inst, Load):
+            addr = (state.get(inst.base) + inst.offset) & WORD_MASK
+            if inst.base in state.taint:
+                events.append(DynEvent(TAINTED_LOAD_ADDR, pc, **tag))
+            tainted = (
+                inst.base in state.taint
+                or self._reads_secret(addr)
+                or align_word(addr) in state.mem_taint
+            )
+            state.set(inst.dst, state.load(addr), tainted)
+        elif isinstance(inst, Store):
+            addr = (state.get(inst.base) + inst.offset) & WORD_MASK
+            if inst.base in state.taint:
+                events.append(DynEvent(TAINTED_STORE_ADDR, pc, **tag))
+            state.store(addr, state.get(inst.src), inst.src in state.taint)
+        elif isinstance(inst, Flush):
+            if inst.base in state.taint:
+                events.append(DynEvent(TAINTED_FLUSH_ADDR, pc, **tag))
+        elif isinstance(inst, ReadTimer):
+            state.set(inst.dst, 0, False)
+        elif isinstance(inst, (Fence, Nop)):
+            pass
+        elif isinstance(inst, Halt):
+            return None
+        elif isinstance(inst, Jump):
+            nxt = self.program.resolve(inst.target)
+            return nxt if nxt < len(self.program) else None
+        elif isinstance(inst, Branch):
+            if inst.src1 in state.taint or inst.src2 in state.taint:
+                events.append(DynEvent(TAINTED_BRANCH_COND, pc, **tag))
+            taken = inst.taken(state.get(inst.src1), state.get(inst.src2))
+            target = self.program.resolve(inst.target)
+            nxt = target if taken else pc + 1
+            return nxt if nxt < len(self.program) else None
+        else:  # pragma: no cover - new opcodes must be handled explicitly
+            raise AnalysisError(f"unhandled instruction {inst!r} at pc {pc}")
+        nxt = pc + 1
+        return nxt if nxt < len(self.program) else None
+
+    def _wrong_path(
+        self, start_pc: int, branch_pc: int, state: _State, events: List[DynEvent]
+    ) -> None:
+        """Transiently execute up to ``window`` instructions from ``start_pc``."""
+        spec = state.fork()
+        pc: Optional[int] = start_pc
+        for _ in range(self.window):
+            if pc is None:
+                break
+            inst = self.program[pc]
+            if isinstance(inst, Fence) and self.fence_blocks_speculation:
+                break
+            pc = self._step(pc, spec, events, transient=True, branch_pc=branch_pc)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[DynEvent]:
+        """Execute to Halt (or ``max_steps``); return every taint event."""
+        state = _State()
+        for addr, value in self._initial_memory.items():
+            state.store(addr, value, False)
+        events: List[DynEvent] = []
+        pc: Optional[int] = 0
+        for _ in range(self.max_steps):
+            if pc is None:
+                return events
+            inst = self.program[pc]
+            if isinstance(inst, Branch):
+                # Explore the direction the concrete execution does NOT
+                # take — the path a mispredicting machine runs transiently.
+                taken = inst.taken(state.get(inst.src1), state.get(inst.src2))
+                target = self.program.resolve(inst.target)
+                wrong = pc + 1 if taken else target
+                if wrong < len(self.program):
+                    self._wrong_path(wrong, pc, state, events)
+            pc = self._step(pc, state, events, transient=False, branch_pc=None)
+        raise AnalysisError(
+            f"{self.program.name}: did not halt within {self.max_steps} steps"
+        )
+
+
+def dynamic_events(
+    program: Program,
+    secret_ranges: Iterable[Tuple[int, int]] = (),
+    window: int = 64,
+    **kwargs,
+) -> List[DynEvent]:
+    """Convenience wrapper: run the reference interpreter once."""
+    return DynamicTaintInterpreter(
+        program, secret_ranges, window=window, **kwargs
+    ).run()

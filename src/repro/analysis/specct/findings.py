@@ -1,0 +1,207 @@
+"""Finding and report types of the speculative-constant-time analyzer.
+
+A :class:`Finding` pins one violation to one instruction index of one
+program; a :class:`Report` aggregates every finding of one analysis run
+together with the per-branch speculation-window summaries the
+cache-state-delta bound is derived from.  Reports render as text (one
+line per finding, ``program:pc`` locatable) and as JSON (the CLI's
+``--format json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# -- finding kinds -----------------------------------------------------------
+
+#: Secret-tainted address of a (possibly transient) load — the unXpec /
+#: Spectre-v1 pattern: which line the load installs depends on the secret.
+TAINTED_LOAD_ADDR = "tainted_load_addr"
+#: Secret-tainted address of a store.
+TAINTED_STORE_ADDR = "tainted_store_addr"
+#: Secret-tainted address of a ``clflush`` — a secret-dependent eviction.
+TAINTED_FLUSH_ADDR = "tainted_flush_addr"
+#: Secret-tainted branch condition (control flow depends on the secret).
+TAINTED_BRANCH_COND = "tainted_branch_cond"
+#: Per-branch summary: the speculative window of this branch performs a
+#: secret-dependent number/choice of cache-state mutations — the quantity
+#: CleanupSpec's rollback must undo, i.e. the paper's rollback-time channel.
+CACHE_DELTA = "cache_delta"
+
+ALL_KINDS = (
+    TAINTED_LOAD_ADDR,
+    TAINTED_STORE_ADDR,
+    TAINTED_FLUSH_ADDR,
+    TAINTED_BRANCH_COND,
+    CACHE_DELTA,
+)
+
+_SEVERITY: Dict[str, str] = {
+    TAINTED_LOAD_ADDR: "high",
+    TAINTED_STORE_ADDR: "high",
+    TAINTED_FLUSH_ADDR: "medium",
+    TAINTED_BRANCH_COND: "medium",
+    CACHE_DELTA: "medium",
+}
+
+#: Ordering used when sorting findings at equal pc (most severe first).
+_SEVERITY_RANK = {"high": 0, "medium": 1, "info": 2}
+
+
+def severity_of(kind: str) -> str:
+    return _SEVERITY.get(kind, "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation at one instruction of the analyzed program."""
+
+    kind: str
+    pc: int
+    instruction: str
+    severity: str
+    #: True when the violation is reachable only (or additionally) on a
+    #: speculative wrong path; False for purely architectural findings.
+    transient: bool
+    #: The mispredicting branch whose window exposes the violation.
+    branch_pc: Optional[int] = None
+    #: Instructions into that branch's speculation window (1-based).
+    depth: Optional[int] = None
+    detail: str = ""
+
+    def location(self, program: str) -> str:
+        return f"{program}:{self.pc}"
+
+    def render(self, program: str) -> str:
+        mode = "transient" if self.transient else "architectural"
+        via = ""
+        if self.transient and self.branch_pc is not None:
+            via = f" via branch {self.branch_pc}"
+            if self.depth is not None:
+                via += f" (+{self.depth})"
+        text = f"{self.location(program)}: [{self.severity}] {self.kind} ({mode}{via})"
+        text += f"  {self.instruction}"
+        if self.detail:
+            text += f"  — {self.detail}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "pc": self.pc,
+            "instruction": self.instruction,
+            "severity": self.severity,
+            "transient": self.transient,
+            "branch_pc": self.branch_pc,
+            "depth": self.depth,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class SpecWindow:
+    """What one branch's bounded speculative window can do to the cache."""
+
+    branch_pc: int
+    instruction: str
+    #: Upper bound on *secret-dependent* cache-state mutations (transient
+    #: loads/flushes with tainted addresses) inside the window.
+    tainted_installs: int
+    #: Instruction indices of those mutations.
+    install_pcs: Tuple[int, ...] = ()
+    #: True when the branch condition itself is secret-tainted.
+    tainted_condition: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "branch_pc": self.branch_pc,
+            "instruction": self.instruction,
+            "tainted_installs": self.tainted_installs,
+            "install_pcs": list(self.install_pcs),
+            "tainted_condition": self.tainted_condition,
+        }
+
+
+@dataclass
+class Report:
+    """Everything one :class:`SpecCTAnalyzer` run concluded."""
+
+    program: str
+    instructions: int
+    window: int
+    secret_ranges: Tuple[Tuple[int, int], ...]
+    findings: List[Finding] = field(default_factory=list)
+    windows: List[SpecWindow] = field(default_factory=list)
+
+    # -- verdicts ----------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        """No violations of any kind."""
+        return not self.findings
+
+    @property
+    def cache_delta_bound(self) -> int:
+        """Max secret-dependent cache mutations over any one speculation
+        window — the static bound on the paper's rollback-time channel.
+        A positive bound predicts a positive fig3-style timing delta."""
+        return max((w.tainted_installs for w in self.windows), default=0)
+
+    def by_kind(self, kind: str) -> List[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def transient_findings(self) -> List[Finding]:
+        return [f for f in self.findings if f.transient]
+
+    # -- rendering ---------------------------------------------------------
+
+    def sort(self) -> None:
+        self.findings.sort(
+            key=lambda f: (f.pc, _SEVERITY_RANK.get(f.severity, 9), f.kind)
+        )
+        self.windows.sort(key=lambda w: w.branch_pc)
+
+    def render_text(self) -> str:
+        lines = [
+            f"specct: {self.program} — {self.instructions} instructions, "
+            f"window {self.window}, "
+            f"{len(self.secret_ranges)} secret range(s)"
+        ]
+        for lo, hi in self.secret_ranges:
+            lines.append(f"  secret [{lo:#x}, {hi:#x})")
+        if self.clean:
+            lines.append("CLEAN: no speculative-constant-time violations found")
+        else:
+            lines.append(f"{len(self.findings)} finding(s):")
+            for f in self.findings:
+                lines.append("  " + f.render(self.program))
+        hot = [w for w in self.windows if w.tainted_installs]
+        if hot:
+            lines.append(
+                f"cache-state delta bound: {self.cache_delta_bound} secret-"
+                "dependent install(s)/eviction(s) in the worst speculation window"
+            )
+            for w in hot:
+                lines.append(
+                    f"  branch {self.program}:{w.branch_pc} ({w.instruction}): "
+                    f"{w.tainted_installs} tainted install(s) at "
+                    f"{list(w.install_pcs)}"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "instructions": self.instructions,
+            "window": self.window,
+            "secret_ranges": [list(r) for r in self.secret_ranges],
+            "clean": self.clean,
+            "cache_delta_bound": self.cache_delta_bound,
+            "findings": [f.to_dict() for f in self.findings],
+            "spec_windows": [w.to_dict() for w in self.windows],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

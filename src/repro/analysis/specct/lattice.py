@@ -1,0 +1,164 @@
+"""Abstract domain of the speculative-taint analysis.
+
+Each register holds a :class:`Value`: an optional known constant (``None``
+means ⊤, statically unknown) plus a taint bit (``True`` means the value
+may be derived from a declared secret).  The constant half is a flat
+lattice — two different constants join to ⊤ — and exists so that the
+address of ``li rX, addr; ld rY, 0(rX)`` is known exactly and never
+spuriously may-aliases the secret region.
+
+Memory is abstracted by *taint only*: a set of word addresses known to
+hold tainted data (strong updates on constant addresses) plus a single
+``mem_top_tainted`` bit that goes up when a tainted value is stored
+through a statically-unknown address, after which every load must be
+assumed tainted.  Memory *contents* are not tracked — a load always
+produces ⊤ — which keeps the domain small and the fixpoint fast while
+remaining sound with respect to the dynamic reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ...isa.instructions import alu_eval
+from ...isa.registers import WORD_MASK
+
+#: Memory is word-granular, matching :mod:`repro.memory.dram`.
+WORD = 8
+
+
+@dataclass(frozen=True)
+class Value:
+    """Flat-constant × taint abstract value of one register."""
+
+    const: Optional[int]  # None = ⊤ (unknown)
+    taint: bool = False
+
+    @property
+    def is_const(self) -> bool:
+        return self.const is not None
+
+    def join(self, other: "Value") -> "Value":
+        const = self.const if self.const == other.const else None
+        return Value(const, self.taint or other.taint)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = "⊤" if self.const is None else hex(self.const)
+        return f"{base}{'!' if self.taint else ''}"
+
+
+#: Register default: starts at zero, untainted (matches the simulator's
+#: register file reset and the dynamic reference interpreter).
+ZERO = Value(0, False)
+#: Unknown, untainted (timer reads, loaded public data).
+TOP = Value(None, False)
+#: Unknown, tainted.
+TAINTED_TOP = Value(None, True)
+
+
+def value_of(const: int) -> Value:
+    return Value(const & WORD_MASK, False)
+
+
+def value_alu(op: str, a: Value, b: Value) -> Value:
+    """Abstract ALU: exact on constants, ⊤ otherwise; taint is sticky."""
+    taint = a.taint or b.taint
+    if a.is_const and b.is_const:
+        return Value(alu_eval(op, a.const, b.const), taint)
+    return Value(None, taint)
+
+
+def align_word(addr: int) -> int:
+    return addr // WORD * WORD
+
+
+class AbsState:
+    """Register file + memory-taint abstraction at one program point."""
+
+    __slots__ = ("regs", "tainted_mem", "mem_top_tainted")
+
+    def __init__(
+        self,
+        regs: Optional[Dict[str, Value]] = None,
+        tainted_mem: FrozenSet[int] = frozenset(),
+        mem_top_tainted: bool = False,
+    ) -> None:
+        #: Sparse map; registers absent from it hold :data:`ZERO`.
+        self.regs: Dict[str, Value] = dict(regs or {})
+        self.tainted_mem: FrozenSet[int] = tainted_mem
+        self.mem_top_tainted: bool = mem_top_tainted
+
+    # -- register access ---------------------------------------------------
+
+    def get(self, reg: str) -> Value:
+        return self.regs.get(reg, ZERO)
+
+    def set(self, reg: str, value: Value) -> None:
+        if value == ZERO:
+            self.regs.pop(reg, None)
+        else:
+            self.regs[reg] = value
+
+    # -- memory taint ------------------------------------------------------
+
+    def taint_store(self, addr: Value, value: Value) -> None:
+        """Account a store of ``value`` through ``addr``."""
+        if value.taint:
+            if addr.is_const:
+                self.tainted_mem = self.tainted_mem | {align_word(addr.const)}
+            else:
+                self.mem_top_tainted = True
+        elif addr.is_const:
+            # Strong update: a known-untainted word overwrites old taint.
+            self.tainted_mem = self.tainted_mem - {align_word(addr.const)}
+
+    def mem_tainted_at(self, addr: Value) -> bool:
+        """May the word at ``addr`` hold tainted data?"""
+        if self.mem_top_tainted:
+            return True
+        if addr.is_const:
+            return align_word(addr.const) in self.tainted_mem
+        return bool(self.tainted_mem)  # unknown address may hit any tainted word
+
+    # -- lattice operations ------------------------------------------------
+
+    def copy(self) -> "AbsState":
+        return AbsState(self.regs, self.tainted_mem, self.mem_top_tainted)
+
+    def join(self, other: "AbsState") -> "AbsState":
+        regs: Dict[str, Value] = {}
+        for reg in sorted(self.regs.keys() | other.regs.keys()):
+            joined = self.get(reg).join(other.get(reg))
+            if joined != ZERO:
+                regs[reg] = joined
+        return AbsState(
+            regs,
+            self.tainted_mem | other.tainted_mem,
+            self.mem_top_tainted or other.mem_top_tainted,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AbsState):
+            return NotImplemented
+        return (
+            self.regs == other.regs
+            and self.tainted_mem == other.tainted_mem
+            and self.mem_top_tainted == other.mem_top_tainted
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        regs = ", ".join(f"{r}={v}" for r, v in sorted(self.regs.items()))
+        return f"AbsState({regs}; mem={sorted(self.tainted_mem)}, top={self.mem_top_tainted})"
+
+
+def overlaps_secret(
+    addr: Value, ranges: Tuple[Tuple[int, int], ...], unknown_may_alias: bool
+) -> bool:
+    """Does the word read at ``addr`` possibly fall in a secret byte range?"""
+    if not ranges:
+        return False
+    if not addr.is_const:
+        return unknown_may_alias
+    word = align_word(addr.const)
+    return any(lo < word + WORD and word < hi for lo, hi in ranges)

@@ -221,6 +221,11 @@ class UnxpecGadget:
     def ts_regs(self) -> tuple:
         return (self.regs.ts1, self.regs.ts2)
 
+    def secret_ranges(self) -> tuple:
+        """Taint-source declaration for the static analyzer: the byte
+        range(s) this gadget's programs leak from."""
+        return (self.layout.secret_range,)
+
     def target_sets_needed(self) -> List[int]:
         """Addresses whose L1 sets the eviction-set optimisation must prime."""
         return [self.layout.p_entry(k) for k in range(1, self.params.n_loads + 1)]

@@ -61,6 +61,12 @@ class AttackLayout:
         """Index i with ``A + 8*i == secret_addr`` (Algorithm 2's ``i``)."""
         return (self.secret_addr - self.a_base) // WORD_SIZE
 
+    @property
+    def secret_range(self) -> tuple:
+        """Byte range ``[lo, hi)`` of the secret word — the taint source
+        declaration consumed by :mod:`repro.analysis.specct`."""
+        return (self.secret_addr, self.secret_addr + WORD_SIZE)
+
     def p_entry(self, k: int) -> int:
         """Address of ``P[64*k]`` — the k-th transient-load target."""
         return self.p_base + LINE_SIZE * k

@@ -117,7 +117,7 @@ class ResultCache:
         tolerates another process deleting files concurrently.
         """
         removed = 0
-        for fname in os.listdir(self.root):
+        for fname in sorted(os.listdir(self.root)):
             if not (fname.endswith(".json") or fname.endswith(".json.tmp")):
                 continue
             try:
@@ -130,4 +130,4 @@ class ResultCache:
 
     def __len__(self) -> int:
         """Number of entries (``*.json.tmp`` write leftovers don't count)."""
-        return sum(1 for f in os.listdir(self.root) if f.endswith(".json"))
+        return sum(1 for f in sorted(os.listdir(self.root)) if f.endswith(".json"))

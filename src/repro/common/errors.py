@@ -21,7 +21,36 @@ class ConfigError(ReproError):
 
 
 class IsaError(ReproError):
-    """An instruction or program is malformed."""
+    """An instruction or program is malformed.
+
+    Carries optional structured location info (``program`` name, ``pc``
+    instruction index, ``instruction`` text) so tooling — the specct
+    analyzer, the assembler, test output — can point at the offending
+    instruction.  When location info is present the message is prefixed
+    ``program:pc: ...``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        program: "str | None" = None,
+        pc: "int | None" = None,
+        instruction: "str | None" = None,
+    ) -> None:
+        self.program = program
+        self.pc = pc
+        self.instruction = instruction
+        location = ""
+        if program is not None:
+            location = program if pc is None else f"{program}:{pc}"
+        elif pc is not None:
+            location = f"pc {pc}"
+        if location:
+            message = f"{location}: {message}"
+        if instruction:
+            message = f"{message} [{instruction}]"
+        super().__init__(message)
 
 
 class AssemblerError(IsaError):
@@ -63,3 +92,7 @@ class CalibrationError(AttackError):
 
 class ExperimentError(ReproError):
     """An experiment was misconfigured or produced inconsistent output."""
+
+
+class AnalysisError(ReproError):
+    """A static or statistical analysis was misconfigured."""

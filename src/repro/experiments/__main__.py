@@ -9,6 +9,11 @@ Usage::
     python -m repro.experiments all --quick --no-cache
     python -m repro.experiments fig7 --json out.json --seed 7
     python -m repro.experiments fig3 --quick --stats-out stats.json
+    python -m repro.experiments lint-program gadget:round   # static analyzer
+
+``lint-program`` forwards to :mod:`repro.analysis.specct` — the
+speculative-taint static analyzer (also installed as ``unxpec
+lint-program``); see ``docs/static-analysis.md``.
 
 Every run goes through :mod:`repro.campaign`: shardable experiments split
 across ``--jobs`` worker processes (default: all cores), and merged
@@ -39,6 +44,13 @@ DEFAULT_CACHE_DIR = ".campaign-cache"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint-program":
+        # `unxpec lint-program <target>` — the specct static analyzer.
+        from ..analysis.specct.__main__ import main as specct_main
+
+        return specct_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the unXpec paper's tables and figures.",
@@ -47,8 +59,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment",
         nargs="?",
         default="report",
-        help="experiment id (see 'list'), or 'all', 'list', or 'report' "
-        "(the default)",
+        help="experiment id (see 'list'), or 'all', 'list', 'report' (the "
+        "default), or 'lint-program <target>' for the static analyzer",
     )
     parser.add_argument(
         "--quick", action="store_true", help="fewer samples, faster run"
@@ -150,7 +162,7 @@ def _dispatch(args: argparse.Namespace, runner, profiler) -> int:
     if args.experiment == "report":
         from .report import write_report
 
-        started = time.time()
+        started = time.perf_counter()
         results = write_report(
             args.out,
             quick=args.quick,
@@ -165,7 +177,7 @@ def _dispatch(args: argparse.Namespace, runner, profiler) -> int:
         hits = runner.cache.hits if runner.cache is not None else 0
         print(
             f"wrote {args.out}: {ok}/{total} checks passed "
-            f"({time.time() - started:.0f}s, {hits} cache hits)"
+            f"({time.perf_counter() - started:.0f}s, {hits} cache hits)"
         )
         return 0 if ok == total else 1
 

@@ -12,7 +12,7 @@ from typing import List
 
 from ..attack.gadgets import GadgetParams
 from ..attack.unxpec import UnxpecAttack
-from .base import ExperimentResult, Shard, ShardableExperiment
+from .base import Shard, ShardableExperiment
 from .registry import register
 
 LOAD_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8)

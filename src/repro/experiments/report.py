@@ -157,13 +157,13 @@ def write_report(
     process-local profiler cannot be read from here.
     """
     profiler = profiler if profiler is not None else Profiler()
-    started = time.time()
+    started = time.perf_counter()
     if runner is not None:
         outcomes = runner.run(ids=ids, quick=quick, seed=seed, profiler=profiler)
         results = [o.result for o in outcomes]
         text = render_markdown(
             results,
-            elapsed=time.time() - started,
+            elapsed=time.perf_counter() - started,
             timings=experiment_timings(profiler),
             cache_hits={o.experiment_id: o.cached for o in outcomes},
             speedups={o.experiment_id: o.speedup for o in outcomes},
@@ -177,7 +177,7 @@ def write_report(
         results = run_all(quick=quick, seed=seed, ids=ids, profiler=profiler)
         text = render_markdown(
             results,
-            elapsed=time.time() - started,
+            elapsed=time.perf_counter() - started,
             timings=experiment_timings(profiler),
         )
     with open(path, "w") as fh:

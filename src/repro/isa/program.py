@@ -45,21 +45,37 @@ class Program:
     # -- validation ----------------------------------------------------------
 
     def validate(self) -> None:
-        """Raise :class:`IsaError` on any structural problem."""
+        """Raise :class:`IsaError` on any structural problem.
+
+        Every error carries the program name and (where applicable) the
+        offending instruction index, so diagnostics — and the static
+        analyzer findings built on top of them — are locatable as
+        ``program:pc``.
+        """
         if not self._instructions:
-            raise IsaError(f"{self.name}: program is empty")
-        if not isinstance(self._instructions[-1], Halt):
-            raise IsaError(f"{self.name}: program must end with Halt")
+            raise IsaError("program is empty", program=self.name)
         n = len(self._instructions)
-        for label, index in self._labels.items():
+        if not isinstance(self._instructions[-1], Halt):
+            raise IsaError(
+                "program must end with Halt",
+                program=self.name,
+                pc=n - 1,
+                instruction=str(self._instructions[-1]),
+            )
+        for label, index in sorted(self._labels.items()):
             if not 0 <= index <= n:
-                raise IsaError(f"{self.name}: label {label!r} -> {index} out of range")
+                raise IsaError(
+                    f"label {label!r} -> {index} out of range 0..{n}",
+                    program=self.name,
+                )
         for pc, inst in enumerate(self._instructions):
             target = getattr(inst, "target", None)
             if target is not None and target not in self._labels:
                 raise IsaError(
-                    f"{self.name}: instruction {pc} ({inst}) targets undefined"
-                    f" label {target!r}"
+                    f"undefined target label {target!r}",
+                    program=self.name,
+                    pc=pc,
+                    instruction=str(inst),
                 )
 
     # -- queries ---------------------------------------------------------------
@@ -69,7 +85,18 @@ class Program:
         try:
             return self._labels[label]
         except KeyError as exc:
-            raise IsaError(f"{self.name}: undefined label {label!r}") from exc
+            raise IsaError(
+                f"undefined label {label!r}", program=self.name
+            ) from exc
+
+    def describe(self, pc: int) -> str:
+        """``program:pc: instruction`` — the canonical finding location."""
+        if not 0 <= pc < len(self._instructions):
+            raise IsaError(
+                f"pc {pc} outside program (0..{len(self._instructions) - 1})",
+                program=self.name,
+            )
+        return f"{self.name}:{pc}: {self._instructions[pc]}"
 
     def branch_indices(self) -> List[int]:
         """Indices of all conditional branches (for predictor statistics)."""

@@ -1,0 +1,272 @@
+"""Repo determinism lint: AST checks for nondeterminism hazards.
+
+The reproduction's core contract is bit-identical results for a given
+seed (``docs/campaign.md``); this linter statically forbids the usual
+ways that contract gets broken inside ``src/repro``:
+
+* ``DET001`` — the stdlib ``random`` module (import or call).  All
+  randomness must flow through :mod:`repro.common.rng` seeded streams.
+* ``DET002`` — ``numpy.random`` *calls* (``default_rng``, ``seed``,
+  distribution draws) outside :mod:`repro.common.rng`.  Type annotations
+  such as ``np.random.Generator`` are fine — only calls are flagged.
+* ``DET003`` — wall-clock reads whose value can leak into results:
+  ``time.time``/``time.time_ns`` and ``datetime.now``/``utcnow``/
+  ``today``.  Durations belong to ``time.perf_counter``; a genuinely
+  wall-clock-reporting line can carry a ``# det: allow`` pragma.
+* ``DET004`` — unsorted directory listings (``os.listdir``,
+  ``os.scandir``, ``glob.glob``/``iglob``, ``Path.iterdir``) not
+  directly wrapped in ``sorted(...)`` — filesystem order is arbitrary.
+* ``DET005`` — iteration over a set expression (``for x in {...}`` /
+  ``set(...)`` / a set comprehension, or materializing one with
+  ``list``/``tuple``/``enumerate``/``iter``): set order depends on
+  insertion history and hash seeds.  Wrap in ``sorted(...)``.
+* ``DET006`` — the ``hash()`` builtin (``PYTHONHASHSEED``-dependent).
+
+Any finding can be suppressed per-line with a ``# det: allow`` comment;
+:mod:`repro.common.rng` is exempt from DET001/DET002 wholesale.  Run as::
+
+    python -m repro.tools.lint_determinism [paths...]   # default: src/repro
+
+Exit status 1 when findings exist; wired as ``make lint`` and the CI
+``lint`` job.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+#: Modules allowed to use randomness primitives directly.
+RNG_EXEMPT_SUFFIXES = (os.path.join("common", "rng.py"),)
+
+#: Per-line suppression pragma.
+PRAGMA = "det: allow"
+
+_WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+_LISTING_CALLS = {
+    ("os", "listdir"),
+    ("os", "scandir"),
+    ("glob", "glob"),
+    ("glob", "iglob"),
+    (None, "iterdir"),  # Path(...).iterdir()
+}
+
+_SET_MATERIALIZERS = {"list", "tuple", "enumerate", "iter"}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _dotted(node: ast.AST) -> List[str]:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]`` (best effort)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("")  # non-name head (call result, subscript, ...)
+    return parts[::-1]
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: Sequence[str], rng_exempt: bool) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.rng_exempt = rng_exempt
+        self.findings: List[LintFinding] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _allowed(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", None)
+        if line is None or line > len(self.lines):
+            return False
+        return PRAGMA in self.lines[line - 1]
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        if not self._allowed(node):
+            self.findings.append(
+                LintFinding(self.path, getattr(node, "lineno", 0), code, message)
+            )
+
+    def _inside_sorted(self, node: ast.Call) -> bool:
+        parent = getattr(node, "_det_parent", None)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "sorted"
+        )
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" and not self.rng_exempt:
+                self._flag(
+                    node,
+                    "DET001",
+                    "stdlib 'random' is forbidden; use repro.common.rng",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and not self.rng_exempt:
+            self._flag(
+                node, "DET001", "stdlib 'random' is forbidden; use repro.common.rng"
+            )
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _dotted(node.func) if isinstance(node.func, ast.Attribute) else []
+        if chain:
+            head, tail = chain[0], chain[-1]
+            if head == "random" and not self.rng_exempt:
+                self._flag(
+                    node,
+                    "DET001",
+                    f"random.{tail}() is forbidden; use repro.common.rng",
+                )
+            elif "random" in chain[:-1] and not self.rng_exempt:
+                # np.random.default_rng(), numpy.random.seed(), ...
+                self._flag(
+                    node,
+                    "DET002",
+                    f"direct numpy.random.{tail}() call; thread a seeded "
+                    "Generator from repro.common.rng instead",
+                )
+            if (head, tail) in _WALLCLOCK_CALLS or (
+                tail in ("now", "utcnow") and "datetime" in chain[:-1]
+            ):
+                self._flag(
+                    node,
+                    "DET003",
+                    f"wall-clock read {'.'.join(chain)}(); use time.perf_counter "
+                    "for durations or add '# det: allow' if genuinely wall-clock",
+                )
+            if ((head, tail) in _LISTING_CALLS or (None, tail) in _LISTING_CALLS) and (
+                not self._inside_sorted(node)
+            ):
+                self._flag(
+                    node,
+                    "DET004",
+                    f"unsorted directory listing {tail}(); wrap in sorted(...)",
+                )
+        elif isinstance(node.func, ast.Name):
+            if node.func.id == "hash":
+                self._flag(
+                    node,
+                    "DET006",
+                    "builtin hash() depends on PYTHONHASHSEED; use hashlib",
+                )
+            if node.func.id in _SET_MATERIALIZERS and node.args:
+                if _is_set_expr(node.args[0]):
+                    self._flag(
+                        node,
+                        "DET005",
+                        f"{node.func.id}() over a set has nondeterministic "
+                        "order; wrap the set in sorted(...)",
+                    )
+        self.generic_visit(node)
+
+    # -- iteration over sets ----------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self._flag(
+                node,
+                "DET005",
+                "iterating a set has nondeterministic order; wrap in sorted(...)",
+            )
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        if _is_set_expr(node.iter):
+            self._flag(
+                node.iter,
+                "DET005",
+                "iterating a set has nondeterministic order; wrap in sorted(...)",
+            )
+        self.generic_visit(node)
+
+
+def _annotate_parents(tree: ast.AST) -> None:
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._det_parent = parent  # type: ignore[attr-defined]
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
+    """Lint one module's source text."""
+    rng_exempt = any(path.endswith(suffix) for suffix in RNG_EXEMPT_SUFFIXES)
+    tree = ast.parse(source, filename=path)
+    _annotate_parents(tree)
+    checker = _Checker(path, source.splitlines(), rng_exempt)
+    checker.visit(tree)
+    return sorted(checker.findings, key=lambda f: (f.path, f.line, f.code))
+
+
+def lint_paths(paths: Iterable[str]) -> List[LintFinding]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    findings: List[LintFinding] = []
+    for path in paths:
+        if os.path.isdir(path):
+            files = []
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                files.extend(
+                    os.path.join(root, n) for n in sorted(names) if n.endswith(".py")
+                )
+        else:
+            files = [path]
+        for fname in files:
+            with open(fname) as fh:
+                findings.extend(lint_source(fh.read(), fname))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.code))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    paths = args or [os.path.join("src", "repro")]
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_determinism: clean ({', '.join(paths)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 
 from .patterns import ColdRegion, HotRegion, WarmRegion, pointer_chase_stream, strided_stream
 from .profiles import PROFILES_BY_NAME, SPEC2017_PROFILES, WorkloadProfile, get_profile
-from .synth import SynthesisReport, SynthesizedWorkload, synthesize
+from .synth import SynthesisReport, SynthesizedWorkload, safe_programs, synthesize
 
 __all__ = [
     "HotRegion",
@@ -15,6 +15,7 @@ __all__ = [
     "PROFILES_BY_NAME",
     "get_profile",
     "synthesize",
+    "safe_programs",
     "SynthesizedWorkload",
     "SynthesisReport",
 ]

@@ -153,3 +153,18 @@ class SynthesizedWorkload:
     profile: WorkloadProfile
     program: Program
     report: SynthesisReport
+
+
+def safe_programs(instructions: int = 400, seed: int = 0):
+    """One synthesized program per SPEC-like profile.
+
+    These are the *secret-free* corpus of the specct cross-validation
+    harness: their loads and stores only touch the hot/warm/cold workload
+    regions, so the analyzer must report zero findings on every one.
+    """
+    from .profiles import SPEC2017_PROFILES
+
+    return [
+        (profile.name, synthesize(profile, instructions=instructions, seed=seed).program)
+        for profile in SPEC2017_PROFILES
+    ]

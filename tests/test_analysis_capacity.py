@@ -1,6 +1,5 @@
 """Tests for repro.analysis.channel_capacity."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for repro.attack.unxpec — the end-to-end attack orchestrator."""
 
-import pytest
 
 from repro.attack.gadgets import GadgetParams
 from repro.attack.unxpec import UnxpecAttack

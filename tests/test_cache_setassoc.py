@@ -1,6 +1,5 @@
 """Tests for repro.cache.setassoc — one cache level."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

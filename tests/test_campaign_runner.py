@@ -4,7 +4,6 @@ keys, outcome plumbing, and the report's parent-side timing columns."""
 import json
 import math
 
-import pytest
 
 from repro.campaign import (
     CampaignRunner,

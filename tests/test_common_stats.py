@@ -1,6 +1,5 @@
 """Tests for repro.common.stats — summaries, KDE, thresholds, accuracy."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,8 +1,5 @@
 """Edge cases of wrong-path (transient) execution."""
 
-from repro.cache import CacheHierarchy
-from repro.cpu import Core
-from repro.defense import CleanupSpec, UnsafeBaseline
 from repro.isa import ProgramBuilder
 
 

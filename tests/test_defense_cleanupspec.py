@@ -1,6 +1,5 @@
 """Tests for repro.defense.cleanupspec — functional rollback + timing."""
 
-import pytest
 
 from repro.cache import CacheHierarchy
 from repro.defense.base import SquashContext

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.cache import CacheHierarchy
-from repro.defense.base import SquashContext
 from repro.defense.constant_time import ConstantTimeRollback
 from repro.defense.fuzzy import FuzzyCleanup
 

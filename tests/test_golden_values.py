@@ -14,7 +14,7 @@ import pytest
 
 from repro.attack import GadgetParams, UnxpecAttack
 from repro.cache import CacheHierarchy
-from repro.defense import CleanupSpec, CleanupTimingModel
+from repro.defense import CleanupTimingModel
 
 #: Paper Figure 3 — rollback timing difference, 1..8 squashed loads.
 GOLDEN_FIG3 = [22, 23, 23, 24, 24, 25, 25, 26]

@@ -5,7 +5,6 @@ and attack layers: what Undo rollback guarantees (and to whom), what it
 fails to hide (the unXpec channel), and what the mitigations change.
 """
 
-import pytest
 
 from repro.attack import GadgetParams, SpectreV1Attack, UnxpecAttack
 from repro.cache import CacheHierarchy

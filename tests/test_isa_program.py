@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import IsaError
 from repro.isa.builder import ProgramBuilder
-from repro.isa.instructions import Branch, Halt, LoadImm, Nop
+from repro.isa.instructions import Branch, Halt, Nop
 from repro.isa.program import Program
 
 
@@ -46,6 +46,51 @@ class TestProgram:
     def test_listing_contains_labels(self):
         p = Program([Nop(), Halt()], labels={"start": 0})
         assert "start:" in p.listing()
+
+
+class TestDiagnostics:
+    """Structured IsaError locations (program name, pc, instruction)."""
+
+    def test_missing_halt_names_program_and_pc(self):
+        with pytest.raises(IsaError) as exc:
+            Program([Nop(), Nop()], name="victim")
+        err = exc.value
+        assert err.program == "victim"
+        assert err.pc == 1
+        assert str(err).startswith("victim:1:")
+        assert "Halt" in str(err) or "nop" in str(err)
+
+    def test_empty_program_names_program(self):
+        with pytest.raises(IsaError) as exc:
+            Program([], name="empty-one")
+        assert exc.value.program == "empty-one"
+        assert "empty-one" in str(exc.value)
+
+    def test_undefined_target_carries_offending_pc(self):
+        with pytest.raises(IsaError) as exc:
+            Program(
+                [Nop(), Branch("lt", "r1", "r2", "missing"), Halt()],
+                name="jumper",
+            )
+        err = exc.value
+        assert err.pc == 1
+        assert "missing" in str(err)
+        assert str(err).startswith("jumper:1:")
+
+    def test_resolve_error_names_program(self):
+        p = Program([Halt()], name="tiny")
+        with pytest.raises(IsaError) as exc:
+            p.resolve("nope")
+        assert "tiny" in str(exc.value)
+
+    def test_describe_is_the_canonical_location(self):
+        p = Program([Nop(), Halt()], name="desc")
+        assert p.describe(0) == "desc:0: nop"
+        with pytest.raises(IsaError):
+            p.describe(2)
+
+    def test_plain_isaerror_message_unchanged(self):
+        assert str(IsaError("boom")) == "boom"
 
 
 class TestProgramBuilder:

@@ -1,7 +1,7 @@
 """Tests for MSHR-pressure modeling in the hierarchy."""
 
 from repro.cache import CacheHierarchy
-from repro.common.config import LatencyConfig, SystemConfig
+from repro.common.config import SystemConfig
 
 
 def small_mshr_hierarchy(entries=2):

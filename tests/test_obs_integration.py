@@ -8,7 +8,6 @@ and its 22-cycle rollback stall shows up as ``defense.stall_cycles``.
 
 import json
 
-import pytest
 
 from repro.attack import GadgetParams, UnxpecAttack
 from repro.cache import CacheHierarchy

@@ -1,0 +1,92 @@
+"""Property: static specct findings cover the dynamic taint reference.
+
+Random small programs (forward branches only, so they always terminate)
+are run through the concrete taint-tracking interpreter — including its
+bounded wrong-path exploration — and every leak event it observes must
+be matched by a static finding at the same ``(kind, pc)``.  This is the
+soundness half of the analyzer's contract; precision (no false
+positives) is pinned by the workload corpus in
+test_analysis_specct_crossval.py.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.specct import analyze_program, dynamic_events
+from repro.isa import ProgramBuilder
+
+#: Word-aligned secret byte range; some generated addresses land inside.
+SECRET = (0x40, 0x48)
+
+REGS = ("r1", "r2", "r3", "r4")
+#: Base addresses around the secret: clean, adjacent, inside, far.
+ADDRS = (0x0, 0x38, 0x40, 0x48, 0x100)
+
+_reg = st.sampled_from(REGS)
+_alu = st.sampled_from(("add", "sub", "mul", "xor", "shl"))
+_cond = st.sampled_from(("lt", "ge", "eq", "ne"))
+
+_instr = st.one_of(
+    st.tuples(st.just("li"), _reg, st.sampled_from(ADDRS)),
+    st.tuples(st.just("op"), _alu, _reg, _reg, _reg),
+    st.tuples(st.just("opi"), _alu, _reg, _reg, st.integers(0, 64)),
+    st.tuples(st.just("load"), _reg, _reg, st.sampled_from((0, 8, 64))),
+    st.tuples(st.just("store"), _reg, _reg, st.sampled_from((0, 8))),
+    st.tuples(st.just("flush"), _reg),
+    st.tuples(st.just("branch"), _cond, _reg, _reg),
+    st.tuples(st.just("fence")),
+    st.tuples(st.just("nop")),
+)
+
+_programs = st.lists(_instr, min_size=1, max_size=12)
+
+
+def build(specs):
+    """Assemble instruction specs; every branch jumps forward to the end."""
+    b = ProgramBuilder("prop")
+    for spec in specs:
+        op = spec[0]
+        if op == "li":
+            b.li(spec[1], spec[2])
+        elif op == "op":
+            b.op(spec[1], spec[2], spec[3], spec[4])
+        elif op == "opi":
+            b.opi(spec[1], spec[2], spec[3], spec[4])
+        elif op == "load":
+            b.load(spec[1], spec[2], spec[3])
+        elif op == "store":
+            b.store(spec[1], spec[2], spec[3])
+        elif op == "flush":
+            b.flush(spec[1])
+        elif op == "branch":
+            b.branch(spec[1], spec[2], spec[3], "end")
+        elif op == "fence":
+            b.fence()
+        else:
+            b.nop()
+    b.label("end")
+    b.halt()
+    return b.build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_programs)
+def test_dynamic_events_covered_by_static_findings(specs):
+    program = build(specs)
+    report = analyze_program(program, [SECRET])
+    covered = {(f.kind, f.pc) for f in report.findings}
+    for event in dynamic_events(program, [SECRET]):
+        assert (event.kind, event.pc) in covered, (
+            f"dynamic {event.kind} at pc {event.pc} "
+            f"(transient={event.transient}, branch={event.branch_pc}) has no "
+            f"static finding\n{program.listing()}\n{report.render_text()}"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(_programs)
+def test_analysis_is_deterministic(specs):
+    program = build(specs)
+    first = analyze_program(program, [SECRET]).to_dict()
+    second = analyze_program(program, [SECRET]).to_dict()
+    assert first == second

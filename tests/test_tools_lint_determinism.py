@@ -1,0 +1,86 @@
+"""Tests for the AST determinism linter (repro.tools.lint_determinism)."""
+
+import os
+import textwrap
+
+from repro.tools.lint_determinism import lint_paths, lint_source, main
+
+
+def codes(source):
+    return [f.code for f in lint_source(textwrap.dedent(source), "pkg/mod.py")]
+
+
+class TestRules:
+    def test_det001_stdlib_random_import(self):
+        assert codes("import random\n") == ["DET001"]
+        assert codes("from random import randint\n") == ["DET001"]
+
+    def test_det001_stdlib_random_call(self):
+        assert "DET001" in codes("x = random.random()\n")
+
+    def test_det002_numpy_random_call(self):
+        assert codes("rng = np.random.default_rng(0)\n") == ["DET002"]
+        assert codes("numpy.random.seed(1)\n") == ["DET002"]
+
+    def test_det002_annotation_is_fine(self):
+        assert codes("def f(rng: np.random.Generator): pass\n") == []
+
+    def test_det003_wall_clock(self):
+        assert codes("t = time.time()\n") == ["DET003"]
+        assert codes("t = time.time_ns()\n") == ["DET003"]
+        assert codes("d = datetime.now()\n") == ["DET003"]
+        assert codes("d = datetime.datetime.utcnow()\n") == ["DET003"]
+
+    def test_det003_perf_counter_is_fine(self):
+        assert codes("t = time.perf_counter()\n") == []
+
+    def test_det004_unsorted_listing(self):
+        assert codes("files = os.listdir(path)\n") == ["DET004"]
+        assert codes("files = glob.glob('*.json')\n") == ["DET004"]
+        assert codes("files = path.iterdir()\n") == ["DET004"]
+
+    def test_det004_sorted_wrap_is_fine(self):
+        assert codes("files = sorted(os.listdir(path))\n") == []
+        assert codes("files = sorted(glob.glob('*.json'))\n") == []
+
+    def test_det005_set_iteration(self):
+        assert codes("for x in {1, 2}: pass\n") == ["DET005"]
+        assert codes("for x in set(items): pass\n") == ["DET005"]
+        assert codes("ys = [f(x) for x in {1, 2}]\n") == ["DET005"]
+        assert codes("xs = list({1, 2})\n") == ["DET005"]
+
+    def test_det005_sorted_set_is_fine(self):
+        assert codes("for x in sorted({1, 2}): pass\n") == []
+        assert codes("xs = sorted(set(items))\n") == []
+
+    def test_det006_builtin_hash(self):
+        assert codes("h = hash(key)\n") == ["DET006"]
+        assert codes("h = hashlib.sha256(key).hexdigest()\n") == []
+
+    def test_pragma_suppresses(self):
+        assert codes("t = time.time()  # det: allow\n") == []
+
+    def test_rng_module_is_exempt(self):
+        source = "import random\nrng = np.random.default_rng(0)\n"
+        path = os.path.join("src", "repro", "common", "rng.py")
+        assert lint_source(source, path) == []
+
+    def test_findings_carry_location(self):
+        finding = lint_source("t = time.time()\n", "pkg/mod.py")[0]
+        assert finding.path == "pkg/mod.py"
+        assert finding.line == 1
+        assert "pkg/mod.py:1: DET003" in finding.render()
+
+
+class TestTree:
+    def test_src_repro_is_clean(self):
+        assert lint_paths([os.path.join("src", "repro")]) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert main([str(dirty)]) == 1
+        assert "DET001" in capsys.readouterr().out
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0

@@ -1,6 +1,5 @@
 """Tests for repro.tools.trace and the aggregate report writer."""
 
-import pytest
 
 from repro.cache import CacheHierarchy
 from repro.cpu import Core
