@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments report quick-report campaign-smoke campaign-fault-smoke stats examples lint specct-smoke clean
+.PHONY: install test bench bench-core experiments report quick-report campaign-smoke campaign-fault-smoke stats examples lint specct-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,18 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Core hot-path microbenchmark (docs/performance.md): times one fig3
+# attack round and synthetic-workload execution, rewrites BENCH_core.json,
+# and fails if the calibration-normalized metrics regressed >25% against
+# the committed baseline.
+bench-core:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_core.py -q
+	@$(PYTHON) -c "import json; d = json.load(open('BENCH_core.json')); \
+	    m, s = d['measured'], d['speedup_vs_seed']; \
+	    print('bench-core: %.3f ms/round (%.2fx vs seed), %.0f inst/s (%.2fx)' % \
+	    (m['fig3_round_ms'], s['fig3_round_normalized'], \
+	     m['synthetic_ips'], s['synthetic_ips_normalized']))"
 
 experiments:
 	$(PYTHON) -m repro.experiments all

@@ -19,7 +19,6 @@ holds no clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from ..common.config import LatencyConfig, SystemConfig
@@ -35,23 +34,55 @@ from .setassoc import Eviction, SetAssociativeCache
 from .spec_tracker import EpochDelta, SpecEviction, SpeculationTracker
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Outcome of one data access."""
+    """Outcome of one data access.
 
-    addr: int
-    latency: int
-    level: str  # "L1", "L2", or "MEM" — where the access was served
-    is_write: bool
-    speculative: bool
-    #: Levels at which the access installed a new line ("L1"/"L2").
-    installed: tuple = ()
-    #: L1 victim line address if the install evicted one, else None.
-    l1_victim: Optional[int] = None
+    A ``__slots__`` class rather than a (frozen) dataclass: one is built per
+    :meth:`CacheHierarchy.access`, which is the single most-called API of a
+    campaign, and frozen-dataclass construction costs an ``object.__setattr__``
+    per field.
+    """
+
+    __slots__ = (
+        "addr",
+        "latency",
+        "level",
+        "is_write",
+        "speculative",
+        "installed",
+        "l1_victim",
+    )
+
+    def __init__(
+        self,
+        addr: int,
+        latency: int,
+        level: str,  # "L1", "L2", or "MEM" — where the access was served
+        is_write: bool,
+        speculative: bool,
+        installed: tuple = (),
+        l1_victim: Optional[int] = None,
+    ) -> None:
+        self.addr = addr
+        self.latency = latency
+        self.level = level
+        self.is_write = is_write
+        self.speculative = speculative
+        #: Levels at which the access installed a new line ("L1"/"L2").
+        self.installed = installed
+        #: L1 victim line address if the install evicted one, else None.
+        self.l1_victim = l1_victim
 
     @property
     def l1_hit(self) -> bool:
         return self.level == "L1"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<AccessResult {self.addr:#x} {self.level} lat={self.latency}"
+            f"{' write' if self.is_write else ''}"
+            f"{' spec' if self.speculative else ''}>"
+        )
 
 
 class CacheHierarchy:
@@ -91,6 +122,10 @@ class CacheHierarchy:
             miss_latency=self.latency.memory_total, hit_latency=self.latency.l1_hit
         )
         self.obs: Optional[Observability] = None
+        #: Hot-path cache of ``obs.trace`` when full-level events are on
+        #: (None otherwise) — checked once per access instead of two
+        #: attribute hops plus a flag test.
+        self._trace_full = None
         self.attach_obs(obs if obs is not None else get_default_obs())
 
     # ------------------------------------------------------------------
@@ -102,6 +137,7 @@ class CacheHierarchy:
         if obs is None or self.obs is not None:
             return
         self.obs = obs
+        self._trace_full = obs.trace if obs.trace.full_events else None
         reg = obs.registry
         self.l1.register_stats(reg, "l1d")
         self.l2.register_stats(reg, "l2")
@@ -130,8 +166,7 @@ class CacheHierarchy:
         if speculative and epoch is None:
             raise ConfigError("speculative access requires an epoch")
         self.mshr.retire_completed(cycle)
-        obs = self.obs
-        trace = obs.trace if obs is not None and obs.trace.full_events else None
+        trace = self._trace_full
 
         line1 = self.l1.lookup(addr, cycle)
         if line1 is not None:
@@ -147,6 +182,7 @@ class CacheHierarchy:
                 speculative=speculative,
             )
 
+        line_addr = self.l1.line_addr_of(addr)
         line2 = self.l2.lookup(addr, cycle)
         installed: List[str] = []
         if line2 is not None:
@@ -167,9 +203,9 @@ class CacheHierarchy:
         l1_victim = self._install_l1(addr, cycle, is_write, speculative, epoch, thread)
         installed.insert(0, "L1")
 
-        if self.mshr.can_allocate(self.l1.line_addr_of(addr)):
+        if self.mshr.can_allocate(line_addr):
             self.mshr.allocate(
-                self.l1.line_addr_of(addr),
+                line_addr,
                 issue_cycle=cycle,
                 complete_cycle=cycle + latency,
                 speculative=speculative,
@@ -207,6 +243,23 @@ class CacheHierarchy:
             return self.latency.l2_total, "L2"
         return self.latency.memory_total, "MEM"
 
+    def predict_latency(self, addr: int, cycle: int) -> "tuple[int, str]":
+        """Latency and level :meth:`access` *would* charge at ``cycle``,
+        side-effect-free — :meth:`probe_latency` plus the MSHR-full penalty
+        a miss would pay when the file has no free slot (and no entry to
+        merge into) once fills completed by ``cycle`` retire. The core's
+        wrong path uses this so its in-flight-vs-landed decision agrees
+        with the cost the subsequent access is actually charged."""
+        if self.l1.contains(addr):
+            return self.latency.l1_hit, "L1"
+        if self.l2.contains(addr):
+            latency, level = self.latency.l2_total, "L2"
+        else:
+            latency, level = self.latency.memory_total, "MEM"
+        if not self.mshr.can_allocate_at(self.l1.line_addr_of(addr), cycle):
+            latency += self.latency.mshr_full_penalty
+        return latency, level
+
     def _install_l1(
         self,
         addr: int,
@@ -226,9 +279,16 @@ class CacheHierarchy:
         )
         if self.obs is not None:
             self._emit_install("L1", addr, cycle, speculative, epoch, eviction)
+        wb_eviction: Optional[Eviction] = None
         if eviction is not None and eviction.dirty:
-            # Writeback into L2 (data already in DRAM functional store).
-            self.l2.install(eviction.line_addr, cycle, dirty=True, thread=thread)
+            # Writeback into L2 (data already in DRAM functional store). The
+            # victim itself is *architectural* data, so its L2 copy is
+            # installed non-speculatively even when the displacing install
+            # was transient — CleanupSpec deliberately leaves it there on
+            # rollback (restoration re-fetches L1 victims *from* L2).
+            _, wb_eviction = self.l2.install(
+                eviction.line_addr, cycle, dirty=True, thread=thread
+            )
         if speculative and epoch is not None:
             set_index = self.l1.set_index_of(addr)
             way = self.l1.way_of(addr)
@@ -244,6 +304,23 @@ class CacheHierarchy:
                     eviction.set_index,
                     eviction.way,
                     was_speculative=eviction.was_speculative,
+                )
+            if wb_eviction is not None:
+                # The writeback displaced an L2 line. That eviction is a
+                # side effect of transient execution and must be visible in
+                # the epoch's delta (the security argument counts every
+                # speculative footprint), even though — like direct L2
+                # evictions — it is not rolled back: only L1 victims are
+                # restorable, and the written-back line stays in L2 as
+                # architectural state.
+                self.tracker.record_eviction(
+                    epoch,
+                    "L2",
+                    wb_eviction.line_addr,
+                    wb_eviction.dirty,
+                    wb_eviction.set_index,
+                    wb_eviction.way,
+                    was_speculative=wb_eviction.was_speculative,
                 )
         return eviction
 

@@ -13,7 +13,6 @@ window brought in.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Optional
 
 
@@ -26,19 +25,43 @@ class CoherenceState(enum.Enum):
     INVALID = "I"
 
 
-@dataclass
 class CacheLine:
-    """One cache line (tag store entry); data lives in the DRAM model."""
+    """One cache line (tag store entry); data lives in the DRAM model.
 
-    line_addr: int
-    state: CoherenceState = CoherenceState.EXCLUSIVE
-    dirty: bool = False
-    speculative: bool = False
-    epoch: Optional[int] = None
-    #: Insertion timestamp (cycle), used by tests and debugging.
-    installed_at: int = 0
-    #: Last-touch timestamp for LRU bookkeeping.
-    last_access: int = 0
+    A plain ``__slots__`` class (not a dataclass): the simulator creates and
+    probes millions of these per campaign, and slots cut both the per-line
+    memory and the attribute-access cost on the hot path.
+    """
+
+    __slots__ = (
+        "line_addr",
+        "state",
+        "dirty",
+        "speculative",
+        "epoch",
+        "installed_at",
+        "last_access",
+    )
+
+    def __init__(
+        self,
+        line_addr: int,
+        state: CoherenceState = CoherenceState.EXCLUSIVE,
+        dirty: bool = False,
+        speculative: bool = False,
+        epoch: Optional[int] = None,
+        installed_at: int = 0,
+        last_access: int = 0,
+    ) -> None:
+        self.line_addr = line_addr
+        self.state = state
+        self.dirty = dirty
+        self.speculative = speculative
+        self.epoch = epoch
+        #: Insertion timestamp (cycle), used by tests and debugging.
+        self.installed_at = installed_at
+        #: Last-touch timestamp for LRU bookkeeping.
+        self.last_access = last_access
 
     @property
     def valid(self) -> bool:

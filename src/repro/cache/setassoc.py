@@ -63,42 +63,71 @@ class SetAssociativeCache:
             [None] * geometry.ways for _ in range(geometry.sets)
         ]
         self.stats = CacheStats()
+        # Hot-path precomputes: line/set masks, the (expensive, pure)
+        # randomized set-index function memoized per line number, and an
+        # exact line_addr -> (set_index, way) residency map so lookups are
+        # O(1) instead of a way scan.
+        self._offset_bits = geometry.offset_bits
+        self._line_mask = ~(geometry.line_size - 1)
+        self._set_mask = geometry.sets - 1
+        self._rand_mask = (1 << randomizer.bits) - 1 if randomizer is not None else 0
+        self._set_index_cache: dict = {}
+        self._where: dict = {}
 
     # -- indexing ---------------------------------------------------------------
 
     def set_index_of(self, addr: int) -> int:
-        """Set index of ``addr``, honouring the randomized mapping if present."""
-        line_number = addr >> self.geometry.offset_bits
-        if self.randomizer is not None:
-            line_number = self.randomizer.permute(
-                line_number & ((1 << self.randomizer.bits) - 1)
-            )
-        return line_number & (self.geometry.sets - 1)
+        """Set index of ``addr``, honouring the randomized mapping if present.
+
+        The randomized (CEASER-like Feistel) mapping is a pure function of
+        the line number, so it is memoized: experiment working sets touch a
+        bounded set of lines but access each one thousands of times.
+        """
+        line_number = addr >> self._offset_bits
+        cached = self._set_index_cache.get(line_number)
+        if cached is None:
+            if self.randomizer is not None:
+                permuted = self.randomizer.permute(line_number & self._rand_mask)
+            else:
+                permuted = line_number
+            cached = permuted & self._set_mask
+            self._set_index_cache[line_number] = cached
+        return cached
 
     def line_addr_of(self, addr: int) -> int:
-        return self.mapper.line(addr)
+        return addr & self._line_mask
 
     # -- lookup -------------------------------------------------------------------
 
     def _find(self, addr: int) -> tuple:
         """Return ``(set_index, way, line)`` or ``(set_index, None, None)``."""
-        line_addr = self.line_addr_of(addr)
-        set_index = self.set_index_of(addr)
-        for way, line in enumerate(self._sets[set_index]):
-            if line is not None and line.valid and line.line_addr == line_addr:
+        line_addr = addr & self._line_mask
+        loc = self._where.get(line_addr)
+        if loc is not None:
+            set_index, way = loc
+            line = self._sets[set_index][way]
+            if line is not None and line.line_addr == line_addr and line.valid:
                 return set_index, way, line
-        return set_index, None, None
+            # Stale entry (line invalidated in place or way re-used).
+            del self._where[line_addr]
+        return self.set_index_of(addr), None, None
 
     def lookup(self, addr: int, cycle: int = 0, touch: bool = True) -> Optional[CacheLine]:
         """Hit check with stats and (optionally) recency update."""
-        _, way, line = self._find(addr)
-        if line is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        if touch:
-            line.touch(cycle)
-        return line
+        # Hot path: the residency-map check is inlined (rather than going
+        # through _find) — lookup() runs once per hierarchy access.
+        line_addr = addr & self._line_mask
+        loc = self._where.get(line_addr)
+        if loc is not None:
+            line = self._sets[loc[0]][loc[1]]
+            if line is not None and line.line_addr == line_addr and line.valid:
+                self.stats.hits += 1
+                if touch:
+                    line.last_access = cycle
+                return line
+            del self._where[line_addr]
+        self.stats.misses += 1
+        return None
 
     def contains(self, addr: int) -> bool:
         """Presence probe without statistics or recency side effects."""
@@ -129,7 +158,7 @@ class SetAssociativeCache:
         ``preferred_way`` pins the destination way (used by restoration to
         put a victim back where the transient line was invalidated).
         """
-        line_addr = self.line_addr_of(addr)
+        line_addr = addr & self._line_mask
         set_index, way, existing = self._find(addr)
         if existing is not None:
             # Already present — refresh rather than duplicate.
@@ -163,6 +192,8 @@ class SetAssociativeCache:
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.dirty_evictions += 1
+        if victim is not None and self._where.get(victim.line_addr) == (set_index, target):
+            del self._where[victim.line_addr]
 
         state = CoherenceState.MODIFIED if dirty else CoherenceState.EXCLUSIVE
         new_line = CacheLine(
@@ -175,6 +206,7 @@ class SetAssociativeCache:
             last_access=cycle,
         )
         ways[target] = new_line
+        self._where[line_addr] = (set_index, target)
         self.stats.installs += 1
         if speculative:
             self.stats.spec_installs += 1
@@ -189,6 +221,7 @@ class SetAssociativeCache:
             return None
         removed = line
         self._sets[set_index][way] = None
+        self._where.pop(line.line_addr, None)
         self.stats.invalidations += 1
         return removed
 
@@ -238,6 +271,7 @@ class SetAssociativeCache:
     def clear(self) -> None:
         for s in range(self.geometry.sets):
             self._sets[s] = [None] * self.geometry.ways
+        self._where.clear()
 
     # -- observability -------------------------------------------------------
 

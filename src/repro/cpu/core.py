@@ -4,7 +4,9 @@ The core executes a :class:`~repro.isa.program.Program` functionally while
 computing per-instruction *timestamps* with dataflow scheduling:
 
 * instructions dispatch in order, ``dispatch_width`` per cycle, subject to
-  ROB-occupancy back-pressure (:class:`~repro.cpu.rob.RobModel`);
+  ROB-occupancy back-pressure (the bounded commit-time deque below — the
+  standalone :class:`~repro.cpu.rob.RobModel` documents and unit-tests the
+  same recurrence);
 * an instruction starts once its source registers are ready (plus the fence
   barrier for memory ops) and completes after its unit latency — loads get
   their latency from the cache hierarchy, *mutating* it;
@@ -25,10 +27,16 @@ set by the defense's rollback work.
 The model is deliberately not cycle-stepped: timestamps are computed in one
 pass, which keeps thousand-round attack campaigns and 10⁵-instruction
 synthetic SPEC runs fast while preserving the timing relations that matter.
+The inner loop dispatches over the program's *decoded* form
+(:meth:`~repro.isa.program.Program.decoded`): small-integer opcodes, label
+targets pre-resolved, ALU/branch callables pre-looked-up — decoded once per
+program and cached, since attack campaigns run the same program thousands
+of times.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -39,28 +47,25 @@ from ..common.config import CoreConfig
 from ..common.errors import SimulationError
 from ..common.rng import derive_rng
 from ..defense.base import Defense, SquashContext
-from ..isa.instructions import (
-    Branch,
-    Fence,
-    Flush,
-    Halt,
-    IntOp,
-    IntOpImm,
-    Jump,
-    Load,
-    LoadImm,
-    Nop,
-    ReadTimer,
-    Store,
-    alu_eval,
+from ..isa.decoded import (
+    OP_BRANCH,
+    OP_FENCE,
+    OP_FLUSH,
+    OP_HALT,
+    OP_INT_OP,
+    OP_INT_OP_IMM,
+    OP_JUMP,
+    OP_LOAD,
+    OP_LOAD_IMM,
+    OP_NOP,
+    OP_READ_TIMER,
+    OP_STORE,
 )
 from ..isa.program import Program
-from ..isa.registers import RegisterFile
+from ..isa.registers import WORD_MASK, RegisterFile
 from ..obs import Observability, get_default_obs
-from .lsq import InflightMemTracker
 from .noise import NoiseModel
 from .predictor import BimodalPredictor, WEAK_TAKEN
-from .rob import RobModel
 from .timing import InstructionTiming, RunResult, SquashEvent
 
 #: Sentinel completion time for wrong-path results that never arrive.
@@ -164,14 +169,54 @@ class Core:
         cfg = self.config
         regs = registers or RegisterFile()
         ready: Dict[str, int] = {}
-        rob = RobModel(cfg.rob_entries, cfg.dispatch_width)
-        mem = InflightMemTracker()
         result = RunResult(program_name=program.name, cycles=0, instructions=0, registers=regs)
 
         obs = self.obs
-        trace = obs.trace if obs is not None else None
+        has_obs = obs is not None
+        trace = obs.trace if has_obs else None
         emit_commit = trace is not None and trace.commit_events
         emit_full = trace is not None and trace.full_events
+        record_timeline = self.record_timeline
+
+        code = program.decoded()
+        n_code = len(code)
+
+        # Local aliases: every name below is read on (almost) every executed
+        # instruction — keeping them in locals avoids repeated attribute and
+        # global lookups in the hottest Python loop of the repository.
+        raw = regs.raw
+        raw_get = raw.get
+        ready_get = ready.get
+        hierarchy = self.hierarchy
+        hier_access = hierarchy.access
+        dram_peek = hierarchy.dram.peek
+        noise = self.noise
+        noise_enabled = noise.enabled
+        noise_event = noise.system_event
+        noise_jitter = noise.mem_jitter
+        noise_rng = self._noise_rng
+        predictor = self.predictor
+        alu_latency = cfg.alu_latency
+        mul_latency = cfg.mul_latency
+        branch_latency = cfg.branch_latency
+        flush_latency = cfg.flush_latency
+        timer_latency = cfg.timer_latency
+        dispatch_width = cfg.dispatch_width
+        squash_delay = self.squash_delay
+
+        # ROB back-pressure state (see repro.cpu.rob.RobModel for the same
+        # recurrence in documented, unit-tested form).
+        rob_entries = cfg.rob_entries
+        commit_times: deque = deque(maxlen=rob_entries)
+        commit_times_append = commit_times.append
+        last_dispatch_cycle = -1
+        dispatched_this_cycle = 0
+        last_commit = 0
+
+        # In-flight memory summary (see repro.cpu.lsq.InflightMemTracker):
+        # max completion time of issued memory ops, and the fence barrier.
+        mem_max_complete = 0
+        fence_barrier = 0
 
         fetch_available = 0
         last_complete_all = 0
@@ -182,128 +227,126 @@ class Core:
         max_branch_resolve = 0
         delay_misses = getattr(self.defense, "delay_speculative_misses", False)
 
-        def reg_ready(name: str) -> int:
-            return ready.get(name, 0)
-
         while True:
             if committed >= max_instructions:
                 raise SimulationError(
                     f"{program.name}: exceeded {max_instructions} instructions"
                 )
-            if not 0 <= pc < len(program):
+            if not 0 <= pc < n_code:
                 raise SimulationError(f"{program.name}: pc {pc} out of range")
-            inst = program[pc]
-            dispatch = rob.next_dispatch_cycle(fetch_available)
+            ins = code[pc]
+            op = ins[0]
 
-            if self.noise.enabled:
-                event = self.noise.system_event(self._noise_rng)
+            # -- dispatch (in order, width-limited, ROB back-pressure) ----
+            cycle = fetch_available if fetch_available > last_dispatch_cycle else last_dispatch_cycle
+            if cycle == last_dispatch_cycle and dispatched_this_cycle >= dispatch_width:
+                cycle += 1
+            if len(commit_times) == rob_entries and commit_times[0] > cycle:
+                cycle = commit_times[0]
+            if cycle != last_dispatch_cycle:
+                last_dispatch_cycle = cycle
+                dispatched_this_cycle = 1
+            else:
+                dispatched_this_cycle += 1
+            dispatch = cycle
+
+            if noise_enabled:
+                event = noise_event(noise_rng)
                 if event:
                     result.noise_event_cycles += event
                     dispatch += event
-                    fetch_available = max(fetch_available, dispatch)
+                    if dispatch > fetch_available:
+                        fetch_available = dispatch
 
             start = dispatch
             complete = dispatch
             level: Optional[str] = None
             next_pc = pc + 1
 
-            if isinstance(inst, Halt):
-                rob.record_commit(dispatch)
-                committed += 1
-                last_complete_all = max(last_complete_all, dispatch)
-                break
+            if op == OP_INT_OP_IMM:
+                # (dst, src1, imm, fn, is_mul)
+                src1 = ins[2]
+                start = ready_get(src1, 0)
+                if dispatch > start:
+                    start = dispatch
+                complete = start + (mul_latency if ins[5] else alu_latency)
+                dst = ins[1]
+                raw[dst] = ins[4](raw_get(src1, 0), ins[3]) & WORD_MASK
+                ready[dst] = complete
 
-            elif isinstance(inst, LoadImm):
-                complete = dispatch + cfg.alu_latency
-                regs.write(inst.dst, inst.imm)
-                ready[inst.dst] = complete
+            elif op == OP_INT_OP:
+                # (dst, src1, src2, fn, is_mul)
+                src1 = ins[2]
+                src2 = ins[3]
+                start = ready_get(src1, 0)
+                r2 = ready_get(src2, 0)
+                if r2 > start:
+                    start = r2
+                if dispatch > start:
+                    start = dispatch
+                complete = start + (mul_latency if ins[5] else alu_latency)
+                dst = ins[1]
+                raw[dst] = ins[4](raw_get(src1, 0), raw_get(src2, 0)) & WORD_MASK
+                ready[dst] = complete
 
-            elif isinstance(inst, IntOp):
-                start = max(dispatch, reg_ready(inst.src1), reg_ready(inst.src2))
-                latency = cfg.mul_latency if inst.op == "mul" else cfg.alu_latency
-                complete = start + latency
-                regs.write(inst.dst, alu_eval(inst.op, regs.read(inst.src1), regs.read(inst.src2)))
-                ready[inst.dst] = complete
-
-            elif isinstance(inst, IntOpImm):
-                start = max(dispatch, reg_ready(inst.src1))
-                latency = cfg.mul_latency if inst.op == "mul" else cfg.alu_latency
-                complete = start + latency
-                regs.write(inst.dst, alu_eval(inst.op, regs.read(inst.src1), inst.imm))
-                ready[inst.dst] = complete
-
-            elif isinstance(inst, Load):
-                start = max(dispatch, reg_ready(inst.base), mem.fence_barrier)
-                addr = (regs.read(inst.base) + inst.offset) & ((1 << 64) - 1)
+            elif op == OP_LOAD:
+                # (dst, base, offset)
+                base = ins[2]
+                start = ready_get(base, 0)
+                if dispatch > start:
+                    start = dispatch
+                if fence_barrier > start:
+                    start = fence_barrier
+                addr = (raw_get(base, 0) + ins[3]) & WORD_MASK
                 if delay_misses and start < max_branch_resolve:
                     # Invisible-family delay-on-miss: an L1 miss issued under
                     # an unresolved branch waits for the branch to resolve.
-                    _, probe_level = self.hierarchy.probe_latency(addr)
+                    _, probe_level = hierarchy.probe_latency(addr)
                     if probe_level != "L1":
                         start = max_branch_resolve
-                access = self.hierarchy.access(addr, cycle=start)
+                access = hier_access(addr, cycle=start)
                 latency = access.latency
                 if access.level == "MEM":
-                    latency = max(1, latency + self.noise.mem_jitter(self._noise_rng))
+                    latency = max(1, latency + noise_jitter(noise_rng))
                 complete = start + latency
                 level = access.level
-                regs.write(inst.dst, self.hierarchy.dram.peek(addr))
-                ready[inst.dst] = complete
-                mem.record_load(complete)
+                dst = ins[1]
+                raw[dst] = dram_peek(addr) & WORD_MASK
+                ready[dst] = complete
+                if complete > mem_max_complete:
+                    mem_max_complete = complete
 
-            elif isinstance(inst, Store):
-                start = max(
-                    dispatch, reg_ready(inst.src), reg_ready(inst.base), mem.fence_barrier
-                )
-                addr = (regs.read(inst.base) + inst.offset) & ((1 << 64) - 1)
-                access = self.hierarchy.access(addr, cycle=start, is_write=True)
-                self.hierarchy.dram.poke(addr, regs.read(inst.src))
-                complete = start + access.latency
-                level = access.level
-                mem.record_store(complete)
+            elif op == OP_LOAD_IMM:
+                # (dst, imm)
+                complete = dispatch + alu_latency
+                dst = ins[1]
+                raw[dst] = ins[2] & WORD_MASK
+                ready[dst] = complete
 
-            elif isinstance(inst, Flush):
-                start = max(dispatch, reg_ready(inst.base), mem.fence_barrier)
-                addr = (regs.read(inst.base) + inst.offset) & ((1 << 64) - 1)
-                self.hierarchy.flush_line(addr)
-                complete = start + cfg.flush_latency
-                mem.record_flush(complete)
-
-            elif isinstance(inst, Fence):
-                complete = mem.drain_time(at_least=dispatch)
-                mem.record_fence(complete)
-
-            elif isinstance(inst, ReadTimer):
-                # Serialising: waits for every older instruction.
-                start = max(dispatch, last_complete_all)
-                complete = start + cfg.timer_latency
-                regs.write(inst.dst, complete)
-                ready[inst.dst] = complete
-
-            elif isinstance(inst, Jump):
-                complete = dispatch
-                next_pc = program.resolve(inst.target)
-
-            elif isinstance(inst, Nop):
-                complete = dispatch
-
-            elif isinstance(inst, Branch):
-                a = regs.read(inst.src1)
-                b = regs.read(inst.src2)
-                predicted = self.predictor.predict(pc)
-                actual = inst.taken(a, b)
-                resolve = (
-                    max(dispatch, reg_ready(inst.src1), reg_ready(inst.src2))
-                    + cfg.branch_latency
-                )
+            elif op == OP_BRANCH:
+                # (src1, src2, cond_fn, taken_pc)
+                src1 = ins[1]
+                src2 = ins[2]
+                a = raw_get(src1, 0)
+                b = raw_get(src2, 0)
+                predicted = predictor.predict(pc)
+                actual = bool(ins[3](a, b))
+                resolve = ready_get(src1, 0)
+                r2 = ready_get(src2, 0)
+                if r2 > resolve:
+                    resolve = r2
+                if dispatch > resolve:
+                    resolve = dispatch
+                resolve += branch_latency
                 complete = resolve
-                max_branch_resolve = max(max_branch_resolve, resolve)
-                self.predictor.update(pc, actual, mispredicted=predicted != actual)
-                correct_next = program.resolve(inst.target) if actual else pc + 1
+                if resolve > max_branch_resolve:
+                    max_branch_resolve = resolve
+                taken_pc = ins[4]
+                correct_next = taken_pc if actual else pc + 1
                 if predicted != actual:
-                    wrong_pc = program.resolve(inst.target) if predicted else pc + 1
-                    squash_point = resolve + self.squash_delay
-                    epoch = self.hierarchy.open_epoch()
+                    wrong_pc = taken_pc if predicted else pc + 1
+                    squash_point = resolve + squash_delay
+                    epoch = hierarchy.open_epoch()
                     wp = self._run_wrong_path(
                         program,
                         wrong_pc,
@@ -312,10 +355,13 @@ class Core:
                         branch_dispatch=dispatch,
                         squash_point=squash_point,
                         epoch=epoch,
-                        fence_barrier=mem.fence_barrier,
+                        fence_barrier=fence_barrier,
                     )
-                    delta = self.hierarchy.squash_epoch_delta(epoch)
-                    if trace is not None:
+                    delta = hierarchy.squash_epoch_delta(epoch)
+                    # Observability guard: one predicate for the whole squash
+                    # path (begin + delta + end + counters). ``obs`` carries
+                    # the trace, so ``has_obs`` implies ``trace is not None``.
+                    if has_obs:
                         trace.emit(
                             squash_point,
                             "squash.begin",
@@ -337,14 +383,15 @@ class Core:
                         resolve_cycle=squash_point,
                         delta=delta,
                         inflight_transient=wp.inflight,
-                        older_mem_complete=mem.drain_time(),
+                        older_mem_complete=mem_max_complete,
                     )
                     outcome = self.defense.on_squash(ctx)
                     fetch_resume = (
                         squash_point + cfg.mispredict_penalty + outcome.stall_cycles
                     )
-                    fetch_available = max(fetch_available, fetch_resume)
-                    if obs is not None:
+                    if fetch_resume > fetch_available:
+                        fetch_available = fetch_resume
+                    if has_obs:
                         trace.emit(
                             fetch_resume,
                             "squash.end",
@@ -380,13 +427,86 @@ class Core:
                             outcome=outcome,
                         )
                     )
+                # Train the predictor only *after* wrong-path simulation: the
+                # transient path peeks the counter via ``predictor.counter``,
+                # and real hardware updates the BPU at resolution/commit — a
+                # wrong-path re-fetch of the same branch pc (a loop) must see
+                # the pre-resolution counter, not this update.
+                predictor.update(pc, actual, mispredicted=predicted != actual)
                 next_pc = correct_next
 
-            else:  # pragma: no cover - exhaustive over the ISA
-                raise SimulationError(f"unhandled instruction: {inst!r}")
+            elif op == OP_STORE:
+                # (src, base, offset)
+                src = ins[1]
+                base = ins[2]
+                start = ready_get(src, 0)
+                rb = ready_get(base, 0)
+                if rb > start:
+                    start = rb
+                if dispatch > start:
+                    start = dispatch
+                if fence_barrier > start:
+                    start = fence_barrier
+                addr = (raw_get(base, 0) + ins[3]) & WORD_MASK
+                access = hier_access(addr, cycle=start, is_write=True)
+                hierarchy.dram.poke(addr, raw_get(src, 0))
+                complete = start + access.latency
+                level = access.level
+                if complete > mem_max_complete:
+                    mem_max_complete = complete
 
-            rob.record_commit(complete)
-            last_complete_all = max(last_complete_all, complete)
+            elif op == OP_FLUSH:
+                # (base, offset)
+                base = ins[1]
+                start = ready_get(base, 0)
+                if dispatch > start:
+                    start = dispatch
+                if fence_barrier > start:
+                    start = fence_barrier
+                addr = (raw_get(base, 0) + ins[2]) & WORD_MASK
+                hierarchy.flush_line(addr)
+                complete = start + flush_latency
+                if complete > mem_max_complete:
+                    mem_max_complete = complete
+
+            elif op == OP_FENCE:
+                complete = mem_max_complete if mem_max_complete > dispatch else dispatch
+                if complete > fence_barrier:
+                    fence_barrier = complete
+
+            elif op == OP_READ_TIMER:
+                # Serialising: waits for every older instruction.
+                start = last_complete_all if last_complete_all > dispatch else dispatch
+                complete = start + timer_latency
+                dst = ins[1]
+                raw[dst] = complete & WORD_MASK
+                ready[dst] = complete
+
+            elif op == OP_JUMP:
+                complete = dispatch
+                next_pc = ins[1]
+
+            elif op == OP_NOP:
+                complete = dispatch
+
+            elif op == OP_HALT:
+                commit = dispatch if dispatch > last_commit else last_commit
+                last_commit = commit
+                commit_times_append(commit)
+                committed += 1
+                if dispatch > last_complete_all:
+                    last_complete_all = dispatch
+                break
+
+            else:  # pragma: no cover - exhaustive over the ISA
+                raise SimulationError(f"unhandled opcode: {op!r}")
+
+            # -- in-order commit --------------------------------------------
+            commit = complete if complete > last_commit else last_commit
+            last_commit = commit
+            commit_times_append(commit)
+            if complete > last_complete_all:
+                last_complete_all = complete
             committed += 1
             if emit_commit:
                 trace.emit(
@@ -398,12 +518,12 @@ class Core:
                     trace.emit(dispatch, "inst.dispatch", (committed - 1, pc))
                     trace.emit(start, "inst.issue", (committed - 1, pc))
                     trace.emit(complete, "inst.complete", (committed - 1, pc, level))
-            if self.record_timeline:
+            if record_timeline:
                 result.timeline.append(
                     InstructionTiming(
                         index=committed - 1,
                         pc=pc,
-                        text=str(inst),
+                        text=str(program[pc]),
                         dispatch=dispatch,
                         start=start,
                         complete=complete,
@@ -414,13 +534,15 @@ class Core:
 
         result.cycles = max(last_complete_all, fetch_available)
         result.instructions = committed
-        if obs is not None:
+        if has_obs:
             self._st_runs.inc()
             self._st_instructions.inc(committed)
             self._st_cycles.inc(result.cycles)
             self._st_noise.inc(result.noise_event_cycles)
             self._st_run_cycles.add(result.cycles)
-            result.stats = obs.registry.to_dict()
+            # Lazy snapshot: serializing the whole registry per run is far
+            # too expensive for thousand-round campaigns that never read it.
+            result.attach_stats_source(obs.registry.to_dict)
         return result
 
     # ------------------------------------------------------------------
@@ -450,119 +572,167 @@ class Core:
         discards everything at once.
         """
         cfg = self.config
+        code = program.decoded()
+        n_code = len(code)
         spec_values: Dict[str, int] = {}
         spec_ready = dict(ready)
+        spec_values_get = spec_values.get
+        spec_ready_get = spec_ready.get
+        raw_get = regs.raw.get
         barrier = fence_barrier
         out = _WrongPathResult()
 
-        def value_of(name: str) -> int:
-            return spec_values.get(name, regs.read(name))
-
-        def ready_of(name: str) -> int:
-            return spec_ready.get(name, 0)
+        hierarchy = self.hierarchy
+        noise_jitter = self.noise.mem_jitter
+        noise_rng = self._noise_rng
+        predictor_counter = self.predictor.counter
+        alu_latency = cfg.alu_latency
+        mul_latency = cfg.mul_latency
+        dispatch_width = cfg.dispatch_width
+        max_wrong_path = self.max_wrong_path
+        allows_install = getattr(self.defense, "allows_speculative_install", True)
 
         count = 0
-        while 0 <= pc < len(program) and count < self.max_wrong_path:
-            inst = program[pc]
-            dispatch = branch_dispatch + 1 + count // cfg.dispatch_width
+        while 0 <= pc < n_code and count < max_wrong_path:
+            ins = code[pc]
+            op = ins[0]
+            dispatch = branch_dispatch + 1 + count // dispatch_width
             if dispatch >= squash_point:
                 break
             count += 1
             next_pc = pc + 1
 
-            if isinstance(inst, Halt):
-                break
+            if op == OP_INT_OP_IMM:
+                src1 = ins[2]
+                start = spec_ready_get(src1, 0)
+                if dispatch > start:
+                    start = dispatch
+                v1 = spec_values_get(src1)
+                if v1 is None:
+                    v1 = raw_get(src1, 0)
+                spec_values[ins[1]] = ins[4](v1, ins[3]) & WORD_MASK
+                spec_ready[ins[1]] = start + (mul_latency if ins[5] else alu_latency)
 
-            elif isinstance(inst, LoadImm):
-                spec_values[inst.dst] = inst.imm
-                spec_ready[inst.dst] = dispatch + cfg.alu_latency
+            elif op == OP_INT_OP:
+                src1 = ins[2]
+                src2 = ins[3]
+                start = spec_ready_get(src1, 0)
+                r2 = spec_ready_get(src2, 0)
+                if r2 > start:
+                    start = r2
+                if dispatch > start:
+                    start = dispatch
+                v1 = spec_values_get(src1)
+                if v1 is None:
+                    v1 = raw_get(src1, 0)
+                v2 = spec_values_get(src2)
+                if v2 is None:
+                    v2 = raw_get(src2, 0)
+                spec_values[ins[1]] = ins[4](v1, v2) & WORD_MASK
+                spec_ready[ins[1]] = start + (mul_latency if ins[5] else alu_latency)
 
-            elif isinstance(inst, IntOp):
-                start = max(dispatch, ready_of(inst.src1), ready_of(inst.src2))
-                latency = cfg.mul_latency if inst.op == "mul" else cfg.alu_latency
-                spec_values[inst.dst] = alu_eval(
-                    inst.op, value_of(inst.src1), value_of(inst.src2)
-                )
-                spec_ready[inst.dst] = start + latency
-
-            elif isinstance(inst, IntOpImm):
-                start = max(dispatch, ready_of(inst.src1))
-                latency = cfg.mul_latency if inst.op == "mul" else cfg.alu_latency
-                spec_values[inst.dst] = alu_eval(inst.op, value_of(inst.src1), inst.imm)
-                spec_ready[inst.dst] = start + latency
-
-            elif isinstance(inst, Load):
-                start = max(dispatch, ready_of(inst.base), barrier)
-                if start >= squash_point or ready_of(inst.base) >= NEVER:
-                    spec_ready[inst.dst] = NEVER
-                elif not getattr(self.defense, "allows_speculative_install", True):
+            elif op == OP_LOAD:
+                base = ins[2]
+                dst = ins[1]
+                base_ready = spec_ready_get(base, 0)
+                start = base_ready
+                if dispatch > start:
+                    start = dispatch
+                if barrier > start:
+                    start = barrier
+                if start >= squash_point or base_ready >= NEVER:
+                    spec_ready[dst] = NEVER
+                elif not allows_install:
                     # Invisible-family defense: L1 hits proceed, misses are
                     # deferred past the squash and die without any cache
                     # state change.
-                    addr = (value_of(inst.base) + inst.offset) & ((1 << 64) - 1)
-                    latency, level = self.hierarchy.probe_latency(addr)
-                    if level == "L1":
+                    vb = spec_values_get(base)
+                    if vb is None:
+                        vb = raw_get(base, 0)
+                    addr = (vb + ins[3]) & WORD_MASK
+                    latency, probed = hierarchy.probe_latency(addr)
+                    if probed == "L1":
                         out.loads_issued += 1
-                        spec_values[inst.dst] = self.hierarchy.dram.peek(addr)
-                        spec_ready[inst.dst] = start + latency
+                        spec_values[dst] = hierarchy.dram.peek(addr)
+                        spec_ready[dst] = start + latency
                     else:
-                        spec_ready[inst.dst] = NEVER
+                        spec_ready[dst] = NEVER
                 else:
-                    addr = (value_of(inst.base) + inst.offset) & ((1 << 64) - 1)
-                    latency, level = self.hierarchy.probe_latency(addr)
+                    vb = spec_values_get(base)
+                    if vb is None:
+                        vb = raw_get(base, 0)
+                    addr = (vb + ins[3]) & WORD_MASK
+                    # Predict the modelled cost *including* MSHR-full
+                    # pressure, without side effects: the in-flight-vs-landed
+                    # decision must agree with what access() will charge.
+                    latency, level = hierarchy.predict_latency(addr, start)
+                    jitter = 0
                     if level == "MEM":
-                        latency = max(1, latency + self.noise.mem_jitter(self._noise_rng))
+                        jitter = noise_jitter(noise_rng)
+                        latency = max(1, latency + jitter)
                     complete = start + latency
                     out.loads_issued += 1
                     if complete <= squash_point or level == "L1":
                         # The access (and, on a miss, its fill) lands before
                         # the squash: it really installs and must be rolled
-                        # back. L1 hits never occupy the MSHR.
-                        self.hierarchy.access(
+                        # back. L1 hits never occupy the MSHR. The completion
+                        # is re-derived from the *actual* access cost (it can
+                        # only differ from the prediction if cache/MSHR state
+                        # changed between predict and access, which nothing
+                        # here does — the re-derivation keeps them coupled).
+                        access = hierarchy.access(
                             addr, cycle=start, speculative=True, epoch=epoch
                         )
-                        spec_values[inst.dst] = self.hierarchy.dram.peek(addr)
-                        spec_ready[inst.dst] = complete
+                        actual_latency = access.latency
+                        if access.level == "MEM":
+                            actual_latency = max(1, actual_latency + jitter)
+                        spec_values[dst] = hierarchy.dram.peek(addr)
+                        spec_ready[dst] = start + actual_latency
                     else:
                         # Fill still in flight at squash: CleanupSpec cleans
                         # it out of the MSHR (T3); the line never installs.
                         out.inflight += 1
-                        spec_ready[inst.dst] = NEVER
+                        spec_ready[dst] = NEVER
 
-            elif isinstance(inst, Store):
+            elif op == OP_LOAD_IMM:
+                spec_values[ins[1]] = ins[2]
+                spec_ready[ins[1]] = dispatch + alu_latency
+
+            elif op == OP_BRANCH:
+                # Peek the counter without polluting prediction statistics.
+                predicted = predictor_counter(pc) >= WEAK_TAKEN
+                next_pc = ins[4] if predicted else pc + 1
+
+            elif op == OP_STORE:
                 # Speculative stores do not perform; they sit in the store
                 # queue and are squashed.
                 pass
 
-            elif isinstance(inst, Flush):
+            elif op == OP_FLUSH:
                 # clflush is ordered; it does not perform speculatively.
                 pass
 
-            elif isinstance(inst, Fence):
-                barrier = max(
-                    barrier,
-                    dispatch,
-                    max(
-                        (t for t in spec_ready.values() if t < NEVER),
-                        default=dispatch,
-                    ),
-                )
+            elif op == OP_FENCE:
+                fence_at = dispatch
+                for t in spec_ready.values():
+                    if fence_at < t < NEVER:
+                        fence_at = t
+                if fence_at > barrier:
+                    barrier = fence_at
 
-            elif isinstance(inst, ReadTimer):
+            elif op == OP_READ_TIMER:
                 # Serialising: younger wrong-path work would not execute
                 # before the squash anyway; the destination never readies.
-                spec_ready[inst.dst] = NEVER
+                spec_ready[ins[1]] = NEVER
 
-            elif isinstance(inst, Jump):
-                next_pc = program.resolve(inst.target)
+            elif op == OP_JUMP:
+                next_pc = ins[1]
 
-            elif isinstance(inst, Nop):
+            elif op == OP_NOP:
                 pass
 
-            elif isinstance(inst, Branch):
-                # Peek the counter without polluting prediction statistics.
-                predicted = self.predictor.counter(pc) >= WEAK_TAKEN
-                next_pc = program.resolve(inst.target) if predicted else pc + 1
+            elif op == OP_HALT:
+                break
 
             out.executed += 1
             pc = next_pc

@@ -7,7 +7,7 @@ experiments read timer registers, squash events and counters from it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..defense.base import SquashOutcome
 from ..isa.registers import RegisterFile
@@ -57,9 +57,38 @@ class RunResult:
     squashes: List[SquashEvent] = field(default_factory=list)
     timeline: List[InstructionTiming] = field(default_factory=list)
     noise_event_cycles: int = 0
-    #: Hierarchical stats snapshot (``StatRegistry.to_dict()``) taken at the
-    #: end of the run, when the core has an observability attached.
-    stats: Optional[Dict[str, object]] = None
+    #: Lazy stats snapshot: the core attaches ``registry.to_dict`` instead of
+    #: serializing the whole registry per run (thousand-round campaigns never
+    #: read most snapshots). Materialized on first ``.stats`` access.
+    _stats: Optional[Dict[str, object]] = field(default=None, repr=False)
+    _stats_source: Optional[Callable[[], Dict[str, object]]] = field(
+        default=None, repr=False
+    )
+
+    @property
+    def stats(self) -> Optional[Dict[str, object]]:
+        """Hierarchical stats snapshot (``StatRegistry.to_dict()``), or None.
+
+        Materialized lazily from the source the core attached at the end of
+        the run; reading it immediately after :meth:`Core.run` returns the
+        same snapshot the eager implementation produced.
+        """
+        if self._stats is None and self._stats_source is not None:
+            self._stats = self._stats_source()
+            self._stats_source = None
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: Optional[Dict[str, object]]) -> None:
+        self._stats = value
+        self._stats_source = None
+
+    def attach_stats_source(
+        self, source: Callable[[], Dict[str, object]]
+    ) -> None:
+        """Defer the stats snapshot to ``source`` until first access."""
+        self._stats = None
+        self._stats_source = source
 
     def timer(self, reg_name: str) -> int:
         """Value of a timestamp register (``ReadTimer`` destination)."""

@@ -1,0 +1,120 @@
+"""Decoded (pre-resolved) program representation for the core's hot path.
+
+The simulator executes the same :class:`~repro.isa.program.Program` thousands
+of times (one attack round per call). Dispatching through a 12-arm
+``isinstance`` chain and re-resolving labels/register names on every executed
+instruction dominates the per-round cost, so each program is decoded **once**
+into a dense per-pc table of plain tuples:
+
+* element 0 is a small-integer opcode (``OP_*`` below) the core switches on,
+* the remaining elements are pre-resolved operands: register *names* (the
+  register file is a dict keyed by name), label targets resolved to
+  instruction indices, ALU/branch *callables* looked up from the operation
+  tables, and a pre-computed ``is_mul`` flag for latency selection.
+
+Decoding is purely structural — it evaluates nothing — so a decoded program
+is bit-identical in behaviour to interpreting the instruction objects. The
+table is cached on the :class:`Program` (programs are immutable once built);
+see :meth:`repro.isa.program.Program.decoded`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..common.errors import IsaError
+from .instructions import (
+    Branch,
+    Fence,
+    Flush,
+    Halt,
+    IntOp,
+    IntOpImm,
+    Jump,
+    Load,
+    LoadImm,
+    Nop,
+    ReadTimer,
+    Store,
+    alu_fn,
+    branch_fn,
+)
+
+# Opcodes — contiguous small ints so the core's if/elif chain compares fast.
+OP_HALT = 0
+OP_LOAD_IMM = 1
+OP_INT_OP = 2
+OP_INT_OP_IMM = 3
+OP_LOAD = 4
+OP_STORE = 5
+OP_FLUSH = 6
+OP_FENCE = 7
+OP_READ_TIMER = 8
+OP_JUMP = 9
+OP_NOP = 10
+OP_BRANCH = 11
+
+#: Decoded tuple layouts, by opcode (element 0 is always the opcode):
+#:   OP_HALT        ()
+#:   OP_LOAD_IMM    (dst, imm)  # raw; the architectural write path masks
+#:   OP_INT_OP      (dst, src1, src2, fn, is_mul)
+#:   OP_INT_OP_IMM  (dst, src1, imm, fn, is_mul)
+#:   OP_LOAD        (dst, base, offset)
+#:   OP_STORE       (src, base, offset)
+#:   OP_FLUSH       (base, offset)
+#:   OP_FENCE       ()
+#:   OP_READ_TIMER  (dst,)
+#:   OP_JUMP        (target_pc,)
+#:   OP_NOP         ()
+#:   OP_BRANCH      (src1, src2, cond_fn, taken_pc)
+DecodedInstruction = Tuple
+
+
+def decode_program(program) -> List[DecodedInstruction]:
+    """Decode ``program`` into the per-pc tuple table described above."""
+    code: List[DecodedInstruction] = []
+    for pc, inst in enumerate(program):
+        if isinstance(inst, Halt):
+            code.append((OP_HALT,))
+        elif isinstance(inst, LoadImm):
+            # The immediate is stored raw; the architectural write path masks
+            # it (RegisterFile.write semantics) while the wrong path keeps
+            # the raw value, exactly like the instruction-object interpreter.
+            code.append((OP_LOAD_IMM, inst.dst, inst.imm))
+        elif isinstance(inst, IntOp):
+            code.append(
+                (OP_INT_OP, inst.dst, inst.src1, inst.src2, alu_fn(inst.op), inst.op == "mul")
+            )
+        elif isinstance(inst, IntOpImm):
+            code.append(
+                (OP_INT_OP_IMM, inst.dst, inst.src1, inst.imm, alu_fn(inst.op), inst.op == "mul")
+            )
+        elif isinstance(inst, Load):
+            code.append((OP_LOAD, inst.dst, inst.base, inst.offset))
+        elif isinstance(inst, Store):
+            code.append((OP_STORE, inst.src, inst.base, inst.offset))
+        elif isinstance(inst, Flush):
+            code.append((OP_FLUSH, inst.base, inst.offset))
+        elif isinstance(inst, Fence):
+            code.append((OP_FENCE,))
+        elif isinstance(inst, ReadTimer):
+            code.append((OP_READ_TIMER, inst.dst))
+        elif isinstance(inst, Jump):
+            code.append((OP_JUMP, program.resolve(inst.target)))
+        elif isinstance(inst, Nop):
+            code.append((OP_NOP,))
+        elif isinstance(inst, Branch):
+            code.append(
+                (
+                    OP_BRANCH,
+                    inst.src1,
+                    inst.src2,
+                    branch_fn(inst.cond),
+                    program.resolve(inst.target),
+                )
+            )
+        else:
+            raise IsaError(
+                f"cannot decode instruction {inst!r}", program=program.name, pc=pc
+            )
+    return code

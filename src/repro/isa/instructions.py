@@ -69,6 +69,26 @@ def branch_eval(cond: str, a: int, b: int) -> bool:
     return bool(fn(a, b))
 
 
+def alu_fn(op: str) -> Callable[[int, int], int]:
+    """The raw callable behind ALU op ``op`` (no word masking applied).
+
+    Used by the program decoder so the core can call the operation directly
+    and apply ``& WORD_MASK`` inline, exactly as :func:`alu_eval` does.
+    """
+    try:
+        return _ALU_OPS[op]
+    except KeyError as exc:
+        raise IsaError(f"unknown ALU op: {op!r}") from exc
+
+
+def branch_fn(cond: str) -> Callable[[int, int], bool]:
+    """The raw comparison callable behind branch condition ``cond``."""
+    try:
+        return _BRANCH_CONDS[cond]
+    except KeyError as exc:
+        raise IsaError(f"unknown branch condition: {cond!r}") from exc
+
+
 class Instruction:
     """Base class for all instructions (marker; provides shared helpers)."""
 

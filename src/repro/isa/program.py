@@ -25,6 +25,7 @@ class Program:
         self._instructions: List[Instruction] = list(instructions)
         self._labels: Dict[str, int] = dict(labels or {})
         self.name = name
+        self._decoded: list | None = None
         self.validate()
 
     # -- container protocol -------------------------------------------------
@@ -88,6 +89,18 @@ class Program:
             raise IsaError(
                 f"undefined label {label!r}", program=self.name
             ) from exc
+
+    def decoded(self) -> list:
+        """Dense per-pc opcode/operand table (see :mod:`repro.isa.decoded`).
+
+        Decoded lazily on first use and cached: the program is immutable, so
+        every :class:`~repro.cpu.core.Core` run of it shares one table.
+        """
+        if self._decoded is None:
+            from .decoded import decode_program
+
+            self._decoded = decode_program(self)
+        return self._decoded
 
     def describe(self, pc: int) -> str:
         """``program:pc: instruction`` — the canonical finding location."""

@@ -46,6 +46,17 @@ class RegisterFile:
     def __init__(self) -> None:
         self._values: dict = {}
 
+    @property
+    def raw(self) -> dict:
+        """The underlying name→value dict, for pre-validated hot paths.
+
+        The core's dispatch loop only ever reads/writes register names that
+        were validated when the instruction was constructed, so it skips
+        :func:`validate_register` and uses this dict directly (reads via
+        ``raw.get(name, 0)``, writes must mask with :data:`WORD_MASK`).
+        """
+        return self._values
+
     def read(self, name: str) -> int:
         validate_register(name)
         return self._values.get(name, 0)

@@ -19,19 +19,45 @@ from typing import Dict, List, Optional
 from ..common.errors import MshrFullError
 
 
-@dataclass
 class MshrEntry:
-    """One outstanding miss."""
+    """One outstanding miss (``__slots__``: allocated on the access path)."""
 
-    line_addr: int
-    issue_cycle: int
-    complete_cycle: int
-    speculative: bool = False
-    #: L1 line evicted by this fill, if any (captured for restoration).
-    victim_line: Optional[int] = None
-    victim_dirty: bool = False
-    #: How many accesses merged into this entry (including the first).
-    merged: int = 1
+    __slots__ = (
+        "line_addr",
+        "issue_cycle",
+        "complete_cycle",
+        "speculative",
+        "victim_line",
+        "victim_dirty",
+        "merged",
+    )
+
+    def __init__(
+        self,
+        line_addr: int,
+        issue_cycle: int,
+        complete_cycle: int,
+        speculative: bool = False,
+        victim_line: Optional[int] = None,
+        victim_dirty: bool = False,
+        merged: int = 1,
+    ) -> None:
+        self.line_addr = line_addr
+        self.issue_cycle = issue_cycle
+        self.complete_cycle = complete_cycle
+        self.speculative = speculative
+        #: L1 line evicted by this fill, if any (captured for restoration).
+        self.victim_line = victim_line
+        self.victim_dirty = victim_dirty
+        #: How many accesses merged into this entry (including the first).
+        self.merged = merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        spec = " spec" if self.speculative else ""
+        return (
+            f"<MshrEntry {self.line_addr:#x} issue={self.issue_cycle} "
+            f"complete={self.complete_cycle}{spec} merged={self.merged}>"
+        )
 
 
 @dataclass
@@ -45,11 +71,17 @@ class MshrStats:
 class MshrFile:
     """Fixed-capacity MSHR file with merge semantics."""
 
+    #: Sentinel for "no entries": any real completion cycle is smaller.
+    _NO_ENTRIES = 1 << 62
+
     def __init__(self, capacity: int = 16) -> None:
         if capacity < 1:
             raise ValueError("MSHR capacity must be at least 1")
         self.capacity = capacity
         self._entries: Dict[int, MshrEntry] = {}
+        #: Lower bound on the earliest completion among entries (may be
+        #: stale-low after deletions; only used to skip retire scans).
+        self._min_complete = self._NO_ENTRIES
         self.stats = MshrStats()
 
     def __len__(self) -> int:
@@ -58,6 +90,21 @@ class MshrFile:
     def can_allocate(self, line_addr: int) -> bool:
         """True if a miss to ``line_addr`` can proceed (free slot or merge)."""
         return line_addr in self._entries or len(self._entries) < self.capacity
+
+    def can_allocate_at(self, line_addr: int, cycle: int) -> bool:
+        """Side-effect-free :meth:`can_allocate` as of ``cycle``.
+
+        Answers whether a miss to ``line_addr`` issued at ``cycle`` would
+        find a slot (or merge) *after* entries completed by then retire —
+        without actually retiring them. The core uses this to predict the
+        MSHR-full penalty of a wrong-path load before deciding whether the
+        load lands (and mutates state) at all.
+        """
+        entry = self._entries.get(line_addr)
+        if entry is not None and entry.complete_cycle > cycle:
+            return True  # merges into the still-in-flight entry
+        inflight = sum(1 for e in self._entries.values() if e.complete_cycle > cycle)
+        return inflight < self.capacity
 
     def lookup(self, line_addr: int) -> Optional[MshrEntry]:
         return self._entries.get(line_addr)
@@ -95,14 +142,26 @@ class MshrFile:
             victim_dirty=victim_dirty,
         )
         self._entries[line_addr] = entry
+        if complete_cycle < self._min_complete:
+            self._min_complete = complete_cycle
         self.stats.allocations += 1
         return entry
 
+    #: Shared fast-path return value for "nothing retired" (never mutated by
+    #: callers; avoids one list allocation per cache access).
+    _NOTHING: List[MshrEntry] = []
+
     def retire_completed(self, cycle: int) -> List[MshrEntry]:
         """Remove and return entries whose fill completed by ``cycle``."""
+        if cycle < self._min_complete:
+            return self._NOTHING  # nothing can have completed yet — skip the scan
         done = [e for e in self._entries.values() if e.complete_cycle <= cycle]
         for entry in done:
             del self._entries[entry.line_addr]
+        if self._entries:
+            self._min_complete = min(e.complete_cycle for e in self._entries.values())
+        else:
+            self._min_complete = self._NO_ENTRIES
         return done
 
     def inflight_speculative(self, cycle: int) -> List[MshrEntry]:
@@ -123,6 +182,7 @@ class MshrFile:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._min_complete = self._NO_ENTRIES
 
     def register_stats(self, registry, prefix: str = "mshr") -> None:
         """Publish MSHR counters under ``prefix`` (pull-based)."""

@@ -179,18 +179,27 @@ GOLDEN_CAMPAIGN_DIGEST = {
     },
     "ext_fuzzy": {
         "checks": "PPP",
+        # Overhead metrics moved (86.543428 -> 85.279639, 67.120799 ->
+        # 65.510266) when the wrong-path load completion model was fixed to
+        # include the MSHR-full penalty (CacheHierarchy.predict_latency):
+        # under MSHR pressure some transient fills now (correctly) miss the
+        # squash deadline and stay in flight instead of landing. Verified by
+        # neutralizing predict_latency back to probe_latency, which restores
+        # the previous values exactly.
         "metrics": {
             "accuracy_max_dummy": 0.625,
             "accuracy_no_dummy": 0.85,
-            "const65_overhead_pct": 86.543428,
-            "overhead_max_dummy_pct": 67.120799,
+            "const65_overhead_pct": 85.279639,
+            "overhead_max_dummy_pct": 65.510266,
         },
     },
     "ext_invisible": {
         "checks": "PPP",
+        # Overhead metrics moved with the same MSHR-full-penalty fix as
+        # ext_fuzzy above (13.652708 -> 12.406447, 55.277111 -> 53.395156).
         "metrics": {
-            "overhead_cleanupspec_pct": 13.652708,
-            "overhead_delay_on_miss_pct": 55.277111,
+            "overhead_cleanupspec_pct": 12.406447,
+            "overhead_delay_on_miss_pct": 53.395156,
             "unxpec_diff_cleanupspec": 22.0,
             "unxpec_diff_delay_on_miss": 0.0,
         },
@@ -234,10 +243,13 @@ GOLDEN_CAMPAIGN_DIGEST = {
     },
     "fig12": {
         "checks": "PPPPP",
+        # Averages moved with the same MSHR-full-penalty fix as ext_fuzzy
+        # above (32.850759 -> 33.018571, 79.493522 -> 78.671105,
+        # 9.605023 -> 9.742815).
         "metrics": {
-            "avg_const25_pct": 32.850759,
-            "avg_const65_pct": 79.493522,
-            "avg_no_const_pct": 9.605023,
+            "avg_const25_pct": 33.018571,
+            "avg_const65_pct": 78.671105,
+            "avg_no_const_pct": 9.742815,
         },
     },
     "fig13": {

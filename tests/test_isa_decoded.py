@@ -1,0 +1,104 @@
+"""The decoded (pre-resolved) program table the core dispatches over."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import IsaError
+from repro.isa import ProgramBuilder
+from repro.isa.decoded import (
+    OP_BRANCH,
+    OP_FENCE,
+    OP_FLUSH,
+    OP_HALT,
+    OP_INT_OP,
+    OP_INT_OP_IMM,
+    OP_JUMP,
+    OP_LOAD,
+    OP_LOAD_IMM,
+    OP_NOP,
+    OP_READ_TIMER,
+    OP_STORE,
+    decode_program,
+)
+
+
+def full_isa_program():
+    b = ProgramBuilder("decode-all")
+    b.li("r1", 7)                      # 0
+    b.opi("add", "r2", "r1", 5)        # 1
+    b.mul("r3", "r1", "r2")            # 2
+    b.load("r4", "r3", 8)              # 3
+    b.store("r4", "r3", 16)            # 4
+    b.flush("r3", 0)                   # 5
+    b.fence()                          # 6
+    b.rdtscp("r5")                     # 7
+    b.label("fwd")
+    b.branch("lt", "r1", "r2", "end")  # 8
+    b.nop()                            # 9
+    b.jump("fwd")                      # 10
+    b.label("end")
+    b.halt()                           # 11
+    return b.build()
+
+
+class TestDecodedLayouts:
+    def test_per_opcode_tuples(self):
+        code = decode_program(full_isa_program())
+        assert code[0] == (OP_LOAD_IMM, "r1", 7)
+        op, dst, src1, imm, fn, is_mul = code[1]
+        assert (op, dst, src1, imm, is_mul) == (OP_INT_OP_IMM, "r2", "r1", 5, False)
+        assert fn(2, 3) == 5
+        op, dst, src1, src2, fn, is_mul = code[2]
+        assert (op, dst, src1, src2, is_mul) == (OP_INT_OP, "r3", "r1", "r2", True)
+        assert fn(6, 7) == 42
+        assert code[3] == (OP_LOAD, "r4", "r3", 8)
+        assert code[4] == (OP_STORE, "r4", "r3", 16)
+        assert code[5] == (OP_FLUSH, "r3", 0)
+        assert code[6] == (OP_FENCE,)
+        assert code[7] == (OP_READ_TIMER, "r5")
+        op, src1, src2, cond_fn, taken_pc = code[8]
+        assert (op, src1, src2) == (OP_BRANCH, "r1", "r2")
+        assert cond_fn(1, 2) and not cond_fn(2, 1)
+        assert taken_pc == 11  # "end" resolved to the Halt's pc
+        assert code[9] == (OP_NOP,)
+        assert code[10] == (OP_JUMP, 8)  # "fwd" resolved backwards
+        assert code[11] == (OP_HALT,)
+
+    def test_load_imm_keeps_raw_immediate(self):
+        # Masking happens at the architectural write, not at decode: the
+        # wrong path reads the raw immediate, like the object interpreter.
+        b = ProgramBuilder("raw-imm")
+        b.li("r1", -1)
+        b.halt()
+        code = decode_program(b.build())
+        assert code[0] == (OP_LOAD_IMM, "r1", -1)
+
+
+class TestDecodedCaching:
+    def test_program_caches_decoded_table(self):
+        program = full_isa_program()
+        first = program.decoded()
+        assert program.decoded() is first  # decoded once, reused
+
+    def test_decoded_matches_standalone_decode(self):
+        program = full_isa_program()
+        assert program.decoded() == decode_program(program)
+
+
+class TestDecodeErrors:
+    def test_unknown_instruction_rejected(self):
+        class Alien:
+            pass
+
+        class FakeProgram:
+            name = "fake"
+
+            def __iter__(self):
+                return iter([Alien()])
+
+            def resolve(self, target):  # pragma: no cover - not reached
+                raise AssertionError
+
+        with pytest.raises(IsaError, match="cannot decode"):
+            decode_program(FakeProgram())
