@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-core experiments report quick-report campaign-smoke campaign-fault-smoke stats examples lint specct-smoke clean
+.PHONY: install test bench bench-core experiments report quick-report campaign-smoke campaign-fault-smoke campaign-top stats examples lint specct-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -35,17 +35,34 @@ quick-report:
 	$(PYTHON) -m repro.experiments report --quick --out REPORT.md
 
 # Campaign engine smoke: the full quick report on 1 and 2 workers, no
-# cache, then assert the merged stats + trace sections are bit-identical
-# (the docs/campaign.md determinism contract). CI uploads the artifacts.
+# cache, then assert the merged stats + trace + span-tree sections are
+# bit-identical (the docs/campaign.md determinism contract), and that the
+# events stream renders in campaign_top. CI uploads the artifacts
+# (reports, stats, OpenMetrics, events).
 campaign-smoke:
 	$(PYTHON) -m repro.experiments report --quick --jobs 1 --no-cache \
-	    --out REPORT-campaign-jobs1.md --stats-out campaign-stats-jobs1.json
+	    --out REPORT-campaign-jobs1.md --stats-out campaign-stats-jobs1.json \
+	    --metrics-out campaign-metrics-jobs1.prom --events-out campaign-events-jobs1.jsonl
 	$(PYTHON) -m repro.experiments report --quick --jobs 2 --no-cache \
-	    --out REPORT-campaign-jobs2.md --stats-out campaign-stats-jobs2.json
+	    --out REPORT-campaign-jobs2.md --stats-out campaign-stats-jobs2.json \
+	    --metrics-out campaign-metrics-jobs2.prom --events-out campaign-events-jobs2.jsonl
 	$(PYTHON) -c "import json; a, b = (json.load(open(p)) for p in \
 	    ('campaign-stats-jobs1.json', 'campaign-stats-jobs2.json')); \
 	    assert a['stats'] == b['stats'] and a['trace'] == b['trace'], \
-	    'jobs=1 vs jobs=2 stats diverged'; print('campaign-smoke: jobs-invariant')"
+	    'jobs=1 vs jobs=2 stats diverged'; \
+	    assert a['spans'] == b['spans'], 'jobs=1 vs jobs=2 span trees diverged'; \
+	    print('campaign-smoke: jobs-invariant')"
+	PYTHONPATH=src $(PYTHON) -c "from repro.campaign.events import read_events, canonical_events; \
+	    import json; a, b = (canonical_events(read_events(p)) for p in \
+	    ('campaign-events-jobs1.jsonl', 'campaign-events-jobs2.jsonl')); \
+	    assert a == b, 'jobs=1 vs jobs=2 canonical event streams diverged'; \
+	    print('campaign-smoke: canonical events jobs-invariant')"
+	$(PYTHON) -m repro.tools.campaign_top campaign-events-jobs2.jsonl
+
+# Live dashboard over an --events-out stream (EVENTS=path to override).
+EVENTS ?= campaign-events.jsonl
+campaign-top:
+	$(PYTHON) -m repro.tools.campaign_top $(EVENTS) --follow
 
 # Fault-injection smoke (docs/campaign.md "Failure model"): force every
 # fig9 shard down, then assert the campaign still finishes, exits
@@ -106,4 +123,7 @@ examples:
 
 clean:
 	rm -rf .pytest_cache .hypothesis build dist *.egg-info REPORT.md REPORT-faults.md
+	rm -f REPORT-campaign-jobs*.md campaign-stats-jobs*.json \
+	    campaign-metrics-jobs*.prom campaign-metrics-jobs*.prom.folded \
+	    campaign-events-jobs*.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

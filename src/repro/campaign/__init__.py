@@ -27,12 +27,19 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from .cache import CACHE_SCHEMA, ResultCache, code_version
+from .events import (
+    EVENT_ORDER,
+    CampaignEventLog,
+    canonical_events,
+    read_events,
+)
 from .faults import (
     FAULT_INJECT_ENV,
     FaultPlan,
     FaultSpec,
     InjectedFault,
     TaskTimeout,
+    failure_kind,
     is_transient,
 )
 from .merge import (
@@ -47,7 +54,9 @@ from .sharding import shard_seed, split_trials
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CampaignEventLog",
     "CampaignRunner",
+    "EVENT_ORDER",
     "ExperimentOutcome",
     "FAULT_INJECT_ENV",
     "FaultPlan",
@@ -58,10 +67,13 @@ __all__ = [
     "TaskFailure",
     "TaskTimeout",
     "campaign_digest",
+    "canonical_events",
     "code_version",
+    "failure_kind",
     "is_transient",
     "merge_snapshots",
     "merge_trace_meta",
+    "read_events",
     "shard_seed",
     "snapshot_values",
     "snapshot_with_kinds",

@@ -1,0 +1,160 @@
+"""Streaming campaign lifecycle events (JSONL) + canonical views.
+
+The campaign runner narrates a run as structured events — one JSON
+object per line, flushed as they happen, so ``tools/campaign_top.py``
+(or ``tail -f``) can watch a campaign live::
+
+    {"seq": 0, "t": ..., "event": "campaign.start", "experiments": 3, "tasks": 9}
+    {"seq": 1, "t": ..., "event": "task.submit", "experiment": "fig3", "shard": 0}
+    {"seq": 2, "t": ..., "event": "task.cache_hit", "experiment": "fig9", ...}
+    {"seq": 3, "t": ..., "event": "task.start", "experiment": "fig3", "shard": 0}
+    {"seq": 4, "t": ..., "event": "task.done", "experiment": "fig3", "shard": 0,
+     "attempts": 1, "seconds": 0.41}
+    ...
+    {"seq": N, "t": ..., "event": "campaign.done", "failed": 0, "retries": 0}
+
+Event kinds and their extra fields (every event carries ``seq``, ``t``
+— unix seconds — and ``event``):
+
+========================  ====================================================
+``campaign.start``        ``experiments``, ``tasks``, ``jobs``, ``quick``,
+                          ``seed``
+``task.submit``           ``experiment``, ``shard`` (−1 for whole-run tasks)
+``task.cache_hit``        ``experiment``, ``shards`` (entry's shard count)
+``task.start``            ``experiment``, ``shard`` (pool mode reports it
+                          when the result arrives — the parent cannot see a
+                          worker start remotely)
+``task.retry``            ``experiment``, ``shard``, ``attempt`` (the attempt
+                          that failed), ``error``
+``task.done``             ``experiment``, ``shard``, ``attempts``, ``seconds``
+``task.failed``           ``experiment``, ``shard``, ``attempts``, ``error``,
+                          ``seconds``
+``experiment.done``       ``experiment``, ``status`` (ok/failed/cached),
+                          ``checks_passed``, ``checks_total``
+``campaign.done``         ``experiments``, ``failed``, ``retries``,
+                          ``cache_hits``
+========================  ====================================================
+
+Two views of the same stream:
+
+* **live** (the JSONL sink): arrival order, wall-clock stamped — what a
+  dashboard wants;
+* **canonical** (:func:`canonical_events`): wall-clock and arrival-order
+  fields stripped, rows sorted by (experiment, shard, event rank,
+  attempt) — deterministic across worker counts, which is what the
+  jobs-invariance tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, TextIO
+
+#: Canonical ordering rank per event kind (campaign bookends first/last).
+EVENT_ORDER = {
+    "campaign.start": 0,
+    "task.submit": 1,
+    "task.cache_hit": 2,
+    "task.start": 3,
+    "task.retry": 4,
+    "task.done": 5,
+    "task.failed": 6,
+    "experiment.done": 7,
+    "campaign.done": 8,
+}
+
+#: Fields that describe *this* run's wall-clock / scheduling luck, not
+#: the campaign's content; stripped by the canonical view.  ``jobs`` is
+#: scheduling config: the canonical stream must be identical across
+#: worker counts, which is the whole point of the view.
+NONDETERMINISTIC_FIELDS = ("seq", "t", "seconds", "jobs")
+
+
+class CampaignEventLog:
+    """Collects lifecycle events in memory and streams them as JSONL.
+
+    ``path``/``stream`` are optional live sinks (every event is written
+    and flushed immediately); the in-memory list always accumulates, so
+    the runner can expose the full stream afterwards either way.
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, stream: Optional[TextIO] = None
+    ) -> None:
+        self.events: List[dict] = []
+        self._stream = stream
+        self._file: Optional[TextIO] = open(path, "w") if path else None
+
+    def emit(self, event: str, **fields: object) -> dict:
+        record: Dict[str, object] = {
+            "seq": len(self.events),
+            "t": time.time(),  # det: allow — wall-clock stamp for live tailing
+            "event": event,
+        }
+        record.update(fields)
+        self.events.append(record)
+        line = json.dumps(record, sort_keys=True, default=str)
+        for sink in (self._file, self._stream):
+            if sink is not None:
+                sink.write(line + "\n")
+                sink.flush()
+        return record
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "CampaignEventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def canonical(self) -> List[dict]:
+        return canonical_events(self.events)
+
+
+def canonical_events(events: Sequence[dict]) -> List[dict]:
+    """The deterministic view: strip wall-clock fields, sort canonically.
+
+    Two campaigns over the same experiments at any ``--jobs`` value
+    produce bit-identical canonical streams (asserted in
+    ``tests/test_campaign_determinism.py``).
+    """
+    stripped = [
+        {k: v for k, v in event.items() if k not in NONDETERMINISTIC_FIELDS}
+        for event in events
+    ]
+
+    def sort_key(event: dict):
+        shard = event.get("shard")
+        attempt = event.get("attempt")
+        return (
+            str(event.get("experiment", "")),
+            -1 if shard is None else int(shard),
+            EVENT_ORDER.get(event.get("event", ""), 99),
+            0 if attempt is None else int(attempt),
+        )
+
+    return sorted(stripped, key=sort_key)
+
+
+def read_events(path: str) -> List[dict]:
+    """Load an ``--events-out`` JSONL stream back into event dicts.
+
+    Tolerates a truncated final line (the writer may be mid-record when
+    a live reader polls), so ``campaign_top`` can tail safely.
+    """
+    out: List[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except ValueError:
+                break  # half-written trailing record; next poll gets it
+    return out

@@ -37,8 +37,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..experiments import registry
 from ..experiments.base import ExperimentResult, Shard, ShardableExperiment
+from ..obs.spans import SpanRecorder, merge_span_trees
 from .cache import ResultCache
-from .faults import FaultPlan, TaskTimeout, is_transient
+from .events import CampaignEventLog
+from .faults import FaultPlan, TaskTimeout, failure_kind, is_transient
 from .merge import (
     StatSnapshot,
     merge_snapshots,
@@ -65,10 +67,15 @@ class TaskSpec:
     backoff: float = 0.1
     backoff_cap: float = 2.0
     faults: Optional[FaultPlan] = None
+    record_spans: bool = True
 
     @property
     def shard_index(self) -> int:
         return -1 if self.shard is None else self.shard.index
+
+    @property
+    def span_name(self) -> str:
+        return "run" if self.shard is None else f"shard[{self.shard.index}]"
 
 
 @dataclass
@@ -80,6 +87,11 @@ class _TaskResult:
     stats: StatSnapshot
     trace_meta: dict
     attempts: int = 1
+    #: Serialized span tree of this task (deterministic — no wall-clock).
+    spans: list = field(default_factory=list)
+    #: (attempt, error repr) per transient failure that was retried, in
+    #: attempt order — lets the parent emit task.retry events post-hoc.
+    retry_errors: list = field(default_factory=list)
 
 
 @dataclass
@@ -93,6 +105,8 @@ class TaskFailure:
     traceback: str
     attempts: int = 1
     seconds: float = 0.0
+    spans: list = field(default_factory=list)
+    retry_errors: list = field(default_factory=list)
 
 
 @dataclass
@@ -111,6 +125,9 @@ class ExperimentOutcome:
     error: str = ""
     error_traceback: str = ""
     retries: int = 0
+    #: Serialized experiment-level span tree (deterministic; see
+    #: repro.obs.spans — wall-clock never enters this form).
+    spans: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -194,15 +211,41 @@ def _execute_task(task: TaskSpec) -> Union[_TaskResult, TaskFailure]:
     are retried up to ``task.retries`` times with capped exponential
     backoff; deterministic failures return immediately.  The return value
     is always picklable, so nothing can propagate out of the worker pool.
+
+    Each attempt is recorded as a span under this task's shard span
+    (``attempt[n]``, status ok/error/timeout; a ``timeout`` child marks
+    the budget that fired, a ``retry[n]`` sibling the backoff taken), so
+    the parent can reconstruct exactly what every worker did.
     """
     faults = task.faults if task.faults is not None else FaultPlan.from_env()
+    recorder = SpanRecorder(enabled=task.record_spans)
+    shard_span = recorder.start(
+        task.span_name,
+        "shard",
+        experiment=task.experiment_id,
+        shard=task.shard_index,
+    )
+    retry_errors: list = []
     started = time.perf_counter()
     attempt = 0
     while True:
         attempt += 1
+        attempt_span = shard_span.child(f"attempt[{attempt}]", "attempt", attempt=attempt)
         try:
-            return _run_attempt(task, attempt, faults)
+            result = _run_attempt(task, attempt, faults)
+            attempt_span.finish("ok")
+            shard_span.finish("ok")
+            result.spans = recorder.to_dicts()
+            result.retry_errors = retry_errors
+            return result
         except Exception as exc:
+            kind = failure_kind(exc)
+            if kind == "timeout":
+                attempt_span.child(
+                    "timeout", "timeout", budget=task.task_timeout
+                ).finish("timeout")
+            attempt_span.attrs["error"] = repr(exc)
+            attempt_span.finish("timeout" if kind == "timeout" else "error")
             failure = TaskFailure(
                 experiment_id=task.experiment_id,
                 shard_index=task.shard_index,
@@ -211,10 +254,17 @@ def _execute_task(task: TaskSpec) -> Union[_TaskResult, TaskFailure]:
                 traceback=traceback_mod.format_exc(),
                 attempts=attempt,
                 seconds=time.perf_counter() - started,
+                retry_errors=retry_errors,
             )
             if attempt > task.retries or not is_transient(exc):
+                shard_span.finish("error")
+                failure.spans = recorder.to_dicts()
                 return failure
+            retry_errors.append((attempt, repr(exc)))
             delay = min(task.backoff_cap, task.backoff * (2 ** (attempt - 1)))
+            shard_span.child(
+                f"retry[{attempt + 1}]", "retry", attempt=attempt + 1, backoff=delay
+            ).finish("ok")
             if delay > 0:
                 time.sleep(delay)
 
@@ -244,6 +294,8 @@ class CampaignRunner:
         fault_plan: Optional[FaultPlan] = None,
         retry_backoff: float = 0.1,
         retry_backoff_cap: float = 2.0,
+        spans: bool = True,
+        event_log: Optional[CampaignEventLog] = None,
     ) -> None:
         self.jobs = max(1, int(jobs)) if jobs else (os.cpu_count() or 1)
         self.cache = cache
@@ -253,8 +305,15 @@ class CampaignRunner:
         self.fault_plan = fault_plan
         self.retry_backoff = retry_backoff
         self.retry_backoff_cap = retry_backoff_cap
+        #: Span recording (task granularity; ``False`` takes the no-op path).
+        self.spans = spans
+        #: Lifecycle event sink; a fresh in-memory log is created per run
+        #: when none is supplied, so ``last_events`` always works.
+        self.event_log = event_log
         #: Outcomes of the most recent :meth:`run` (for stats dumps).
         self.last_outcomes: List[ExperimentOutcome] = []
+        #: Lifecycle events of the most recent :meth:`run` (arrival order).
+        self.last_events: List[dict] = []
 
     def _say(self, message: str) -> None:
         if self._progress is not None:
@@ -262,9 +321,8 @@ class CampaignRunner:
 
     # -- cache entry (de)hydration -------------------------------------------
 
-    @staticmethod
     def _outcome_from_entry(
-        exp_id: str, entry: dict, load_seconds: float
+        self, exp_id: str, entry: dict, load_seconds: float
     ) -> ExperimentOutcome:
         stats = {
             name: (kind, value)
@@ -281,10 +339,22 @@ class CampaignRunner:
             cached=True,
             stats=stats,
             trace_meta=entry.get("trace", {}),
+            spans=self._experiment_span(
+                exp_id, entry.get("spans", []), status="cached", lookup="hit"
+            ),
         )
 
     @staticmethod
     def _entry_from_outcome(outcome: ExperimentOutcome) -> dict:
+        # Like the campaign.* stat strip below: the cache_lookup span
+        # describes *this* run's cache luck, so only the shard subtrees
+        # are stored; hydration re-attaches a fresh lookup span.  The
+        # stored spans carry no wall-clock by construction (Span.to_dict).
+        shard_spans = [
+            s
+            for s in outcome.spans.get("children", ())
+            if s.get("kind") != "cache_lookup"
+        ]
         return {
             "experiment_id": outcome.experiment_id,
             "result": outcome.result.to_json(),
@@ -296,9 +366,48 @@ class CampaignRunner:
                 if not n.startswith("campaign.")
             },
             "trace": outcome.trace_meta,
+            "spans": shard_spans,
             "worker_seconds": outcome.worker_seconds,
             "n_shards": outcome.n_shards,
         }
+
+    # -- span plumbing ---------------------------------------------------------
+
+    def _experiment_span(
+        self,
+        exp_id: str,
+        shard_spans: Sequence[dict],
+        status: str,
+        lookup: Optional[str] = None,
+    ) -> dict:
+        """The experiment-level span node (empty dict when spans are off)."""
+        if not self.spans:
+            return {}
+        children: List[dict] = []
+        if lookup is not None:
+            children.append(
+                {"name": "cache.lookup", "kind": "cache_lookup", "status": lookup}
+            )
+        children.extend(s for s in shard_spans if s)
+        return merge_span_trees(exp_id, "experiment", children, status=status)
+
+    def span_tree(self) -> dict:
+        """The merged campaign span tree of the most recent :meth:`run`.
+
+        Deterministic by construction: children are in requested-id order
+        (experiments) and shard-index order (tasks), and the serialized
+        spans carry no wall-clock fields — ``--jobs 1`` and ``--jobs N``
+        return bit-identical trees.
+        """
+        if not self.spans:
+            return {}
+        status = "error" if any(o.failed for o in self.last_outcomes) else "ok"
+        return merge_span_trees(
+            "campaign",
+            "campaign",
+            [o.spans for o in self.last_outcomes if o.spans],
+            status=status,
+        )
 
     # -- failure plumbing ------------------------------------------------------
 
@@ -350,9 +459,12 @@ class CampaignRunner:
         """
         ids = list(ids) if ids else registry.all_ids()
         outcomes: Dict[str, ExperimentOutcome] = {}
+        events = self.event_log if self.event_log is not None else CampaignEventLog()
+        self.last_events = events.events
 
         # Cache probe pass.
         keys: Dict[str, str] = {}
+        cache_hits = 0
         for exp_id in ids:
             if self.cache is None:
                 continue
@@ -365,6 +477,17 @@ class CampaignRunner:
                     exp_id, entry, time.perf_counter() - started
                 )
                 outcomes[exp_id] = outcome
+                cache_hits += 1
+                events.emit(
+                    "task.cache_hit", experiment=exp_id, shards=outcome.n_shards
+                )
+                events.emit(
+                    "experiment.done",
+                    experiment=exp_id,
+                    status="cached",
+                    checks_passed=sum(1 for c in outcome.result.checks if c.passed),
+                    checks_total=len(outcome.result.checks),
+                )
                 self._say(f"{exp_id}: cache hit ({outcome.n_shards} shards)")
 
         # Task list for the misses, grouped by experiment in id order.
@@ -392,10 +515,24 @@ class CampaignRunner:
                     backoff=self.retry_backoff,
                     backoff_cap=self.retry_backoff_cap,
                     faults=self.fault_plan,
+                    record_spans=self.spans,
                 )
                 for shard in shards
             )
 
+        events.emit(
+            "campaign.start",
+            experiments=len(ids),
+            tasks=len(tasks),
+            cached=len(outcomes),
+            jobs=self.jobs,
+            quick=bool(quick),
+            seed=int(seed),
+        )
+        for task in tasks:
+            events.emit(
+                "task.submit", experiment=task.experiment_id, shard=task.shard_index
+            )
         if tasks:
             self._say(
                 f"running {len(plans)} experiments / {len(tasks)} shards "
@@ -407,6 +544,8 @@ class CampaignRunner:
         }
         starts: Dict[str, float] = {}
 
+        lookup_status = "miss" if self.cache is not None else None
+
         def finish(exp_id: str) -> None:
             results = done[exp_id]
             failures = [t for t in results if isinstance(t, TaskFailure)]
@@ -417,6 +556,11 @@ class CampaignRunner:
             n_retries = sum(max(0, t.attempts - 1) for t in results)
             wall = time.perf_counter() - starts[exp_id]
             worker = sum(t.seconds for t in results)
+            all_spans = [
+                span
+                for t in sorted(results, key=lambda t: t.shard_index)
+                for span in t.spans
+            ]
             if failures:
                 first = failures[0]
                 detail = (
@@ -441,9 +585,19 @@ class CampaignRunner:
                     error=first.error,
                     error_traceback=first.traceback,
                     retries=n_retries,
+                    spans=self._experiment_span(
+                        exp_id, all_spans, status="error", lookup=lookup_status
+                    ),
                 )
                 outcomes[exp_id] = outcome
                 self._record_campaign_counters(len(failures), n_retries)
+                events.emit(
+                    "experiment.done",
+                    experiment=exp_id,
+                    status="failed",
+                    checks_passed=0,
+                    checks_total=len(outcome.result.checks),
+                )
                 self._say(f"{exp_id}: FAILED — {detail}")
                 return
             exp = registry.get(exp_id)
@@ -467,6 +621,9 @@ class CampaignRunner:
                 stats=stats,
                 trace_meta=merge_trace_meta([t.trace_meta for t in successes]),
                 retries=n_retries,
+                spans=self._experiment_span(
+                    exp_id, all_spans, status="ok", lookup=lookup_status
+                ),
             )
             outcomes[exp_id] = outcome
             self._record_campaign_counters(0, n_retries)
@@ -474,6 +631,13 @@ class CampaignRunner:
                 self.cache.put(exp_id, keys[exp_id], self._entry_from_outcome(outcome))
             checks = result.checks
             ok = sum(1 for c in checks if c.passed)
+            events.emit(
+                "experiment.done",
+                experiment=exp_id,
+                status="ok",
+                checks_passed=ok,
+                checks_total=len(checks),
+            )
             self._say(
                 f"{exp_id}: {ok}/{len(checks)} checks in {outcome.wall_seconds:.1f}s "
                 f"({outcome.n_shards} shard{'s' if outcome.n_shards != 1 else ''})"
@@ -481,6 +645,31 @@ class CampaignRunner:
 
         def absorb(task_result: Union[_TaskResult, TaskFailure]) -> None:
             exp_id = task_result.experiment_id
+            for attempt, error in task_result.retry_errors:
+                events.emit(
+                    "task.retry",
+                    experiment=exp_id,
+                    shard=task_result.shard_index,
+                    attempt=attempt,
+                    error=error,
+                )
+            if isinstance(task_result, TaskFailure):
+                events.emit(
+                    "task.failed",
+                    experiment=exp_id,
+                    shard=task_result.shard_index,
+                    attempts=task_result.attempts,
+                    error=task_result.error,
+                    seconds=task_result.seconds,
+                )
+            else:
+                events.emit(
+                    "task.done",
+                    experiment=exp_id,
+                    shard=task_result.shard_index,
+                    attempts=task_result.attempts,
+                    seconds=task_result.seconds,
+                )
             done[exp_id].append(task_result)
             if len(done[exp_id]) == len(plans[exp_id]):
                 finish(exp_id)
@@ -488,6 +677,11 @@ class CampaignRunner:
         if self.jobs == 1 or len(tasks) <= 1:
             for task in tasks:
                 starts.setdefault(task.experiment_id, time.perf_counter())
+                events.emit(
+                    "task.start",
+                    experiment=task.experiment_id,
+                    shard=task.shard_index,
+                )
                 absorb(_execute_task(task))
         else:
             submit = time.perf_counter()
@@ -504,6 +698,13 @@ class CampaignRunner:
                             (task_result.experiment_id, task_result.shard_index),
                             None,
                         )
+                        # The parent cannot observe a remote worker start;
+                        # the start event lands when the result arrives.
+                        events.emit(
+                            "task.start",
+                            experiment=task_result.experiment_id,
+                            shard=task_result.shard_index,
+                        )
                         absorb(task_result)
             except Exception as exc:  # pool-level breakage (BrokenProcessPool &c.)
                 self._say(
@@ -511,6 +712,11 @@ class CampaignRunner:
                     f"re-running {len(remaining)} task(s) in-process"
                 )
                 for task in remaining.values():
+                    events.emit(
+                        "task.start",
+                        experiment=task.experiment_id,
+                        shard=task.shard_index,
+                    )
                     absorb(_execute_task(task))
 
         # Belt-and-braces: no experiment may end without an outcome, even
@@ -522,14 +728,21 @@ class CampaignRunner:
             for shard in shards:
                 index = -1 if shard is None else shard.index
                 if index not in seen:
-                    done[exp_id].append(
-                        TaskFailure(
-                            experiment_id=exp_id,
-                            shard_index=index,
-                            error="task result never arrived",
-                            exc_type="LostTask",
-                            traceback="(no traceback: the task result was lost)",
-                        )
+                    failure = TaskFailure(
+                        experiment_id=exp_id,
+                        shard_index=index,
+                        error="task result never arrived",
+                        exc_type="LostTask",
+                        traceback="(no traceback: the task result was lost)",
+                    )
+                    done[exp_id].append(failure)
+                    events.emit(
+                        "task.failed",
+                        experiment=exp_id,
+                        shard=index,
+                        attempts=failure.attempts,
+                        error=failure.error,
+                        seconds=0.0,
                     )
             finish(exp_id)
 
@@ -540,4 +753,11 @@ class CampaignRunner:
                     continue
                 profiler.record(f"experiment.{exp_id}", outcome.wall_seconds)
         self.last_outcomes = [outcomes[exp_id] for exp_id in ids if exp_id in outcomes]
+        events.emit(
+            "campaign.done",
+            experiments=len(self.last_outcomes),
+            failed=sum(1 for o in self.last_outcomes if o.failed),
+            retries=sum(o.retries for o in self.last_outcomes),
+            cache_hits=cache_hits,
+        )
         return self.last_outcomes

@@ -24,8 +24,13 @@ and ``--jobs N`` produce bit-identical tables/metrics/checks (see
 docs/campaign.md for the determinism contract).
 
 ``--stats-out`` writes the hierarchical stats dump merged across every
-worker (plus the parent's per-experiment wall-clock profile) as JSON.
-Pretty-print it with ``python -m repro.obs stats.json``.
+worker (plus the parent's per-experiment wall-clock profile and the
+campaign span tree) as JSON.  Pretty-print it with ``python -m repro.obs
+stats.json``; re-render it with ``--format openmetrics`` / ``folded``.
+``--metrics-out`` writes the same merged stats directly as an
+OpenMetrics/Prometheus textfile (plus ``PATH.folded`` flamegraph input),
+and ``--events-out`` streams live campaign lifecycle events as JSONL for
+``python -m repro.tools.campaign_top``.
 """
 
 from __future__ import annotations
@@ -116,7 +121,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--stats-out",
         metavar="PATH",
-        help="dump merged hierarchical stats + phase profile JSON after the run",
+        help="dump merged hierarchical stats + phase profile + span-tree "
+        "JSON after the run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="dump the merged stats as an OpenMetrics/Prometheus textfile "
+        "(plus PATH.folded, a flamegraph-compatible folded-stack profile)",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="stream campaign lifecycle events (task.submit/start/retry/"
+        "cache_hit/done/failed) as JSONL; tail it live with "
+        "python -m repro.tools.campaign_top PATH --follow",
+    )
+    parser.add_argument(
+        "--no-spans",
+        action="store_true",
+        help="disable campaign span recording (spans are task-granularity "
+        "and near-free; this exists for overhead A/B measurement)",
     )
     args = parser.parse_args(argv)
 
@@ -126,7 +151,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{exp_id:14s} {exp.title}")
         return 0
 
-    from ..campaign import CampaignRunner, ResultCache
+    from ..campaign import CampaignEventLog, CampaignRunner, ResultCache
     from ..obs import Profiler
 
     cache = None
@@ -136,18 +161,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             removed = cache.clear()
             print(f"cleared {removed} cache entries from {args.cache_dir}",
                   file=sys.stderr)
+    event_log = CampaignEventLog(path=args.events_out) if args.events_out else None
     runner = CampaignRunner(
         jobs=args.jobs,
         cache=cache,
         progress=lambda msg: print(f"[campaign] {msg}", file=sys.stderr),
         retries=args.retries,
         task_timeout=args.task_timeout,
+        spans=not args.no_spans,
+        event_log=event_log,
     )
     profiler = Profiler()
 
-    code = _dispatch(args, runner, profiler)
+    try:
+        code = _dispatch(args, runner, profiler)
+    finally:
+        if event_log is not None:
+            event_log.close()
     if args.stats_out:
         print(f"wrote {args.stats_out}")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, runner, profiler)
+        print(f"wrote {args.metrics_out}")
+    if args.events_out:
+        print(f"wrote {args.events_out}")
     failed = [o for o in runner.last_outcomes if o.failed]
     if failed:
         for outcome in failed:
@@ -225,10 +262,29 @@ def _write_stats(path: str, runner, profiler) -> None:
         "stats": nest_dotted(snapshot_values(merged)),
         "profile": profiler.to_dict(),
         "trace": merge_trace_meta([o.trace_meta for o in outcomes]),
+        "spans": runner.span_tree(),
     }
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True, default=str)
         fh.write("\n")
+
+
+def _write_metrics(path: str, runner, profiler) -> None:
+    """The ``--metrics-out`` pair: OpenMetrics textfile + folded stacks.
+
+    ``PATH`` gets the merged campaign stats in Prometheus-textfile form;
+    ``PATH.folded`` gets the parent's phase profile as flamegraph input.
+    """
+    from ..campaign import merge_snapshots
+    from ..obs import profiler_to_folded, to_openmetrics
+
+    merged = merge_snapshots([o.stats for o in runner.last_outcomes])
+    snapshot = {name: entry for name, (_, entry) in merged.items()}
+    kinds = {name: kind for name, (kind, _) in merged.items()}
+    with open(path, "w") as fh:
+        fh.write(to_openmetrics(snapshot, kinds))
+    with open(path + ".folded", "w") as fh:
+        fh.write(profiler_to_folded(profiler.to_dict()))
 
 
 if __name__ == "__main__":

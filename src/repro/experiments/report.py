@@ -92,9 +92,15 @@ def render_markdown(
         f"{len(results)} experiments, {passed}/{total} paper-vs-measured checks passed"
         + (f" ({elapsed:.0f}s)." if elapsed else "."),
         "",
-        header,
-        rule,
     ]
+    if with_cache and cache_hits:
+        hits = sum(1 for hit in cache_hits.values() if hit)
+        lines.append(
+            f"Campaign cache: {hits}/{len(cache_hits)} hit "
+            f"({100 * hits // len(cache_hits)}%)."
+        )
+        lines.append("")
+    lines.extend([header, rule])
     for r in results:
         ok = sum(1 for c in r.checks if c.passed)
         if r.experiment_id in failures:

@@ -37,6 +37,12 @@ import json
 from contextlib import contextmanager
 from typing import Optional
 
+from .export import (
+    parse_openmetrics,
+    profiler_to_folded,
+    registry_to_openmetrics,
+    to_openmetrics,
+)
 from .profile import Profiler
 from .registry import (
     Counter,
@@ -47,6 +53,13 @@ from .registry import (
     StatRegistry,
     nest_dotted,
 )
+from .spans import (
+    NULL_RECORDER,
+    Span,
+    SpanRecorder,
+    merge_span_trees,
+    strip_timing,
+)
 from .trace import EVENT_SCHEMAS, EventTrace, TraceEvent, read_jsonl
 
 __all__ = [
@@ -56,16 +69,25 @@ __all__ = [
     "EVENT_SCHEMAS",
     "Formula",
     "Gauge",
+    "NULL_RECORDER",
     "Observability",
     "Profiler",
+    "Span",
+    "SpanRecorder",
     "Stat",
     "StatRegistry",
     "TraceEvent",
     "get_default_obs",
+    "merge_span_trees",
     "nest_dotted",
     "observe",
+    "parse_openmetrics",
+    "profiler_to_folded",
     "read_jsonl",
+    "registry_to_openmetrics",
     "set_default_obs",
+    "strip_timing",
+    "to_openmetrics",
 ]
 
 

@@ -1,0 +1,247 @@
+"""Lightweight span trees for campaign-wide tracing.
+
+A *span* is one named, attributed slice of work with children — the
+campaign engine records a tree of them per run::
+
+    campaign
+    └── experiment fig3
+        ├── cache.lookup (status=miss)
+        └── shard[0]
+            ├── attempt[1] (status=timeout)
+            ├── retry[2]   (backoff annotated)
+            └── attempt[2] (status=ok)
+
+Spans are recorded *in-worker* inside the campaign task body, serialized
+through the picklable task-result path, and merged into one tree by
+:class:`~repro.campaign.runner.CampaignRunner` — so a slow or failed
+shard can be attributed to the exact attempt that misbehaved, across
+process boundaries.
+
+Determinism contract (same rule the campaign stats follow): the
+*canonical* serialization (:meth:`Span.to_dict` with its default
+``include_timing=False``) carries only deterministic fields — name,
+kind, status, attributes, children.  Wall-clock durations live on the
+in-memory objects (``span.seconds``) and in the streaming event log, and
+are **stripped from anything cached or digested**, which is why
+``--jobs 1`` and ``--jobs 4`` produce bit-identical trees.
+
+Cost model: spans are recorded at task granularity (a handful per shard,
+never per instruction).  A disabled recorder (``SpanRecorder(enabled=
+False)`` or the shared :data:`NULL_RECORDER`) allocates nothing and
+returns a single reusable no-op span, so spans-off campaign runs pay
+one attribute check per task.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..common.errors import ConfigError
+
+#: Span kinds the campaign engine records, outermost first.
+SPAN_KINDS = (
+    "campaign",
+    "experiment",
+    "cache_lookup",
+    "shard",
+    "attempt",
+    "retry",
+    "timeout",
+)
+
+#: Terminal statuses.  ``ok``/``error``/``timeout`` describe execution;
+#: ``hit``/``miss`` describe cache lookups; ``cached`` marks a warm
+#: experiment span hydrated from the result cache.
+SPAN_STATUSES = ("ok", "error", "timeout", "hit", "miss", "cached", "running")
+
+
+class Span:
+    """One node of a span tree: name, kind, status, attributes, children.
+
+    ``seconds`` (wall-clock duration) is in-memory-only by default:
+    :meth:`to_dict` omits it unless asked, so serialized trees stay
+    deterministic across worker counts and machines.
+    """
+
+    __slots__ = ("name", "kind", "status", "attrs", "children", "seconds", "_started")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        status: str = "running",
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if kind not in SPAN_KINDS:
+            raise ConfigError(f"unknown span kind {kind!r}, want one of {SPAN_KINDS}")
+        self.name = name
+        self.kind = kind
+        self.status = status
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        self.seconds: Optional[float] = None
+        self._started: Optional[float] = None
+
+    # -- structure ----------------------------------------------------------
+
+    def child(self, name: str, kind: str, **attrs: object) -> "Span":
+        """Create, append, and return a child span (timed from now)."""
+        span = Span(name, kind, attrs=attrs or None)
+        span._started = time.perf_counter()
+        self.children.append(span)
+        return span
+
+    def finish(self, status: str = "ok") -> "Span":
+        if status not in SPAN_STATUSES:
+            raise ConfigError(
+                f"unknown span status {status!r}, want one of {SPAN_STATUSES}"
+            )
+        self.status = status
+        if self._started is not None and self.seconds is None:
+            self.seconds = time.perf_counter() - self._started
+        return self
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind: str) -> List["Span"]:
+        """Every span of ``kind`` in this subtree, depth-first order."""
+        return [s for s in self.walk() if s.kind == kind]
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self, include_timing: bool = False) -> dict:
+        """Picklable/JSON form.  Timing is opt-in (see module doc)."""
+        out: dict = {"name": self.name, "kind": self.kind, "status": self.status}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if include_timing and self.seconds is not None:
+            out["seconds"] = self.seconds
+        if self.children:
+            out["children"] = [c.to_dict(include_timing) for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Span":
+        span = cls(
+            doc["name"],
+            doc["kind"],
+            status=doc.get("status", "ok"),
+            attrs=doc.get("attrs"),
+        )
+        span.seconds = doc.get("seconds")
+        span.children = [cls.from_dict(c) for c in doc.get("children", ())]
+        return span
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable indented tree (timing shown when present)."""
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+        secs = f" {self.seconds * 1e3:.1f}ms" if self.seconds is not None else ""
+        line = f"{'  ' * indent}{self.name} [{self.kind}/{self.status}]"
+        if attrs:
+            line += f" {attrs}"
+        line += secs
+        lines = [line]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug cosmetic
+        return (
+            f"Span({self.name!r}, {self.kind!r}, {self.status!r}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan(Span):
+    """Shared do-nothing span returned by a disabled recorder.
+
+    Every structural method returns ``self`` (or the shared instance), so
+    instrumented code needs no ``if enabled`` branches and a spans-off
+    run allocates nothing per task.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", "campaign", status="ok")
+
+    def child(self, name: str, kind: str, **attrs: object) -> "Span":
+        return self
+
+    def finish(self, status: str = "ok") -> "Span":
+        return self
+
+    def to_dict(self, include_timing: bool = False) -> dict:
+        return {}
+
+
+class SpanRecorder:
+    """Builds span trees; disabled instances are zero-cost no-ops.
+
+    Usage in the campaign worker::
+
+        rec = SpanRecorder()                       # or NULL_RECORDER
+        shard = rec.start("shard[2]", "shard", experiment="fig3", shard=2)
+        attempt = shard.child("attempt[1]", "attempt", attempt=1)
+        ...
+        attempt.finish("ok"); shard.finish("ok")
+        payload = [r.to_dict() for r in rec.roots]  # picklable, deterministic
+    """
+
+    __slots__ = ("enabled", "roots")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.roots: List[Span] = []
+
+    def start(self, name: str, kind: str, **attrs: object) -> Span:
+        """Open a root-level span (timed; finish() stamps ``seconds``)."""
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(name, kind, attrs=attrs or None)
+        span._started = time.perf_counter()
+        self.roots.append(span)
+        return span
+
+    def to_dicts(self, include_timing: bool = False) -> List[dict]:
+        if not self.enabled:
+            return []
+        return [root.to_dict(include_timing) for root in self.roots]
+
+
+#: Shared no-op span/recorder for the spans-off fast path.
+NULL_SPAN = _NullSpan()
+NULL_RECORDER = SpanRecorder(enabled=False)
+
+
+def merge_span_trees(
+    name: str, kind: str, children: List[dict], status: str = "ok"
+) -> dict:
+    """Wrap already-serialized child trees under one parent node.
+
+    The caller is responsible for passing ``children`` in deterministic
+    order (the campaign runner sorts by experiment id and shard index);
+    this helper only builds the enclosing node, keeping the serialized
+    shape identical to :meth:`Span.to_dict`.
+    """
+    out: dict = {"name": name, "kind": kind, "status": status}
+    if children:
+        out["children"] = children
+    return out
+
+
+def strip_timing(doc: dict) -> dict:
+    """A copy of a serialized span tree with every wall-clock field removed.
+
+    Belt-and-braces for trees serialized with ``include_timing=True``
+    that are about to be cached or digested.
+    """
+    out = {k: v for k, v in doc.items() if k != "seconds"}
+    if "children" in out:
+        out["children"] = [strip_timing(c) for c in out["children"]]
+    return out

@@ -185,11 +185,26 @@ class EventTrace:
     # -- JSONL sink ---------------------------------------------------------
 
     def to_jsonl(self, path: Optional[str] = None) -> str:
-        """Write the buffered events as JSON Lines; return the path used."""
+        """Write the buffered events as JSON Lines; return the path used.
+
+        A ring buffer that wrapped is a *truncated* record: when events
+        were dropped, the first line is a ``{"meta": "trace", ...}``
+        header carrying the drop count, so downstream analysis can tell
+        "quiet run" from "overflowed buffer".  Untruncated dumps stay
+        header-free (and byte-stable with older readers).
+        """
         target = path or self.jsonl_path
         if target is None:
             raise ConfigError("no JSONL path given (pass path= or jsonl_path=)")
         with open(target, "w") as fh:
+            if self.dropped:
+                header = {
+                    "meta": "trace",
+                    "dropped": self.dropped,
+                    "emitted": self.emitted,
+                    "buffered": len(self),
+                }
+                fh.write(json.dumps(header) + "\n")
             for event in self.events():
                 fh.write(json.dumps(event.to_dict()) + "\n")
         return target

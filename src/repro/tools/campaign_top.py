@@ -1,0 +1,222 @@
+"""``campaign_top`` — a live terminal view of a running campaign.
+
+Tails the JSONL lifecycle stream written by ``python -m repro.experiments
+... --events-out events.jsonl`` and renders a ``top``-style dashboard:
+per-experiment progress bars over shard states, retry/failure counts, the
+cache hit rate, and an ETA extrapolated from completed-task throughput.
+
+Usage::
+
+    python -m repro.tools.campaign_top events.jsonl          # once, then exit
+    python -m repro.tools.campaign_top events.jsonl --follow # live (0.5s poll)
+    make campaign-top EVENTS=events.jsonl
+
+The rendering pipeline is two pure functions — :func:`build_state` folds
+an event list into a state dict and :func:`render` turns that into text —
+so tests drive it from a file without a TTY, and ``--follow`` is just a
+re-read/re-render loop that stops once ``campaign.done`` arrives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..campaign.events import read_events
+
+#: Progress-bar glyphs per shard state.
+_BAR = {"done": "#", "failed": "X", "running": ">", "pending": "."}
+
+
+def build_state(events: Sequence[dict]) -> dict:
+    """Fold a lifecycle event stream into the dashboard state.
+
+    Tolerates partial streams (a campaign mid-flight): every field is
+    derived only from events seen so far.
+    """
+    state: dict = {
+        "started": None,
+        "last_t": None,
+        "finished": False,
+        "jobs": None,
+        "quick": None,
+        "seed": None,
+        "tasks_total": 0,
+        "tasks_done": 0,
+        "tasks_failed": 0,
+        "retries": 0,
+        "cache_hits": 0,
+        "cache_lookups": 0,
+        "experiments": {},  # id -> per-experiment dict, first-seen order
+    }
+
+    def exp(exp_id: str) -> dict:
+        return state["experiments"].setdefault(
+            exp_id,
+            {
+                "shards": {},  # shard index -> pending/running/done/failed
+                "retries": 0,
+                "status": "running",
+                "checks": None,
+            },
+        )
+
+    for event in events:
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            state["last_t"] = t
+        kind = event.get("event")
+        if kind == "campaign.start":
+            state["started"] = t
+            state["jobs"] = event.get("jobs")
+            state["quick"] = event.get("quick")
+            state["seed"] = event.get("seed")
+            state["tasks_total"] = int(event.get("tasks", 0))
+            state["cache_lookups"] = int(event.get("experiments", 0))
+        elif kind == "task.submit":
+            exp(event["experiment"])["shards"][event.get("shard", -1)] = "pending"
+        elif kind == "task.cache_hit":
+            state["cache_hits"] += 1
+            exp(event["experiment"])["status"] = "cached"
+        elif kind == "task.start":
+            shards = exp(event["experiment"])["shards"]
+            shards[event.get("shard", -1)] = "running"
+        elif kind == "task.retry":
+            state["retries"] += 1
+            exp(event["experiment"])["retries"] += 1
+        elif kind == "task.done":
+            state["tasks_done"] += 1
+            exp(event["experiment"])["shards"][event.get("shard", -1)] = "done"
+        elif kind == "task.failed":
+            state["tasks_failed"] += 1
+            record = exp(event["experiment"])
+            record["shards"][event.get("shard", -1)] = "failed"
+            record["status"] = "failed"
+        elif kind == "experiment.done":
+            record = exp(event["experiment"])
+            record["status"] = event.get("status", "ok")
+            passed = event.get("checks_passed")
+            total = event.get("checks_total")
+            if passed is not None and total is not None:
+                record["checks"] = (int(passed), int(total))
+        elif kind == "campaign.done":
+            state["finished"] = True
+    return state
+
+
+def _bar(shards: Dict[int, str], width: int) -> str:
+    if not shards:
+        return "-" * width
+    states = [shards[i] for i in sorted(shards)]
+    if len(states) <= width:
+        return "".join(_BAR[s] for s in states).ljust(width, " ")
+    # More shards than columns: each column summarises a slice.
+    out = []
+    for col in range(width):
+        lo = col * len(states) // width
+        hi = max(lo + 1, (col + 1) * len(states) // width)
+        chunk = states[lo:hi]
+        for wanted in ("failed", "running", "pending", "done"):
+            if wanted in chunk:
+                out.append(_BAR[wanted])
+                break
+    return "".join(out)
+
+
+def _eta(state: dict, now: Optional[float]) -> str:
+    done = state["tasks_done"] + state["tasks_failed"]
+    total = state["tasks_total"]
+    if state["finished"]:
+        return "done"
+    if not done or not total or state["started"] is None or now is None:
+        return "--"
+    elapsed = max(0.0, now - state["started"])
+    remaining = elapsed * (total - done) / done
+    if remaining >= 90:
+        return f"{remaining / 60:.1f}m"
+    return f"{remaining:.0f}s"
+
+
+def render(state: dict, now: Optional[float] = None, width: int = 72) -> str:
+    """The dashboard text for one state snapshot (pure; no TTY needed)."""
+    if now is None:
+        now = state["last_t"]
+    done = state["tasks_done"] + state["tasks_failed"]
+    lookups = state["cache_lookups"]
+    hit_rate = state["cache_hits"] / lookups if lookups else 0.0
+    header = (
+        f"campaign: {len(state['experiments'])} experiments  "
+        f"tasks {done}/{state['tasks_total']}  "
+        f"retries {state['retries']}  failed {state['tasks_failed']}  "
+        f"cache {state['cache_hits']}/{lookups} ({hit_rate:.0%})  "
+        f"eta {_eta(state, now)}"
+    )
+    lines = [header, "-" * min(width, len(header))]
+    name_w = max([len(e) for e in state["experiments"]] or [4])
+    bar_w = max(8, min(32, width - name_w - 28))
+    for exp_id, record in state["experiments"].items():
+        shards = record["shards"]
+        n_done = sum(1 for s in shards.values() if s == "done")
+        suffix = record["status"]
+        if record["checks"] is not None:
+            passed, total = record["checks"]
+            suffix += f" {passed}/{total} checks"
+        if record["retries"]:
+            suffix += f" ({record['retries']} retries)"
+        if record["status"] == "cached":
+            bar = "cached".center(bar_w, " ")
+            counts = ""
+        else:
+            bar = _bar(shards, bar_w)
+            counts = f" {n_done}/{len(shards)}"
+        lines.append(f"{exp_id:<{name_w}} [{bar}]{counts} {suffix}")
+    if not state["experiments"]:
+        lines.append("(waiting for campaign.start ...)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.campaign_top",
+        description="Live terminal dashboard over an --events-out stream.",
+    )
+    parser.add_argument("path", help="JSONL stream written by --events-out")
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="re-render until campaign.done arrives (default: render once)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="poll interval with --follow (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    while True:
+        try:
+            events = read_events(args.path)
+        except OSError as exc:
+            print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+            return 1
+        state = build_state(events)
+        now = time.time() if args.follow else None  # det: allow — live UI clock
+        text = render(state, now=now)
+        if args.follow and sys.stdout.isatty():
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+        print(text)
+        if not args.follow or state["finished"]:
+            return 0
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except KeyboardInterrupt:
+        print()
+        sys.exit(130)

@@ -158,6 +158,11 @@ def render_events(
     if isinstance(kinds, str):
         kinds = [kinds]
     rows: List[str] = []
+    if trace.dropped:
+        rows.append(
+            f"(ring buffer wrapped: {trace.dropped} earlier events dropped, "
+            f"showing the last {len(trace)} of {trace.emitted})"
+        )
     for event in trace.events():
         if kinds is not None and not any(
             event.kind == k or event.kind.startswith(k + ".") for k in kinds

@@ -35,13 +35,27 @@ def stats_json(outcomes) -> str:
 
 
 @pytest.fixture(scope="module")
-def jobs1_outcomes():
-    return CampaignRunner(jobs=1).run(ids=REPRESENTATIVE, quick=True, seed=0)
+def jobs1_runner():
+    runner = CampaignRunner(jobs=1)
+    runner.run(ids=REPRESENTATIVE, quick=True, seed=0)
+    return runner
 
 
 @pytest.fixture(scope="module")
-def jobs4_outcomes():
-    return CampaignRunner(jobs=4).run(ids=REPRESENTATIVE, quick=True, seed=0)
+def jobs4_runner():
+    runner = CampaignRunner(jobs=4)
+    runner.run(ids=REPRESENTATIVE, quick=True, seed=0)
+    return runner
+
+
+@pytest.fixture(scope="module")
+def jobs1_outcomes(jobs1_runner):
+    return jobs1_runner.last_outcomes
+
+
+@pytest.fixture(scope="module")
+def jobs4_outcomes(jobs4_runner):
+    return jobs4_runner.last_outcomes
 
 
 class TestJobsInvariance:
@@ -69,6 +83,51 @@ class TestJobsInvariance:
             plan = exp.shard_plan(quick=True, seed=0)
             assert plan == exp.shard_plan(quick=True, seed=0)
             assert [s.index for s in plan] == list(range(len(plan)))
+
+
+class TestObservabilityInvariance:
+    """Spans and canonical events are part of the determinism contract."""
+
+    def test_span_trees_bit_identical_across_jobs(self, jobs1_runner, jobs4_runner):
+        t1 = json.dumps(jobs1_runner.span_tree(), sort_keys=True)
+        t4 = json.dumps(jobs4_runner.span_tree(), sort_keys=True)
+        assert t1 == t4
+
+    def test_canonical_events_bit_identical_across_jobs(
+        self, jobs1_runner, jobs4_runner
+    ):
+        from repro.campaign import canonical_events
+
+        e1 = json.dumps(canonical_events(jobs1_runner.last_events), sort_keys=True)
+        e4 = json.dumps(canonical_events(jobs4_runner.last_events), sort_keys=True)
+        assert e1 == e4
+
+    def test_span_tree_structure(self, jobs1_runner):
+        tree = jobs1_runner.span_tree()
+        assert tree["kind"] == "campaign" and tree["status"] == "ok"
+        by_name = {c["name"]: c for c in tree["children"]}
+        assert sorted(by_name) == sorted(REPRESENTATIVE)
+        for exp_id, node in by_name.items():
+            plan = get(exp_id).shard_plan(quick=True, seed=0)
+            shards = [c for c in node["children"] if c["kind"] == "shard"]
+            assert len(shards) == len(plan), exp_id
+            for shard_node in shards:
+                kinds = [c["kind"] for c in shard_node["children"]]
+                assert kinds == ["attempt"]
+
+    def test_spans_carry_no_wall_clock(self, jobs1_runner):
+        blob = json.dumps(jobs1_runner.span_tree())
+        assert '"seconds"' not in blob and '"t"' not in blob
+
+    def test_live_events_cover_every_task(self, jobs1_runner):
+        events = jobs1_runner.last_events
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "campaign.start" and kinds[-1] == "campaign.done"
+        n_tasks = events[0]["tasks"]
+        for wanted in ("task.submit", "task.start", "task.done"):
+            assert kinds.count(wanted) == n_tasks, wanted
+        assert all("t" in e and "seq" in e for e in events)
+        assert [e["seq"] for e in events] == list(range(len(events)))
 
 
 class TestCacheBehavior:
@@ -105,6 +164,57 @@ class TestCacheBehavior:
         assert warm[0].cached
         assert stats_json(cold) == stats_json(warm)
         assert warm[0].trace_meta["level"] == cold[0].trace_meta["level"]
+
+    def test_default_obs_registry_mirrors_hits_and_misses(self, tmp_path):
+        from repro.obs import Observability, observe
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        runner = CampaignRunner(jobs=1, cache=cache)
+        with observe(Observability()) as obs:
+            runner.run(ids=self.IDS, quick=True, seed=0)  # all misses
+            runner.run(ids=self.IDS, quick=True, seed=0)  # all hits
+            snap = obs.registry.snapshot()
+        assert snap["campaign.cache.hits"] == len(self.IDS)
+        assert snap["campaign.cache.misses"] == len(self.IDS)
+        assert snap["campaign.cache.hit_rate"] == 0.5
+
+    def test_cache_counters_never_stored_in_entries(self, tmp_path):
+        from repro.obs import Observability, observe
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        with observe(Observability()):
+            CampaignRunner(jobs=1, cache=cache).run(
+                ids=["fig9"], quick=True, seed=0
+            )
+        entry_path = next(
+            str(tmp_path / "cache" / f)
+            for f in sorted((tmp_path / "cache").iterdir())
+            if f.suffix == ".json"
+        )
+        assert "campaign." not in open(entry_path).read()
+
+    def test_cache_lookup_spans_reflect_this_run(self, tmp_path):
+        """cache_lookup spans are per-run luck: miss cold, hit warm, and
+        never stored inside the entry itself."""
+        cache = ResultCache(str(tmp_path / "cache"))
+        runner = CampaignRunner(jobs=1, cache=cache)
+        cold = runner.run(ids=["fig9"], quick=True, seed=0)
+        lookups = [
+            c for c in cold[0].spans["children"] if c["kind"] == "cache_lookup"
+        ]
+        assert [s["status"] for s in lookups] == ["miss"]
+
+        warm = runner.run(ids=["fig9"], quick=True, seed=0)
+        assert warm[0].spans["status"] == "cached"
+        lookups = [
+            c for c in warm[0].spans["children"] if c["kind"] == "cache_lookup"
+        ]
+        assert [s["status"] for s in lookups] == ["hit"]
+        # Identical shard subtrees either way — the entry stores only those.
+        strip = lambda node: [
+            c for c in node["children"] if c["kind"] != "cache_lookup"
+        ]
+        assert strip(cold[0].spans) == strip(warm[0].spans)
 
     def test_clear_empties_the_cache(self, tmp_path):
         cache = ResultCache(str(tmp_path / "cache"))

@@ -1,0 +1,109 @@
+"""Unit tests for :mod:`repro.campaign.events` — the lifecycle stream."""
+
+import io
+import json
+
+from repro.campaign.events import (
+    EVENT_ORDER,
+    NONDETERMINISTIC_FIELDS,
+    CampaignEventLog,
+    canonical_events,
+    read_events,
+)
+
+
+class TestEmit:
+    def test_events_accumulate_with_seq_and_t(self):
+        log = CampaignEventLog()
+        log.emit("campaign.start", experiments=2)
+        log.emit("task.submit", experiment="fig3", shard=0)
+        assert [e["seq"] for e in log.events] == [0, 1]
+        assert all(isinstance(e["t"], float) for e in log.events)
+        assert log.events[1]["experiment"] == "fig3"
+
+    def test_stream_sink_gets_flushed_jsonl(self):
+        sink = io.StringIO()
+        log = CampaignEventLog(stream=sink)
+        log.emit("campaign.start", experiments=1)
+        log.emit("campaign.done", failed=0)
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["event"] == "campaign.start"
+
+    def test_path_sink_round_trips_via_read_events(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with CampaignEventLog(path=path) as log:
+            log.emit("campaign.start", experiments=1)
+            log.emit("task.done", experiment="fig3", shard=1, seconds=0.5)
+        assert read_events(path) == log.events
+
+    def test_read_events_tolerates_truncated_tail(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            json.dumps({"seq": 0, "event": "campaign.start"})
+            + "\n"
+            + '{"seq": 1, "event": "task.su'  # writer mid-record
+        )
+        events = read_events(str(path))
+        assert len(events) == 1 and events[0]["event"] == "campaign.start"
+
+
+class TestCanonicalView:
+    def test_strips_every_nondeterministic_field(self):
+        log = CampaignEventLog()
+        log.emit("campaign.start", experiments=1, jobs=8, quick=True, seed=0)
+        log.emit("task.done", experiment="fig3", shard=0, seconds=0.4, attempts=1)
+        for event in log.canonical():
+            for field in NONDETERMINISTIC_FIELDS:
+                assert field not in event
+
+    def test_sorted_by_experiment_shard_rank_attempt(self):
+        events = [
+            {"event": "campaign.done", "t": 9.0, "seq": 5},
+            {"event": "task.done", "experiment": "fig9", "shard": 0, "seq": 4},
+            {"event": "task.done", "experiment": "fig3", "shard": 1, "seq": 3},
+            {"event": "task.submit", "experiment": "fig3", "shard": 1, "seq": 1},
+            {"event": "task.done", "experiment": "fig3", "shard": 0, "seq": 2},
+            {"event": "campaign.start", "seq": 0},
+        ]
+        canon = canonical_events(events)
+        assert [
+            (e.get("experiment"), e.get("shard"), e["event"]) for e in canon
+        ] == [
+            (None, None, "campaign.start"),
+            (None, None, "campaign.done"),
+            ("fig3", 0, "task.done"),
+            ("fig3", 1, "task.submit"),
+            ("fig3", 1, "task.done"),
+            ("fig9", 0, "task.done"),
+        ]
+
+    def test_shard_zero_sorts_after_whole_run_tasks(self):
+        # shard 0 must not be coerced to the "no shard" bucket (-1).
+        events = [
+            {"event": "task.done", "experiment": "a", "shard": 0},
+            {"event": "task.done", "experiment": "a"},
+        ]
+        canon = canonical_events(events)
+        assert "shard" not in canon[0] and canon[1]["shard"] == 0
+
+    def test_retry_attempts_order_within_a_shard(self):
+        events = [
+            {"event": "task.retry", "experiment": "a", "shard": 0, "attempt": 2},
+            {"event": "task.retry", "experiment": "a", "shard": 0, "attempt": 1},
+        ]
+        assert [e["attempt"] for e in canonical_events(events)] == [1, 2]
+
+    def test_every_runner_event_kind_is_ranked(self):
+        # New event kinds must pick a canonical rank explicitly.
+        assert set(EVENT_ORDER) == {
+            "campaign.start",
+            "task.submit",
+            "task.cache_hit",
+            "task.start",
+            "task.retry",
+            "task.done",
+            "task.failed",
+            "experiment.done",
+            "campaign.done",
+        }

@@ -244,6 +244,73 @@ class TestTimeout:
         assert outcome.retries == 1
 
 
+class TestFaultSpans:
+    """Spans annotate injected faults: retry and timeout nodes survive the
+    pickle path back to the parent and land in the merged tree."""
+
+    def _shard_node(self, runner, exp_id, index):
+        tree = runner.span_tree()
+        exp_node = next(c for c in tree["children"] if c["name"] == exp_id)
+        return next(
+            c
+            for c in exp_node["children"]
+            if c["kind"] == "shard" and c["attrs"]["shard"] == index
+        )
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_retry_recorded_as_spans(self, jobs):
+        plan = FaultPlan(specs=(FaultSpec(SHARDED, 1, 1, "OSError"),))
+        runner = CampaignRunner(
+            jobs=jobs, fault_plan=plan, retries=1, retry_backoff=0.001
+        )
+        runner.run(ids=[SHARDED], quick=True, seed=0)
+        node = self._shard_node(runner, SHARDED, 1)
+        kinds = [(c["kind"], c["status"]) for c in node["children"]]
+        assert kinds == [("attempt", "error"), ("retry", "ok"), ("attempt", "ok")]
+        first = node["children"][0]
+        assert "OSError" in first["attrs"]["error"]
+        assert node["status"] == "ok"
+
+    def test_timeout_span_marks_the_budget(self):
+        plan = FaultPlan(specs=(FaultSpec(SHARDED, 0, None, "hang"),))
+        runner = CampaignRunner(jobs=1, fault_plan=plan, retries=0, task_timeout=0.3)
+        runner.run(ids=[SHARDED], quick=True, seed=0)
+        node = self._shard_node(runner, SHARDED, 0)
+        assert node["status"] == "error"
+        attempt = node["children"][0]
+        assert attempt["status"] == "timeout"
+        (timeout,) = attempt["children"]
+        assert timeout["kind"] == "timeout" and timeout["status"] == "timeout"
+        assert timeout["attrs"]["budget"] == 0.3
+
+    def test_failed_campaign_tree_is_marked(self):
+        runner = CampaignRunner(jobs=1, fault_plan=fail_all(SHARDED), retries=0)
+        runner.run(ids=[SHARDED], quick=True, seed=0)
+        tree = runner.span_tree()
+        assert tree["status"] == "error"
+        exp_node = tree["children"][0]
+        assert exp_node["status"] == "error"
+
+    def test_retry_and_failure_events_emitted(self):
+        plan = FaultPlan(specs=(FaultSpec(SHARDED, 1, 1, "OSError"),))
+        runner = CampaignRunner(
+            jobs=1, fault_plan=plan, retries=1, retry_backoff=0.001
+        )
+        runner.run(ids=[SHARDED], quick=True, seed=0)
+        retries = [e for e in runner.last_events if e["event"] == "task.retry"]
+        assert len(retries) == 1
+        assert retries[0]["shard"] == 1 and retries[0]["attempt"] == 1
+        assert "OSError" in retries[0]["error"]
+
+        failing = CampaignRunner(jobs=1, fault_plan=fail_all(SHARDED), retries=0)
+        failing.run(ids=[SHARDED], quick=True, seed=0)
+        failed = [e for e in failing.last_events if e["event"] == "task.failed"]
+        assert len(failed) == 4
+        assert all("AssertionError" in e["error"] for e in failed)
+        done = [e for e in failing.last_events if e["event"] == "campaign.done"]
+        assert done[-1]["failed"] == 1
+
+
 class TestOutcomeAndReportSurface:
     def test_cached_outcome_speedup_is_neutral(self):
         outcome = ExperimentOutcome(

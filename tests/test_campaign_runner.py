@@ -150,6 +150,7 @@ class TestParentSideTimings:
         assert len(results) == len(self.IDS)
         assert "| time |" in text and "| speedup |" in text and "| cache |" in text
         assert " miss |" in text
+        assert "Campaign cache: 0/2 hit (0%)." in text
         # Parent recorded a real wall-clock for each experiment.
         for exp_id in self.IDS:
             assert experiment_timings(profiler)[exp_id] > 0.0
@@ -160,7 +161,9 @@ class TestParentSideTimings:
             str(warm), quick=True, seed=0, ids=self.IDS,
             profiler=Profiler(), runner=CampaignRunner(jobs=2, cache=cache),
         )
-        assert " hit |" in warm.read_text()
+        warm_text = warm.read_text()
+        assert " hit |" in warm_text
+        assert "Campaign cache: 2/2 hit (100%)." in warm_text
 
     def test_render_markdown_without_campaign_info_keeps_old_shape(self):
         result = ExperimentResult(experiment_id="x", title="T", paper_claim="c")

@@ -127,16 +127,127 @@ class TestStatsOutCli:
         path = tmp_path / "stats.json"
         assert main(["fig3", "--quick", "--stats-out", str(path)]) == 0
         doc = json.loads(path.read_text())
-        assert set(doc) == {"stats", "profile", "trace"}
+        assert set(doc) == {"stats", "profile", "trace", "spans"}
         stats = doc["stats"]
         for component in ("core", "l1d", "l2", "defense", "dram", "mshr"):
             assert component in stats, component
         assert stats["core"]["squashes"] > 0
         assert doc["profile"]["experiment.fig3"]["calls"] == 1
         assert doc["trace"]["level"] == "squash"
+        assert doc["spans"]["kind"] == "campaign"
+        assert doc["spans"]["children"][0]["name"] == "fig3"
 
     def test_default_obs_not_leaked_by_cli(self, tmp_path):
         from repro.experiments.__main__ import main
 
         main(["fig3", "--quick", "--stats-out", str(tmp_path / "s.json")])
         assert get_default_obs() is None
+
+
+class TestMetricsAndEventsCli:
+    def test_metrics_out_writes_openmetrics_and_folded(self, tmp_path):
+        from repro.experiments.__main__ import main
+        from repro.obs import parse_openmetrics
+
+        prom = tmp_path / "metrics.prom"
+        assert (
+            main(["fig3", "--quick", "--no-cache", "--metrics-out", str(prom)])
+            == 0
+        )
+        text = prom.read_text()
+        assert text.endswith("# EOF\n")
+        snapshot, kinds = parse_openmetrics(text)
+        assert snapshot["core.cycles"] > 0
+        assert kinds["core.cycles"] == "counter"
+        folded = (tmp_path / "metrics.prom.folded").read_text()
+        assert folded.startswith("experiment;fig3 ")
+
+    def test_events_out_streams_full_lifecycle(self, tmp_path):
+        from repro.campaign.events import read_events
+        from repro.experiments.__main__ import main
+
+        path = tmp_path / "events.jsonl"
+        assert (
+            main(["fig9", "--quick", "--no-cache", "--events-out", str(path)])
+            == 0
+        )
+        events = read_events(str(path))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "campaign.start" and kinds[-1] == "campaign.done"
+        assert "task.done" in kinds
+
+    def test_no_spans_flag_empties_the_stats_dump_tree(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        path = tmp_path / "stats.json"
+        main(["fig9", "--quick", "--no-cache", "--no-spans",
+              "--stats-out", str(path)])
+        assert json.loads(path.read_text())["spans"] == {}
+
+
+class TestObsCliRendering:
+    def _dump(self, tmp_path, doc):
+        path = tmp_path / "stats.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_non_numeric_values_render_as_repr(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        path = self._dump(
+            tmp_path, {"stats": {"core": {"version": "v2.1", "cycles": 7}}}
+        )
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "'v2.1'" in out and "7" in out
+
+    def test_prefix_miss_names_available_groups(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        path = self._dump(tmp_path, {"stats": {"core": {"cycles": 1}}})
+        assert main([path, "--prefix", "l1d"]) == 1
+        err = capsys.readouterr().err
+        assert "l1d" in err and "top-level groups: core" in err
+
+    def test_empty_dump_diagnostic(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        path = self._dump(tmp_path, {"stats": {}})
+        assert main([path]) == 1
+        assert "no 'stats' section" in capsys.readouterr().err
+
+    def test_format_openmetrics_round_trips_scalars(self, tmp_path, capsys):
+        from repro.obs import parse_openmetrics
+        from repro.obs.__main__ import main
+
+        path = self._dump(
+            tmp_path, {"stats": {"l1d": {"hits": 903, "miss_rate": 0.25}}}
+        )
+        assert main([path, "--format", "openmetrics"]) == 0
+        snapshot, _ = parse_openmetrics(capsys.readouterr().out)
+        assert snapshot == {"l1d.hits": 903, "l1d.miss_rate": 0.25}
+
+    def test_format_folded_renders_profile(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        path = self._dump(
+            tmp_path,
+            {"stats": {"x": {"y": 1}},
+             "profile": {"experiment.fig3": {"seconds": 0.5, "calls": 1}}},
+        )
+        assert main([path, "--format", "folded"]) == 0
+        assert capsys.readouterr().out == "experiment;fig3 500000\n"
+
+    def test_spans_flag_renders_tree(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        doc = {
+            "stats": {"x": {"y": 1}},
+            "spans": {"name": "campaign", "kind": "campaign", "status": "ok",
+                      "children": [{"name": "fig3", "kind": "experiment",
+                                    "status": "ok"}]},
+        }
+        assert main([self._dump(tmp_path, doc), "--spans"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign [campaign/ok]" in out
+        assert "  fig3 [experiment/ok]" in out

@@ -115,6 +115,25 @@ class TestJsonl:
         with pytest.raises(ConfigError):
             EventTrace().to_jsonl()
 
+    def test_truncated_trace_writes_meta_header(self, tmp_path):
+        t = EventTrace(capacity=2)
+        for cycle in range(5):
+            t.emit(cycle, "cache.hit", (0x40, "L1"))
+        rows = read_jsonl(t.to_jsonl(str(tmp_path / "trace.jsonl")))
+        assert rows[0] == {
+            "meta": "trace",
+            "dropped": 3,
+            "emitted": 5,
+            "buffered": 2,
+        }
+        assert [r["cycle"] for r in rows[1:]] == [3, 4]
+
+    def test_untruncated_trace_has_no_header(self, tmp_path):
+        t = EventTrace(capacity=8)
+        t.emit(1, "cache.hit", (0x40, "L1"))
+        rows = read_jsonl(t.to_jsonl(str(tmp_path / "trace.jsonl")))
+        assert all("meta" not in r for r in rows)
+
 
 class TestProfiler:
     def test_phase_accumulates(self):
