@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-core experiments report quick-report campaign-smoke campaign-fault-smoke campaign-top stats examples lint specct-smoke clean
+.PHONY: install test bench bench-core coverage experiments report quick-report campaign-smoke campaign-fault-smoke campaign-top stats examples lint specct-smoke clean
+
+# Execution backend for campaign-smoke (scalar | batched); results are
+# bit-identical either way — CI runs the smoke once per backend.
+BACKEND ?= scalar
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,9 +25,11 @@ bench-core:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_core.py -q
 	@$(PYTHON) -c "import json; d = json.load(open('BENCH_core.json')); \
 	    m, s = d['measured'], d['speedup_vs_seed']; \
-	    print('bench-core: %.3f ms/round (%.2fx vs seed), %.0f inst/s (%.2fx)' % \
+	    print('bench-core: %.3f ms/round (%.2fx vs seed), %.0f inst/s (%.2fx), \
+	batched %.4f ms/round (%.1fx vs scalar)' % \
 	    (m['fig3_round_ms'], s['fig3_round_normalized'], \
-	     m['synthetic_ips'], s['synthetic_ips_normalized']))"
+	     m['synthetic_ips'], s['synthetic_ips_normalized'], \
+	     m['fig3_round_batched_ms'], m['batched_speedup_vs_scalar']))"
 
 experiments:
 	$(PYTHON) -m repro.experiments all
@@ -41,9 +47,11 @@ quick-report:
 # (reports, stats, OpenMetrics, events).
 campaign-smoke:
 	$(PYTHON) -m repro.experiments report --quick --jobs 1 --no-cache \
+	    --backend $(BACKEND) \
 	    --out REPORT-campaign-jobs1.md --stats-out campaign-stats-jobs1.json \
 	    --metrics-out campaign-metrics-jobs1.prom --events-out campaign-events-jobs1.jsonl
 	$(PYTHON) -m repro.experiments report --quick --jobs 2 --no-cache \
+	    --backend $(BACKEND) \
 	    --out REPORT-campaign-jobs2.md --stats-out campaign-stats-jobs2.json \
 	    --metrics-out campaign-metrics-jobs2.prom --events-out campaign-events-jobs2.jsonl
 	$(PYTHON) -c "import json; a, b = (json.load(open(p)) for p in \
@@ -111,6 +119,12 @@ specct-smoke:
 	        echo "FAIL: expected exit 1 (findings) for the gadget, got $$status"; exit 1; \
 	    fi; \
 	    echo "specct-smoke: gadget flagged (exit 1), cross-validation passed"
+
+# Line-coverage floor over the execution backends (src/repro/cpu) and the
+# decoded-program tables (src/repro/isa/decoded.py); uses coverage.py when
+# installed, else a stdlib tracer. Writes COVERAGE.json (CI artifact).
+coverage:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.coverage_gate --out COVERAGE.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

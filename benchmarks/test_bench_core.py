@@ -2,18 +2,25 @@
 
 Run via ``make bench-core`` (plain pytest, no pytest-benchmark): it times
 
-* one fig3-style attack round (prepare once, then steady-state samples), and
+* one fig3-style attack round (prepare once, then steady-state samples)
+  under **both** execution backends — the scalar reference and the batched
+  memoized-replay backend (``repro.cpu.batched``), and
 * synthetic SPEC-profile workload execution (gcc_r, 20k instructions),
 
-normalizes both against a pure-Python calibration loop so the numbers are
-comparable across machines, rewrites ``BENCH_core.json`` at the repo root,
-and **fails** if the normalized round metric regressed more than 25 %
-against the committed baseline.
+normalizes everything against a pure-Python calibration loop shared
+session-wide (see ``benchmarks/conftest.py`` — one denominator, so the
+scalar and batched rows are directly comparable), rewrites
+``BENCH_core.json`` at the repo root, and **fails** if
 
-The ``seed_reference`` block in the JSON preserves what the pre-optimization
-implementation measured (same procedure, same machine as the committed
-``measured`` block) so the speedup of the decoded-dispatch overhaul stays
-visible: regenerating the file never touches it.
+* a normalized metric regressed more than 25 % against the committed
+  baseline, or
+* the batched backend's steady-state round loop is less than 5x faster
+  than the scalar one (the memoization gate).
+
+The ``seed_reference`` block in the JSON preserves what the
+pre-optimization implementation measured (same procedure, same machine as
+the committed ``measured`` block) so the speedup of the decoded-dispatch
+overhaul stays visible: regenerating the file never touches it.
 """
 
 from __future__ import annotations
@@ -22,10 +29,16 @@ import json
 import time
 from pathlib import Path
 
+from conftest import BenchCalibration
+
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
 #: Allowed regression of normalized metrics vs the committed baseline.
 REGRESSION_FACTOR = 1.25
+
+#: Required steady-state speedup of the batched backend over scalar on the
+#: fig3 round loop (conservative: replay typically lands far above this).
+BATCHED_SPEEDUP_FLOOR = 5.0
 
 #: Measured on the pre-optimization implementation (isinstance-dispatch
 #: interpreter), same procedure and machine as the first committed baseline.
@@ -38,37 +51,28 @@ SEED_REFERENCE = {
 }
 
 
-def calibrate(repeats: int = 5, iterations: int = 200_000) -> float:
-    """Best-of-N seconds for a fixed pure-Python loop.
+def fig3_round_seconds(
+    rounds: int = 50, repeats: int = 6, backend: str = "scalar"
+) -> float:
+    """Best-of-N seconds per steady-state fig3 attack round.
 
-    Measures the machine's current interpreter throughput; dividing the
-    simulator timings by this cancels host-speed differences, so the gate
-    compares implementations rather than machines.
+    The warmup rounds also populate the batched backend's transition memo,
+    so both backends are timed in their steady state.
     """
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        acc = 0
-        for i in range(iterations):
-            acc += i * i
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
-def fig3_round_seconds(rounds: int = 50, repeats: int = 6) -> float:
-    """Best-of-N seconds per steady-state fig3 attack round."""
     from repro.attack import GadgetParams, UnxpecAttack
+    from repro.cpu.backend import use_backend
 
-    attack = UnxpecAttack(params=GadgetParams(n_loads=1), seed=0)
-    attack.prepare()
-    for bit in (0, 1, 0, 1):  # warmup: decode + fault in the working set
-        attack.sample(bit)
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        for i in range(rounds):
-            attack.sample(i & 1)
-        best = min(best, (time.perf_counter() - t0) / rounds)
+    with use_backend(backend):
+        attack = UnxpecAttack(params=GadgetParams(n_loads=1), seed=0)
+        attack.prepare()
+        for bit in (0, 1, 0, 1):  # warmup: decode + fault in the working set
+            attack.sample(bit)
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for i in range(rounds):
+                attack.sample(i & 1)
+            best = min(best, (time.perf_counter() - t0) / rounds)
     return best
 
 
@@ -92,35 +96,35 @@ def synthetic_ips(instructions: int = 20_000, repeats: int = 5):
     return committed / best, committed
 
 
-def measure() -> dict:
-    # Calibration is interleaved with the workloads and minimized: on busy
-    # hosts the interpreter's effective speed drifts between phases, and a
-    # calibration taken at a single point in time would make the normalized
-    # metrics noisier than the raw ones.
-    cal = calibrate()
-    round_s = fig3_round_seconds()
-    cal = min(cal, calibrate())
+def measure(cal: BenchCalibration) -> dict:
+    round_s = fig3_round_seconds(backend="scalar")
+    cal.refresh()
+    batched_s = fig3_round_seconds(backend="batched")
+    cal.refresh()
     ips, committed = synthetic_ips()
-    cal = min(cal, calibrate())
+    seconds = cal.refresh()
     return {
-        "calibration_s": cal,
+        "calibration_s": seconds,
         "fig3_round_ms": round_s * 1e3,
-        "fig3_round_normalized": round_s / cal,
+        "fig3_round_normalized": round_s / seconds,
+        "fig3_round_batched_ms": batched_s * 1e3,
+        "fig3_round_batched_normalized": batched_s / seconds,
+        "batched_speedup_vs_scalar": round_s / batched_s,
         "synthetic_ips": ips,
         "synthetic_instructions": committed,
-        "synthetic_ips_normalized": ips * cal,
+        "synthetic_ips_normalized": ips * seconds,
     }
 
 
-def test_bench_core_and_gate():
-    measured = measure()
+def test_bench_core_and_gate(bench_calibration):
+    measured = measure(bench_calibration)
 
     baseline = None
     if BENCH_PATH.exists():
         baseline = json.loads(BENCH_PATH.read_text()).get("measured")
 
     document = {
-        "schema": 1,
+        "schema": 2,
         "seed_reference": SEED_REFERENCE,
         "measured": measured,
         "speedup_vs_seed": {
@@ -132,6 +136,12 @@ def test_bench_core_and_gate():
     }
     BENCH_PATH.write_text(json.dumps(document, indent=2) + "\n")
     print(json.dumps(document, indent=2))
+
+    assert measured["batched_speedup_vs_scalar"] >= BATCHED_SPEEDUP_FLOOR, (
+        "batched backend lost its memoization win on the fig3 round loop: "
+        f"{measured['batched_speedup_vs_scalar']:.2f}x < "
+        f"{BATCHED_SPEEDUP_FLOOR:.1f}x required"
+    )
 
     if baseline is not None:
         limit = baseline["fig3_round_normalized"] * REGRESSION_FACTOR
@@ -146,7 +156,17 @@ def test_bench_core_and_gate():
             f"BENCH_core.json: {measured['synthetic_ips_normalized']:.1f} < "
             f"{floor:.1f} (baseline {baseline['synthetic_ips_normalized']:.1f})"
         )
+        if "fig3_round_batched_normalized" in baseline:
+            limit = baseline["fig3_round_batched_normalized"] * REGRESSION_FACTOR
+            assert measured["fig3_round_batched_normalized"] <= limit, (
+                "batched round loop regressed >25% vs committed "
+                f"BENCH_core.json: {measured['fig3_round_batched_normalized']:.4f}"
+                f" > {limit:.4f} "
+                f"(baseline {baseline['fig3_round_batched_normalized']:.4f})"
+            )
 
 
 if __name__ == "__main__":
-    test_bench_core_and_gate()
+    cal = BenchCalibration()
+    cal.refresh()
+    test_bench_core_and_gate(cal)

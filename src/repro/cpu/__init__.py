@@ -1,5 +1,13 @@
 """Out-of-order core: predictor, ROB/LSQ models, noise, trace-driven executor."""
 
+from .backend import (
+    BACKENDS,
+    current_backend,
+    make_core,
+    set_backend,
+    use_backend,
+)
+from .batched import BatchedCore
 from .core import DEFAULT_SQUASH_DELAY, NEVER, Core
 from .lsq import InflightMemTracker, LsqStats
 from .noise import NoiseModel, campaign_noise
@@ -15,7 +23,13 @@ from .rob import RobModel, RobStats
 from .timing import InstructionTiming, RunResult, SquashEvent
 
 __all__ = [
+    "BACKENDS",
+    "BatchedCore",
     "Core",
+    "current_backend",
+    "make_core",
+    "set_backend",
+    "use_backend",
     "DEFAULT_SQUASH_DELAY",
     "NEVER",
     "BimodalPredictor",

@@ -1,0 +1,79 @@
+"""Execution-backend selection for attack cores.
+
+Two backends produce **bit-identical** results:
+
+* ``"scalar"`` — :class:`~repro.cpu.core.Core`, the reference
+  one-round-at-a-time model;
+* ``"batched"`` — :class:`~repro.cpu.batched.BatchedCore`, which memoizes
+  whole-round machine-state transitions and replays them for the repeated
+  rounds an attack campaign is made of (see ``repro.cpu.batched``).
+
+The choice is ambient: attacks construct their core through
+:func:`make_core`, which reads the currently selected backend. The campaign
+runner selects per task via :func:`use_backend`; the ``REPRO_BACKEND``
+environment variable sets the process-wide default (used by CI to run the
+whole test suite under either backend).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from ..common.errors import ConfigError
+
+#: Supported backend names, in preference order for docs/CLIs.
+BACKENDS = ("scalar", "batched")
+
+#: Default backend for this process (a ``--backend`` flag or
+#: :func:`use_backend` overrides it per campaign task).
+DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "scalar")
+
+_current: str = DEFAULT_BACKEND
+
+
+def _check(name: str) -> str:
+    if name not in BACKENDS:
+        raise ConfigError(f"unknown backend {name!r}, want one of {BACKENDS}")
+    return name
+
+
+def current_backend() -> str:
+    """The backend :func:`make_core` will build right now."""
+    # Validated lazily so a bogus REPRO_BACKEND fails at first use with a
+    # clear error instead of at import time.
+    return _check(_current)
+
+
+def set_backend(name: str) -> None:
+    """Set the process-wide backend (prefer :func:`use_backend` for scopes)."""
+    global _current
+    _current = _check(name)
+
+
+@contextmanager
+def use_backend(name: str):
+    """Select ``name`` for the duration of the ``with`` block."""
+    global _current
+    previous = _current
+    _current = _check(name)
+    try:
+        yield
+    finally:
+        _current = previous
+
+
+def make_core(hierarchy, defense, **kwargs):
+    """Build a core for the current backend (``Core`` or ``BatchedCore``).
+
+    Both classes share the :class:`~repro.cpu.core.Core` constructor
+    signature, so callers pass the same keyword arguments regardless of the
+    selected backend.
+    """
+    if current_backend() == "batched":
+        from .batched import BatchedCore
+
+        return BatchedCore(hierarchy, defense, **kwargs)
+    from .core import Core
+
+    return Core(hierarchy, defense, **kwargs)

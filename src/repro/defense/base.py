@@ -80,6 +80,19 @@ class Defense(abc.ABC):
     #: older branch is unresolved is deferred until the branch resolves.
     delay_speculative_misses: bool = False
 
+    #: The batched backend may memoize and replay rounds only when the
+    #: defense's squash handling is a pure deterministic function of the
+    #: hierarchy state (no internal RNG, no wall clock). Defaults to False:
+    #: an unknown defense forces the always-correct scalar path; the
+    #: deterministic in-tree defenses opt in explicitly.
+    batch_replay_safe: bool = False
+
+    #: Integer attributes the batched backend snapshots before/after a
+    #: recorded round and re-applies (as deltas) on replay. Subclasses with
+    #: their own counters extend this tuple; wrapped inner defenses are
+    #: walked via their ``inner`` attribute.
+    replay_counter_attrs: "tuple" = ("squash_count", "total_stall")
+
     def __init__(self, hierarchy: "CacheHierarchy") -> None:
         self.hierarchy = hierarchy
         self.squash_count = 0

@@ -28,6 +28,13 @@ from .cleanup_timing import CleanupMode, CleanupTimingModel
 class CleanupSpec(Defense):
     """Undo defense with invalidation + restoration rollback."""
 
+    batch_replay_safe = True
+    replay_counter_attrs = Defense.replay_counter_attrs + (
+        "total_invalidations_l1",
+        "total_invalidations_l2",
+        "total_restorations",
+    )
+
     def __init__(
         self,
         hierarchy: CacheHierarchy,

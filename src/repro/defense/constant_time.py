@@ -26,6 +26,8 @@ from .cleanupspec import CleanupSpec
 class ConstantTimeRollback(Defense):
     """Relaxed constant-time rollback around CleanupSpec."""
 
+    batch_replay_safe = True
+
     def __init__(
         self,
         hierarchy: CacheHierarchy,

@@ -36,6 +36,7 @@ class DelayOnMiss(Defense):
     name = "DelayOnMiss"
     allows_speculative_install = False
     delay_speculative_misses = True
+    batch_replay_safe = True
 
     def handle_squash(self, ctx: SquashContext) -> SquashOutcome:
         # Nothing was installed speculatively, so there is nothing to undo;

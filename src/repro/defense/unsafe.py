@@ -15,6 +15,7 @@ class UnsafeBaseline(Defense):
     """No protection: squashes cost nothing beyond the pipeline penalty."""
 
     name = "UnsafeBaseline"
+    batch_replay_safe = True
 
     def handle_squash(self, ctx: SquashContext) -> SquashOutcome:
         # The transient lines become permanent; clear their speculative

@@ -42,6 +42,10 @@ class Dram:
         if self.size_bytes <= 0:
             raise ValueError("DRAM size must be positive")
         self._words: dict = {}
+        #: Optional write journal: when a list is attached (the batched
+        #: backend's replay engine does this), every functional write appends
+        #: ``(word_addr, value)``. Reads never journal.
+        self.journal: list = None  # type: ignore[assignment]
 
     def _check(self, addr: int) -> None:
         if not 0 <= addr < self.size_bytes:
@@ -57,7 +61,11 @@ class Dram:
         """Functional write of the 64-bit word containing ``addr``."""
         self._check(addr)
         self.stats.writes += 1
-        self._words[addr // WORD_SIZE * WORD_SIZE] = value & ((1 << 64) - 1)
+        word = addr // WORD_SIZE * WORD_SIZE
+        value &= (1 << 64) - 1
+        self._words[word] = value
+        if self.journal is not None:
+            self.journal.append((word, value))
 
     def writeback_line(self, line_addr: int) -> None:
         """Account a dirty-line writeback (data already written via write_word)."""
@@ -93,4 +101,8 @@ class Dram:
     def poke(self, addr: int, value: int) -> None:
         """Write without touching statistics (for experiment setup)."""
         self._check(addr)
-        self._words[addr // WORD_SIZE * WORD_SIZE] = value & ((1 << 64) - 1)
+        word = addr // WORD_SIZE * WORD_SIZE
+        value &= (1 << 64) - 1
+        self._words[word] = value
+        if self.journal is not None:
+            self.journal.append((word, value))

@@ -1,0 +1,1 @@
+"""Cross-backend differential-testing harness (scalar vs. batched)."""

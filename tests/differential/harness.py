@@ -1,0 +1,316 @@
+"""Replay one workload under both execution backends and diff every round.
+
+A *case* is a small JSON-serializable dict describing a deterministic
+multi-round workload. Two modes:
+
+* ``"attack"`` — a full :class:`~repro.attack.unxpec.UnxpecAttack` driven
+  through a secret-bit sequence (what the campaign engine actually runs);
+* ``"program"`` — a raw instruction list executed round after round on a
+  bare core with a configurable cache/MSHR geometry, optionally with
+  per-round out-of-band DRAM pokes (what the Hypothesis property
+  generates).
+
+:func:`run_case` executes a case under one backend and captures a *round
+record* per round: latency/cycles/instructions, final registers, the
+squash trace, the squash-level event-trace tail, the registry snapshot,
+and full machine + stats fingerprints (see :mod:`repro.cpu.batched`).
+:func:`first_divergence` diffs two record lists down to the first
+(round, field) mismatch, and :func:`divergence_report` shrinks a mismatch
+to that single round, re-running the scalar side with a per-instruction
+timeline and showing the batched side's execution mode and event log —
+the artifact CI uploads when a differential test fails.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.attack import GadgetParams, UnxpecAttack
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.config import CacheGeometry, CoreConfig, SystemConfig
+from repro.cpu.backend import use_backend
+from repro.cpu.batched import machine_fingerprint, stats_fingerprint
+from repro.cpu.noise import campaign_noise
+from repro.defense.cleanupspec import CleanupSpec
+from repro.defense.constant_time import ConstantTimeRollback
+from repro.defense.delay_on_miss import DelayOnMiss
+from repro.defense.unsafe import UnsafeBaseline
+from repro.isa import ProgramBuilder
+from repro.obs import Observability, set_default_obs
+
+#: Directory of checked-in regression cases (every past divergence and the
+#: golden-round configurations live here).
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+#: Fields of a round record, in the order they are compared.
+ROUND_FIELDS = (
+    "latency",
+    "cycles",
+    "instructions",
+    "registers",
+    "squashes",
+    "trace",
+    "registry",
+    "machine",
+    "stats",
+)
+
+_DEFENSES = {
+    "cleanup": lambda h: CleanupSpec(h),
+    "unsafe": lambda h: UnsafeBaseline(h),
+    "delay": lambda h: DelayOnMiss(h),
+    "constant": lambda h: ConstantTimeRollback(h, constant_cycles=40),
+}
+
+
+def build_program(specs) -> object:
+    """Assemble instruction specs (forward branches only, so programs
+    always terminate); shares the encoding of the specct property tests."""
+    b = ProgramBuilder("diff-prop")
+    for spec in specs:
+        op = spec[0]
+        if op == "li":
+            b.li(spec[1], spec[2])
+        elif op == "op":
+            b.op(spec[1], spec[2], spec[3], spec[4])
+        elif op == "opi":
+            b.opi(spec[1], spec[2], spec[3], spec[4])
+        elif op == "load":
+            b.load(spec[1], spec[2], spec[3])
+        elif op == "store":
+            b.store(spec[1], spec[2], spec[3])
+        elif op == "flush":
+            b.flush(spec[1])
+        elif op == "branch":
+            b.branch(spec[1], spec[2], spec[3], "end")
+        elif op == "fence":
+            b.fence()
+        else:
+            b.nop()
+    b.label("end")
+    b.halt()
+    return b.build()
+
+
+def _squash_key(event) -> tuple:
+    outcome = event.outcome
+    return (
+        event.branch_pc,
+        event.resolve_cycle,
+        event.squash_cycle,
+        event.fetch_resume,
+        event.wrong_path_executed,
+        event.transient_loads,
+        event.inflight_transient,
+        outcome.defense,
+        outcome.stall_cycles,
+        tuple(sorted(outcome.breakdown.items())),
+        outcome.invalidated_l1,
+        outcome.invalidated_l2,
+        outcome.restored_l1,
+    )
+
+
+def _trace_tail(trace, emitted_before: int) -> tuple:
+    emitted = trace.emitted - emitted_before
+    if emitted <= 0:
+        return ()
+    buffered = list(trace._buf)
+    return tuple(buffered[-emitted:]) if emitted <= len(buffered) else tuple(buffered)
+
+
+def _round_record(core, obs, result, latency, emitted_before) -> dict:
+    return {
+        "latency": latency,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "registers": tuple(sorted(result.registers.raw.items())),
+        "squashes": tuple(_squash_key(e) for e in result.squashes),
+        "trace": _trace_tail(obs.trace, emitted_before),
+        "registry": json.dumps(obs.registry.to_dict(), sort_keys=True, default=str),
+        "machine": machine_fingerprint(core),
+        "stats": stats_fingerprint(core),
+        "mode": dict(getattr(core, "last_round_info", ())) or {"mode": "scalar"},
+    }
+
+
+def _system_config(config: Optional[dict]) -> SystemConfig:
+    config = config or {}
+    line = 64
+
+    def geo(name: str, sets: int, ways: int) -> CacheGeometry:
+        return CacheGeometry(
+            name=name, size_bytes=sets * ways * line, ways=ways, sets=sets,
+            line_size=line,
+        )
+
+    return SystemConfig(
+        core=CoreConfig(mshr_entries=config.get("mshr_entries", 16)),
+        l1d=geo("L1D", config.get("l1_sets", 64), config.get("l1_ways", 8)),
+        l2=geo("L2", config.get("l2_sets", 1024), config.get("l2_ways", 16)),
+    )
+
+
+def run_case(case: dict, backend: str, stop_after: Optional[int] = None,
+             timeline_round: Optional[int] = None) -> List[dict]:
+    """Execute ``case`` under ``backend``; one record per round.
+
+    ``timeline_round`` additionally records a per-instruction timeline for
+    that round (stored under ``"timeline"``); on the batched backend this
+    forces the round down the scalar path, so it is only used by the
+    divergence report, never while comparing.
+    """
+    obs = Observability(trace_level="squash")
+    previous = set_default_obs(obs)
+    try:
+        with use_backend(backend):
+            if case.get("mode", "attack") == "attack":
+                rows = _run_attack_case(case, obs, stop_after, timeline_round)
+            else:
+                rows = _run_program_case(case, obs, stop_after, timeline_round)
+    finally:
+        set_default_obs(previous)
+    return rows
+
+
+def _capture(core, obs, runner, index, stop_after, timeline_round, rows):
+    emitted_before = obs.trace.emitted
+    if timeline_round is not None and index == timeline_round:
+        core.record_timeline = True
+        try:
+            latency, result = runner()
+        finally:
+            core.record_timeline = False
+        row = _round_record(core, obs, result, latency, emitted_before)
+        row["timeline"] = tuple(str(t) for t in result.timeline)
+    else:
+        latency, result = runner()
+        row = _round_record(core, obs, result, latency, emitted_before)
+    rows.append(row)
+    return stop_after is not None and len(rows) > stop_after
+
+
+def _run_attack_case(case, obs, stop_after, timeline_round) -> List[dict]:
+    attack = UnxpecAttack(
+        params=GadgetParams(n_loads=case.get("n_loads", 1)),
+        use_eviction_sets=case.get("use_eviction_sets", False),
+        seed=case.get("seed", 0),
+        noise=campaign_noise() if case.get("noise") else None,
+        defense_factory=_DEFENSES[case.get("defense", "cleanup")],
+    )
+    attack.prepare()
+    rows: List[dict] = []
+    for index, bit in enumerate(case["bits"]):
+        # UnxpecAttack.sample discards the RunResult; take the same steps
+        # it takes so both the sample latency and the raw result are
+        # visible to the differ.
+        def runner(bit=bit):
+            attack.gadget.set_secret(attack.hierarchy.dram, bit)
+            result = attack.core.run(attack._round_program)
+            sample = attack._extract(bit, result)
+            return sample.latency, result
+
+        if _capture(attack.core, obs, runner, index, stop_after,
+                    timeline_round, rows):
+            break
+    return rows
+
+
+def _run_program_case(case, obs, stop_after, timeline_round) -> List[dict]:
+    from repro.cpu.backend import make_core
+
+    program = build_program(case["program"])
+    hierarchy = CacheHierarchy(
+        config=_system_config(case.get("config")), seed=case.get("seed", 0)
+    )
+    defense = _DEFENSES[case.get("defense", "cleanup")](hierarchy)
+    core = make_core(hierarchy, defense, config=hierarchy.config.core)
+    pokes = case.get("pokes", ())
+    rows: List[dict] = []
+    for index in range(case.get("rounds", 4)):
+        if index < len(pokes):
+            for addr, value in pokes[index]:
+                hierarchy.dram.poke(addr, value)
+
+        def runner():
+            result = core.run(program, max_instructions=10_000)
+            return result.cycles, result
+
+        if _capture(core, obs, runner, index, stop_after, timeline_round, rows):
+            break
+    return rows
+
+
+def first_divergence(scalar_rows, batched_rows) -> Optional[Tuple[int, str]]:
+    """First (round, field) where the two backends disagree, else None."""
+    for index, (a, b) in enumerate(zip(scalar_rows, batched_rows)):
+        for name in ROUND_FIELDS:
+            if a[name] != b[name]:
+                return index, name
+    if len(scalar_rows) != len(batched_rows):
+        return min(len(scalar_rows), len(batched_rows)), "rounds"
+    return None
+
+
+def divergence_report(case: dict, scalar_rows, batched_rows) -> str:
+    """Shrink a mismatch to its first divergent round, with both backends'
+    per-instruction event logs for exactly that round."""
+    where = first_divergence(scalar_rows, batched_rows)
+    if where is None:
+        return "no divergence"
+    index, field = where
+    lines = [
+        f"case {case.get('name', '<anonymous>')!r}: first divergence at "
+        f"round {index}, field {field!r}",
+        "",
+    ]
+    a = scalar_rows[index] if index < len(scalar_rows) else None
+    b = batched_rows[index] if index < len(batched_rows) else None
+    for label, row in (("scalar", a), ("batched", b)):
+        if row is None:
+            lines.append(f"--- {label}: no round {index} (ended early)")
+            continue
+        lines.append(f"--- {label} round {index} "
+                     f"(mode={row['mode'].get('mode', 'scalar')}):")
+        for name in ROUND_FIELDS:
+            marker = "  *" if a is not None and b is not None and a[name] != b[name] else "   "
+            lines.append(f"{marker} {name} = {_short(row[name])}")
+        lines.append("    squash-level events:")
+        for cycle, kind, data in row["trace"]:
+            lines.append(f"      [{cycle}] {kind} {data}")
+    # Per-instruction timeline of the divergent round, re-executed on the
+    # always-correct scalar backend (the reference semantics).
+    reference = run_case(case, "scalar", stop_after=index, timeline_round=index)
+    if reference and "timeline" in reference[-1]:
+        lines.append("")
+        lines.append(f"--- scalar per-instruction timeline, round {index}:")
+        for entry in reference[-1]["timeline"]:
+            lines.append(f"    {entry}")
+    return "\n".join(lines)
+
+
+def _short(value, limit: int = 400) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 12] + f"...(+{len(text) - limit})"
+
+
+def compare_case(case: dict, rounds: Optional[int] = None) -> Optional[str]:
+    """Run ``case`` under both backends; a divergence report, or None."""
+    scalar_rows = run_case(case, "scalar", stop_after=rounds)
+    batched_rows = run_case(case, "batched", stop_after=rounds)
+    if first_divergence(scalar_rows, batched_rows) is None:
+        return None
+    return divergence_report(case, scalar_rows, batched_rows)
+
+
+def load_corpus() -> List[dict]:
+    """Checked-in regression cases, sorted by filename for determinism."""
+    cases = []
+    for path in sorted(CORPUS_DIR.glob("*.json")):
+        with open(path) as fh:
+            case = json.load(fh)
+        case.setdefault("name", path.stem)
+        cases.append(case)
+    return cases

@@ -1,0 +1,46 @@
+"""Corpus replay: every checked-in case must agree across backends.
+
+The corpus pins the golden-round configurations (plain, eviction-set,
+noisy), one case per defense family, and raw-program cases exercising
+out-of-band DRAM pokes and tiny cache/MSHR geometries. Any future
+divergence found by the Hypothesis property (test_property_backends.py)
+gets minimized and added here as a regression.
+
+On failure the first-divergence report is written to
+``DIVERGENCE_REPORT.txt`` at the repo root so CI can upload it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tests.differential.harness import compare_case, load_corpus
+
+REPORT_PATH = Path(__file__).resolve().parents[2] / "DIVERGENCE_REPORT.txt"
+
+_CASES = load_corpus()
+
+
+def write_report(report: str) -> None:
+    with open(REPORT_PATH, "a") as fh:
+        fh.write(report)
+        fh.write("\n\n")
+
+
+@pytest.mark.parametrize("case", _CASES, ids=[c["name"] for c in _CASES])
+def test_corpus_case_backends_agree(case):
+    report = compare_case(case)
+    if report is not None:
+        write_report(report)
+        pytest.fail(
+            f"backends diverged on corpus case {case['name']!r} "
+            f"(report in {REPORT_PATH}):\n{report}"
+        )
+
+
+def test_corpus_is_not_empty():
+    # Nine seeded cases; shrunk Hypothesis counterexamples get added over
+    # time and must never be deleted wholesale.
+    assert len(_CASES) >= 9

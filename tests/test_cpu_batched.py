@@ -1,0 +1,148 @@
+"""Unit tests for the batched backend: selection, fallbacks, memo hygiene.
+
+Cross-backend *equivalence* is covered by tests/differential and
+test_property_backends.py; these tests pin the mechanics — backend
+selection plumbing, which rounds take which execution path, adaptive
+demotion of non-repeating programs, and DRAM-journal hygiene.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack import GadgetParams, UnxpecAttack
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import ConfigError
+from repro.cpu import (
+    BACKENDS,
+    BatchedCore,
+    Core,
+    current_backend,
+    make_core,
+    set_backend,
+    use_backend,
+)
+from repro.cpu.noise import campaign_noise
+from repro.defense.cleanupspec import CleanupSpec
+from repro.defense.fuzzy import FuzzyCleanup
+from repro.isa import ProgramBuilder
+
+
+def _loop_program(name="batched-unit"):
+    b = ProgramBuilder(name)
+    b.li("r1", 0x40)
+    b.load("r2", "r1", 0)
+    b.li("r3", 0x1000)
+    b.load("r4", "r3", 0)
+    b.halt()
+    return b.build()
+
+
+def _make(defense_cls=CleanupSpec, **core_kwargs):
+    h = CacheHierarchy(seed=5)
+    return h, BatchedCore(h, defense_cls(h), **core_kwargs)
+
+
+class TestBackendSelection:
+    def test_backends_tuple(self):
+        assert BACKENDS == ("scalar", "batched")
+        assert current_backend() in BACKENDS
+
+    def test_use_backend_scopes_and_restores(self):
+        before = current_backend()
+        with use_backend("batched"):
+            assert current_backend() == "batched"
+            h = CacheHierarchy(seed=0)
+            assert isinstance(make_core(h, CleanupSpec(h)), BatchedCore)
+        assert current_backend() == before
+
+    def test_scalar_make_core_is_plain_core(self):
+        with use_backend("scalar"):
+            h = CacheHierarchy(seed=0)
+            core = make_core(h, CleanupSpec(h))
+        assert type(core) is Core
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            set_backend("vectorized-maybe")
+        with pytest.raises(ConfigError):
+            with use_backend("nope"):
+                pass  # pragma: no cover
+
+    def test_attack_core_follows_backend(self):
+        with use_backend("batched"):
+            attack = UnxpecAttack(params=GadgetParams(n_loads=1), seed=0)
+        assert isinstance(attack.core, BatchedCore)
+
+
+class TestExecutionPaths:
+    def test_repeated_rounds_replay(self):
+        _, core = _make()
+        program = _loop_program()
+        results = core.run_batch(program, 6)
+        assert core.last_round_info["mode"] == "replay"
+        assert len({r.cycles for r in results[1:]}) == 1
+
+    def test_noise_forces_scalar(self):
+        _, core = _make(noise=campaign_noise())
+        core.run(_loop_program())
+        assert core.last_round_info["mode"] == "scalar"
+
+    def test_record_timeline_forces_scalar(self):
+        _, core = _make(record_timeline=True)
+        result = core.run(_loop_program())
+        assert core.last_round_info["mode"] == "scalar"
+        assert result.timeline  # the scalar path really recorded it
+
+    def test_explicit_registers_force_scalar(self):
+        from repro.isa.registers import RegisterFile
+
+        _, core = _make()
+        core.run(_loop_program(), registers=RegisterFile())
+        assert core.last_round_info["mode"] == "scalar"
+
+    def test_unsafe_replay_defense_forces_scalar(self):
+        # FuzzyCleanup draws dummy-cleanup cycles from its own RNG; it has
+        # not opted into batch_replay_safe, so every round stays scalar.
+        _, core = _make(defense_cls=lambda h: FuzzyCleanup(h, max_dummy_cycles=32))
+        core.run_batch(_loop_program(), 3)
+        assert core.last_round_info["mode"] == "scalar"
+
+    def test_out_of_band_poke_is_part_of_the_key(self):
+        h, core = _make()
+        program = _loop_program()
+        core.run_batch(program, 3)
+        assert core.last_round_info["mode"] == "replay"
+        baseline = core.run(program).registers.read("r2")
+        h.dram.poke(0x40, 1234)
+        changed = core.run(program)
+        assert changed.registers.read("r2") == 1234
+        h.dram.poke(0x40, 0)
+        restored = core.run(program)
+        assert restored.registers.read("r2") == baseline
+
+    def test_adaptive_demotion_of_nonrepeating_programs(self):
+        _, core = _make()
+        program = _loop_program()
+        # Unique out-of-band pokes every round: the key never repeats, so
+        # after DISABLE_AFTER_MISSES hitless misses the program goes scalar.
+        for value in range(core.DISABLE_AFTER_MISSES + 2):
+            core.hierarchy.dram.poke(0x8000, value)
+            core.run(program)
+        assert core.last_round_info["mode"] == "scalar"
+
+    def test_journal_is_drained_every_round(self):
+        h, core = _make()
+        program = _loop_program()
+        for _ in range(4):
+            core.run(program)
+            assert h.dram.journal == []
+
+
+class TestScalarCoreUnaffected:
+    def test_plain_core_has_no_journal_overhead(self):
+        h = CacheHierarchy(seed=5)
+        core = Core(h, CleanupSpec(h))
+        assert h.dram.journal is None
+        core.run(_loop_program())
+        assert h.dram.journal is None
