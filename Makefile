@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-core coverage experiments report quick-report campaign-smoke campaign-fault-smoke campaign-top stats examples lint specct-smoke clean
+.PHONY: install test bench bench-core coverage experiments report quick-report campaign-smoke campaign-fault-smoke campaign-top matrix-smoke stats examples lint specct-smoke clean
 
 # Execution backend for campaign-smoke (scalar | batched); results are
 # bit-identical either way — CI runs the smoke once per backend.
@@ -67,6 +67,26 @@ campaign-smoke:
 	    print('campaign-smoke: canonical events jobs-invariant')"
 	$(PYTHON) -m repro.tools.campaign_top campaign-events-jobs2.jsonl
 
+# Matrix smoke (docs/matrix.md): the (attack x defense x channel) grid at
+# quick scale — jobs=1 vs jobs=4 and scalar vs batched must produce
+# byte-identical result JSON (the campaign determinism contract applied
+# to the matrix experiment), and every leakage/overhead check must pass.
+# CI uploads the rendered grid report.
+matrix-smoke:
+	$(PYTHON) -m repro.experiments matrix --quick --jobs 1 --no-cache \
+	    --backend scalar --json matrix-jobs1-scalar.json > REPORT-matrix.md
+	@cat REPORT-matrix.md
+	$(PYTHON) -m repro.experiments matrix --quick --jobs 4 --no-cache \
+	    --backend scalar --json matrix-jobs4-scalar.json
+	$(PYTHON) -m repro.experiments matrix --quick --jobs 4 --no-cache \
+	    --backend batched --json matrix-jobs4-batched.json
+	$(PYTHON) -c "import json; ref, *rest = [json.load(open(p)) for p in \
+	    ('matrix-jobs1-scalar.json', 'matrix-jobs4-scalar.json', \
+	     'matrix-jobs4-batched.json')]; \
+	    assert all(r == ref for r in rest), \
+	    'matrix grid diverged across jobs counts / backends'; \
+	    print('matrix-smoke: jobs- and backend-invariant')"
+
 # Live dashboard over an --events-out stream (EVENTS=path to override).
 EVENTS ?= campaign-events.jsonl
 campaign-top:
@@ -101,6 +121,7 @@ stats:
 # installed (CI installs it; locally it is optional).
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.lint_determinism src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.tools.lint_determinism --only DET007 tests
 	@if command -v ruff >/dev/null 2>&1; then \
 	    ruff check .; \
 	else \
@@ -139,5 +160,5 @@ clean:
 	rm -rf .pytest_cache .hypothesis build dist *.egg-info REPORT.md REPORT-faults.md
 	rm -f REPORT-campaign-jobs*.md campaign-stats-jobs*.json \
 	    campaign-metrics-jobs*.prom campaign-metrics-jobs*.prom.folded \
-	    campaign-events-jobs*.jsonl
+	    campaign-events-jobs*.jsonl REPORT-matrix.md matrix-jobs*.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -89,10 +89,19 @@ class AnalyzerConfig:
     unknown_addr_may_alias_secret: bool = True
     #: ``mfence`` terminates wrong-path walks (lfence-style modeling).
     fence_blocks_speculation: bool = True
+    #: Address-space size (power of two) effective addresses wrap to —
+    #: the machine's wrap semantics (``Dram.size_bytes``): a
+    #: constant-propagated negative address folds to its wrapped value
+    #: instead of escaping the lattice.
+    addr_space_bytes: int = 1 << 32
 
     def __post_init__(self) -> None:
         if self.window < 1:
             raise AnalysisError("speculation window must be at least 1")
+        if self.addr_space_bytes < 1 or (
+            self.addr_space_bytes & (self.addr_space_bytes - 1)
+        ):
+            raise AnalysisError("addr_space_bytes must be a power of two")
 
 
 #: One violation observed by a transfer: (kind, detail, counts_as_install).
@@ -118,7 +127,13 @@ class SpecCTAnalyzer:
     # ------------------------------------------------------------------
 
     def _addr(self, state: AbsState, base: str, offset: int) -> Value:
-        return value_alu("add", state.get(base), Value(offset, False))
+        """Effective address with the machine's wrap semantics: a known
+        base+offset folds through the address-space mask exactly as the
+        core masks it at the hierarchy boundary."""
+        value = value_alu("add", state.get(base), Value(offset, False))
+        if value.const is not None:
+            return Value(value.const & (self.config.addr_space_bytes - 1), value.taint)
+        return value
 
     def _transfer(
         self, pc: int, inst: Instruction, state: AbsState

@@ -114,6 +114,7 @@ class DynamicTaintInterpreter:
         fence_blocks_speculation: bool = True,
         max_steps: int = 200_000,
         memory: Optional[Mapping[int, int]] = None,
+        addr_space_bytes: int = 1 << 32,
     ) -> None:
         self.program = program
         self.ranges = normalize_ranges(secret_ranges)
@@ -121,6 +122,11 @@ class DynamicTaintInterpreter:
         self.fence_blocks_speculation = fence_blocks_speculation
         self.max_steps = max_steps
         self._initial_memory = dict(memory or {})
+        if addr_space_bytes < 1 or (addr_space_bytes & (addr_space_bytes - 1)):
+            raise AnalysisError("addr_space_bytes must be a power of two")
+        # Effective addresses wrap to the machine's address space — the
+        # same mask the core applies at the hierarchy boundary.
+        self._addr_mask = addr_space_bytes - 1
 
     # ------------------------------------------------------------------
 
@@ -155,7 +161,7 @@ class DynamicTaintInterpreter:
                 inst.src1 in state.taint,
             )
         elif isinstance(inst, Load):
-            addr = (state.get(inst.base) + inst.offset) & WORD_MASK
+            addr = (state.get(inst.base) + inst.offset) & self._addr_mask
             if inst.base in state.taint:
                 events.append(DynEvent(TAINTED_LOAD_ADDR, pc, **tag))
             tainted = (
@@ -165,7 +171,7 @@ class DynamicTaintInterpreter:
             )
             state.set(inst.dst, state.load(addr), tainted)
         elif isinstance(inst, Store):
-            addr = (state.get(inst.base) + inst.offset) & WORD_MASK
+            addr = (state.get(inst.base) + inst.offset) & self._addr_mask
             if inst.base in state.taint:
                 events.append(DynEvent(TAINTED_STORE_ADDR, pc, **tag))
             state.store(addr, state.get(inst.src), inst.src in state.taint)

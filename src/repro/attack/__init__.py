@@ -2,7 +2,16 @@
 
 from .calibration import CalibrationResult, calibrate
 from .campaign import BitRecord, CampaignResult, LeakageCampaign
-from .channel import ThresholdDecoder
+from .channel import (
+    CHANNELS,
+    Channel,
+    ChannelVerdict,
+    FlushReloadChannel,
+    RollbackTimingChannel,
+    ThresholdDecoder,
+    TrialObservation,
+    make_channel,
+)
 from .coding import (
     code_rate,
     decode_bits,
@@ -47,6 +56,13 @@ __all__ = [
     "reduce_eviction_set",
     "partition_ways",
     "ThresholdDecoder",
+    "Channel",
+    "ChannelVerdict",
+    "TrialObservation",
+    "RollbackTimingChannel",
+    "FlushReloadChannel",
+    "CHANNELS",
+    "make_channel",
     "encode_bits",
     "decode_bits",
     "encode_block",

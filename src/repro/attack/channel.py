@@ -1,17 +1,28 @@
-"""Covert-channel decoding.
+"""Covert-channel decoding and channel objects for the scenario matrix.
 
-The receiver turns latency samples into secret bits with a threshold
-(paper §VI-A picks 178 / 183 cycles by inspecting the calibration
-distributions): a sample above the threshold decodes as 1 — the rollback
-was long, so the transient loads must have modified cache state.
+Two layers:
+
+* :class:`ThresholdDecoder` — the paper's receiver: latency samples to
+  secret bits with a single threshold (§VI-A picks 178 / 183 cycles by
+  inspecting the calibration distributions); a sample above the
+  threshold decodes as 1 — the rollback was long, so the transient loads
+  must have modified cache state.
+* :class:`Channel` — a *selectable observation channel* for the
+  (attack x defense x channel) matrix: given per-trial observations
+  (:class:`TrialObservation`), each channel renders a leak/no-leak
+  :class:`ChannelVerdict` its own way.  :class:`RollbackTimingChannel`
+  is unXpec's undo-duration side channel (secret-dependent squash
+  timing); :class:`FlushReloadChannel` is the classic Spectre cache
+  footprint probe (which line of the probe array became resident).
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from ..common.errors import CalibrationError
+from ..common.errors import CalibrationError, ConfigError
 
 
 @dataclass(frozen=True)
@@ -51,3 +62,160 @@ class ThresholdDecoder:
             self.decode_majority(samples[i : i + samples_per_bit])
             for i in range(0, len(samples), samples_per_bit)
         ]
+
+
+# ----------------------------------------------------------------------
+# Matrix channels
+
+
+@dataclass(frozen=True)
+class TrialObservation:
+    """What one attack trial exposes to every channel at once.
+
+    ``secret`` is the ground-truth value transmitted this trial;
+    ``timing`` is the squash-visible duration the victim's rollback (or
+    cancellation) took; ``footprint_guess`` is the secret value the
+    attacker recovers by probing cache residency after the trial (None
+    when the probe saw nothing usable).
+    """
+
+    secret: int
+    timing: float
+    footprint_guess: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ChannelVerdict:
+    """One channel's read of a trial set under one (attack, defense)."""
+
+    channel: str
+    leaks: bool
+    #: Channel-specific leak strength (cycles of timing gap, or probe
+    #: accuracy above chance) — 0.0 when the channel is closed.
+    signal: float
+    #: Fraction of trials whose secret the channel decoded correctly.
+    accuracy: float
+
+
+class Channel(ABC):
+    """A way of observing the victim; selectable per matrix cell."""
+
+    #: Registry/matrix key (also what DefenseCapabilities.closes_channels
+    #: names).
+    key: str = ""
+    name: str = ""
+
+    @abstractmethod
+    def verdict(self, observations: Sequence[TrialObservation]) -> ChannelVerdict:
+        """Decode the trials; decide whether the secret is recoverable."""
+
+
+def _split_by_secret(
+    observations: Sequence[TrialObservation],
+) -> Tuple[Tuple[int, ...], dict]:
+    groups: dict = {}
+    for obs in observations:
+        groups.setdefault(obs.secret, []).append(obs)
+    return tuple(sorted(groups)), groups
+
+
+class RollbackTimingChannel(Channel):
+    """unXpec's channel: the *duration* of undo-based cleanup.
+
+    The secret leaks when trials carrying different secrets form
+    separable timing populations: a midpoint threshold between the two
+    group means must decode at least ``min_accuracy`` of the trials, and
+    the means must differ by at least ``min_gap_cycles`` (so quantized /
+    constant-time defenses whose residual jitter is sub-threshold count
+    as closed).
+    """
+
+    key = "rollback"
+    name = "rollback-timing"
+
+    def __init__(self, min_gap_cycles: float = 4.0, min_accuracy: float = 0.75) -> None:
+        if min_gap_cycles < 0:
+            raise ConfigError("min_gap_cycles must be non-negative")
+        if not 0.5 < min_accuracy <= 1.0:
+            raise ConfigError("min_accuracy must be in (0.5, 1.0]")
+        self.min_gap_cycles = min_gap_cycles
+        self.min_accuracy = min_accuracy
+
+    def verdict(self, observations: Sequence[TrialObservation]) -> ChannelVerdict:
+        if not observations:
+            raise CalibrationError("cannot judge an empty trial set")
+        secrets, groups = _split_by_secret(observations)
+        if len(secrets) < 2:
+            raise CalibrationError(
+                "rollback channel needs trials for at least two secrets"
+            )
+        means = {s: sum(o.timing for o in groups[s]) / len(groups[s]) for s in secrets}
+        low, high = min(means.values()), max(means.values())
+        gap = high - low
+        decoder = ThresholdDecoder(threshold=(low + high) / 2.0)
+        # Decode each trial as "nearest group mean" via the midpoint
+        # threshold; accuracy is against the ground-truth secret.
+        slow_secret = max(secrets, key=lambda s: means[s])
+        correct = sum(
+            1
+            for obs in observations
+            if (obs.secret == slow_secret) == bool(decoder.decode(obs.timing))
+        )
+        accuracy = correct / len(observations)
+        leaks = gap >= self.min_gap_cycles and accuracy >= self.min_accuracy
+        return ChannelVerdict(
+            channel=self.key,
+            leaks=leaks,
+            signal=gap if leaks else 0.0,
+            accuracy=accuracy,
+        )
+
+
+class FlushReloadChannel(Channel):
+    """Spectre's channel: which probe-array line became cache-resident.
+
+    The secret leaks when the attacker's post-trial footprint probe
+    recovers the transmitted value in at least ``min_accuracy`` of the
+    trials.  Defenses that never install (or discard) speculative fills
+    leave no footprint, so the guess is absent or uncorrelated.
+    """
+
+    key = "flush"
+    name = "flush-reload"
+
+    def __init__(self, min_accuracy: float = 0.75) -> None:
+        if not 0.5 < min_accuracy <= 1.0:
+            raise ConfigError("min_accuracy must be in (0.5, 1.0]")
+        self.min_accuracy = min_accuracy
+
+    def verdict(self, observations: Sequence[TrialObservation]) -> ChannelVerdict:
+        if not observations:
+            raise CalibrationError("cannot judge an empty trial set")
+        correct = sum(
+            1 for obs in observations if obs.footprint_guess == obs.secret
+        )
+        accuracy = correct / len(observations)
+        leaks = accuracy >= self.min_accuracy
+        return ChannelVerdict(
+            channel=self.key,
+            leaks=leaks,
+            signal=max(0.0, accuracy - 0.5) if leaks else 0.0,
+            accuracy=accuracy,
+        )
+
+
+#: Channel key -> constructor with default thresholds; what the matrix
+#: experiment iterates.
+CHANNELS = {
+    RollbackTimingChannel.key: RollbackTimingChannel,
+    FlushReloadChannel.key: FlushReloadChannel,
+}
+
+
+def make_channel(key: str) -> Channel:
+    """Instantiate a channel by key (matrix cells select channels by name)."""
+    if key not in CHANNELS:
+        raise ConfigError(
+            f"unknown channel {key!r}; registered: {', '.join(sorted(CHANNELS))}"
+        )
+    return CHANNELS[key]()

@@ -144,6 +144,32 @@ class SpectreV1Attack:
 
     def run(self, secret_value: int) -> SpectreResult:
         """POISON + VICTIM(i), then PROBE by timing each P entry."""
+        secret_value, result = self._run_round(secret_value)
+        readings = self._probe()
+        hot = [r.value for r in readings if r.cached]
+        guess = hot[0] if len(hot) == 1 else None
+        return SpectreResult(secret=secret_value, readings=tuple(readings), guess=guess)
+
+    def run_measured(self, secret_value: int):
+        """One round for the scenario matrix: ``(RunResult, guess)``.
+
+        The :class:`~repro.cpu.timing.RunResult` carries the squash events
+        (rollback-timing channel); the guess comes from a *non-mutating*
+        residency probe of the P array (flush+reload channel) so probing
+        one trial never perturbs the next.
+        """
+        secret_value, result = self._run_round(secret_value)
+        lay = self.layout
+        hot = [
+            j
+            for j in range(self.alphabet)
+            if self.hierarchy.in_l1(lay.p_entry(j))
+            or self.hierarchy.in_l2(lay.p_entry(j))
+        ]
+        guess = hot[0] if len(hot) == 1 else None
+        return result, guess
+
+    def _run_round(self, secret_value: int):
         secret_value %= self.alphabet
         self._init_memory(secret_value)
         if self._round is None:
@@ -153,11 +179,8 @@ class SpectreV1Attack:
         self.hierarchy.warm([lay.secret_addr, lay.a_base])
         table_lines = ((self.train_iters + 64) * 8 + 63) // 64
         self.hierarchy.warm(lay.table_base + 64 * i for i in range(table_lines))
-        self.core.run(self._round)
-        readings = self._probe()
-        hot = [r.value for r in readings if r.cached]
-        guess = hot[0] if len(hot) == 1 else None
-        return SpectreResult(secret=secret_value, readings=tuple(readings), guess=guess)
+        result = self.core.run(self._round)
+        return secret_value, result
 
     def _probe(self) -> List[ProbeReading]:
         """Flush+Reload: time a load of every probe entry (Alg. 1 l. 14-17)."""

@@ -116,6 +116,10 @@ class CacheHierarchy:
         self.l1 = SetAssociativeCache(self.config.l1d, l1_policy)
         self.l2 = SetAssociativeCache(self.config.l2, l2_policy, randomizer=randomizer)
         self.dram = Dram(latency=self.latency.memory)
+        #: Address-space mask (size is a power of two): the core wraps
+        #: every computed effective address with this at the
+        #: core/hierarchy boundary, on committed and wrong paths alike.
+        self.addr_mask = self.dram.addr_mask
         self.mshr = MshrFile(capacity=self.config.core.mshr_entries)
         self.tracker = SpeculationTracker()
         self.l1_guard = CoherenceGuard(

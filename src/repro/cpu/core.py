@@ -82,6 +82,13 @@ class _WrongPathResult:
     executed: int = 0
     loads_issued: int = 0
     inflight: int = 0
+    #: Wrong-path misses serviced into shadow structures (SafeSpec-style
+    #: shadow fills / CacheSquash-style cancellable requests) — they never
+    #: touch the real hierarchy.
+    shadow_fills: int = 0
+    #: Of those, fills still in flight at the squash point (the requests a
+    #: cancellation-based defense must squash).
+    shadow_inflight: int = 0
 
 
 class Core:
@@ -190,6 +197,10 @@ class Core:
         hierarchy = self.hierarchy
         hier_access = hierarchy.access
         dram_peek = hierarchy.dram.peek
+        # Effective addresses wrap to the DRAM address space (a power of
+        # two), so negative/overflowed computed addresses execute
+        # deterministically; register values keep full 64-bit semantics.
+        addr_mask = hierarchy.addr_mask
         noise = self.noise
         noise_enabled = noise.enabled
         noise_event = noise.system_event
@@ -297,7 +308,7 @@ class Core:
                     start = dispatch
                 if fence_barrier > start:
                     start = fence_barrier
-                addr = (raw_get(base, 0) + ins[3]) & WORD_MASK
+                addr = (raw_get(base, 0) + ins[3]) & addr_mask
                 if delay_misses and start < max_branch_resolve:
                     # Invisible-family delay-on-miss: an L1 miss issued under
                     # an unresolved branch waits for the branch to resolve.
@@ -384,6 +395,8 @@ class Core:
                         delta=delta,
                         inflight_transient=wp.inflight,
                         older_mem_complete=mem_max_complete,
+                        shadow_fills=wp.shadow_fills,
+                        shadow_inflight=wp.shadow_inflight,
                     )
                     outcome = self.defense.on_squash(ctx)
                     fetch_resume = (
@@ -447,7 +460,7 @@ class Core:
                     start = dispatch
                 if fence_barrier > start:
                     start = fence_barrier
-                addr = (raw_get(base, 0) + ins[3]) & WORD_MASK
+                addr = (raw_get(base, 0) + ins[3]) & addr_mask
                 access = hier_access(addr, cycle=start, is_write=True)
                 hierarchy.dram.poke(addr, raw_get(src, 0))
                 complete = start + access.latency
@@ -463,7 +476,7 @@ class Core:
                     start = dispatch
                 if fence_barrier > start:
                     start = fence_barrier
-                addr = (raw_get(base, 0) + ins[2]) & WORD_MASK
+                addr = (raw_get(base, 0) + ins[2]) & addr_mask
                 hierarchy.flush_line(addr)
                 complete = start + flush_latency
                 if complete > mem_max_complete:
@@ -534,6 +547,13 @@ class Core:
 
         result.cycles = max(last_complete_all, fetch_available)
         result.instructions = committed
+        # Drain in-flight fills: the machine quiesces between runs, and the
+        # cycle clock restarts at 0 next run — an entry carried across would
+        # sit in the previous run's cycle domain, merging every later miss
+        # to its line into a phantom far-future completion. (Defenses whose
+        # wrong path never touches the hierarchy otherwise leak the final
+        # committed miss's entry into every subsequent round.)
+        hierarchy.mshr.retire_completed(NEVER)
         if has_obs:
             self._st_runs.inc()
             self._st_instructions.inc(committed)
@@ -583,6 +603,7 @@ class Core:
         out = _WrongPathResult()
 
         hierarchy = self.hierarchy
+        addr_mask = hierarchy.addr_mask
         noise_jitter = self.noise.mem_jitter
         noise_rng = self._noise_rng
         predictor_counter = self.predictor.counter
@@ -591,6 +612,7 @@ class Core:
         dispatch_width = cfg.dispatch_width
         max_wrong_path = self.max_wrong_path
         allows_install = getattr(self.defense, "allows_speculative_install", True)
+        shadow_fills = getattr(self.defense, "shadow_speculative_fills", False)
 
         count = 0
         while 0 <= pc < n_code and count < max_wrong_path:
@@ -643,25 +665,41 @@ class Core:
                 if start >= squash_point or base_ready >= NEVER:
                     spec_ready[dst] = NEVER
                 elif not allows_install:
-                    # Invisible-family defense: L1 hits proceed, misses are
-                    # deferred past the squash and die without any cache
-                    # state change.
+                    # Invisible-family defense: L1 hits proceed; misses
+                    # either die (delay-on-miss) or — for shadow-structure
+                    # defenses (SafeSpec shadow fills, CacheSquash
+                    # cancellable requests) — complete from a shadow buffer
+                    # without any real-hierarchy state change.
                     vb = spec_values_get(base)
                     if vb is None:
                         vb = raw_get(base, 0)
-                    addr = (vb + ins[3]) & WORD_MASK
+                    addr = (vb + ins[3]) & addr_mask
                     latency, probed = hierarchy.probe_latency(addr)
                     if probed == "L1":
                         out.loads_issued += 1
                         spec_values[dst] = hierarchy.dram.peek(addr)
                         spec_ready[dst] = start + latency
+                    elif shadow_fills:
+                        if probed == "MEM":
+                            latency = max(1, latency + noise_jitter(noise_rng))
+                        complete = start + latency
+                        out.loads_issued += 1
+                        out.shadow_fills += 1
+                        if complete > squash_point:
+                            # Still in flight when the squash hits: a
+                            # cancellation-based defense must squash it.
+                            out.shadow_inflight += 1
+                            spec_ready[dst] = NEVER
+                        else:
+                            spec_values[dst] = hierarchy.dram.peek(addr)
+                            spec_ready[dst] = complete
                     else:
                         spec_ready[dst] = NEVER
                 else:
                     vb = spec_values_get(base)
                     if vb is None:
                         vb = raw_get(base, 0)
-                    addr = (vb + ins[3]) & WORD_MASK
+                    addr = (vb + ins[3]) & addr_mask
                     # Predict the modelled cost *including* MSHR-full
                     # pressure, without side effects: the in-flight-vs-landed
                     # decision must agree with what access() will charge.

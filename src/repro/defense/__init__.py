@@ -1,15 +1,35 @@
-"""Speculation-squash defenses: unsafe baseline, CleanupSpec, mitigations."""
+"""Speculation-squash defenses: unsafe baseline, CleanupSpec, mitigations.
 
-from .base import Defense, SquashContext, SquashOutcome
+Importing this package populates the defense registry
+(:func:`~repro.defense.base.defense_keys` /
+:func:`~repro.defense.base.make_defense`): every defense module registers
+a factory plus a :class:`~repro.defense.base.DefenseCapabilities`
+descriptor at import time. The (attack x defense x channel) matrix
+iterates the registry instead of hard-coding schemes.
+"""
+
+from .base import (
+    Defense,
+    DefenseCapabilities,
+    SquashContext,
+    SquashOutcome,
+    defense_capabilities,
+    defense_keys,
+    make_defense,
+    register_defense,
+)
 from .cleanup_timing import CleanupMode, CleanupTimingModel
 from .cleanupspec import CleanupSpec
 from .delay_on_miss import DelayOnMiss
 from .constant_time import ConstantTimeRollback
 from .fuzzy import FuzzyCleanup
 from .unsafe import UnsafeBaseline
+from .safespec import SafeSpec
+from .cachesquash import CacheSquash
 
 __all__ = [
     "Defense",
+    "DefenseCapabilities",
     "SquashContext",
     "SquashOutcome",
     "CleanupMode",
@@ -19,4 +39,10 @@ __all__ = [
     "ConstantTimeRollback",
     "FuzzyCleanup",
     "UnsafeBaseline",
+    "SafeSpec",
+    "CacheSquash",
+    "defense_capabilities",
+    "defense_keys",
+    "make_defense",
+    "register_defense",
 ]

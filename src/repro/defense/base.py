@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
+from ..common.errors import ConfigError
 from ..obs import Observability
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -42,6 +43,13 @@ class SquashContext:
     #: Latest completion cycle among older (correct-path) memory ops; the
     #: basis of the T4 wait. A fence before the window pins this <= resolve.
     older_mem_complete: int
+    #: Wrong-path misses serviced into shadow structures (only non-zero
+    #: when the defense sets ``shadow_speculative_fills``); the squashed
+    #: window's shadow state to discard.
+    shadow_fills: int = 0
+    #: Of those, fills still in flight at the squash point — the requests a
+    #: cancellation-based defense (CacheSquash) must squash.
+    shadow_inflight: int = 0
 
 
 @dataclass
@@ -79,6 +87,13 @@ class Defense(abc.ABC):
     #: Invisible-family "delay-on-miss": a load that misses the L1 while an
     #: older branch is unresolved is deferred until the branch resolves.
     delay_speculative_misses: bool = False
+
+    #: Shadow-structure defenses (SafeSpec, CacheSquash): a wrong-path miss
+    #: completes from a shadow L1/MSHR fill (value forwarded at the real
+    #: latency) without installing into the real hierarchy; the squash
+    #: context reports the window's shadow-fill counts. Only meaningful
+    #: together with ``allows_speculative_install = False``.
+    shadow_speculative_fills: bool = False
 
     #: The batched backend may memoize and replay rounds only when the
     #: defense's squash handling is a pure deterministic function of the
@@ -149,3 +164,74 @@ class Defense(abc.ABC):
                     f"defense.stage.{stage}", "per-squash stage duration"
                 ).add(cycles)
         return outcome
+
+
+# ----------------------------------------------------------------------
+# defense registry + capability descriptors
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DefenseCapabilities:
+    """What a defense claims about itself, machine-checkable.
+
+    The (attack x defense x channel) matrix validates the
+    ``closes_channels`` claims empirically: a channel a defense claims to
+    close must show no leak in any matrix cell that pairs them.
+    """
+
+    #: Scheme family: "none", "undo" (rollback), "invisible" (delay),
+    #: "shadow" (shadow structures), "cancel" (cancellable requests).
+    family: str
+    #: True when the batched backend may memoize/replay rounds under this
+    #: defense (mirrors :attr:`Defense.batch_replay_safe`).
+    replay_safe: bool
+    #: Channel keys (see :mod:`repro.attack.channel`) the scheme claims to
+    #: close, e.g. ("flush",) for undo schemes, ("flush", "rollback") for
+    #: shadow-structure schemes.
+    closes_channels: Tuple[str, ...] = ()
+    #: Microarchitectural structures the scheme shadows/duplicates.
+    shadowed_structures: Tuple[str, ...] = ()
+
+
+#: key -> (factory, capabilities). Populated by each defense module at
+#: import time; ``repro.defense`` imports them all, so importing the
+#: package fills the registry.
+_DEFENSE_REGISTRY: Dict[str, Tuple[Callable[..., "Defense"], DefenseCapabilities]] = {}
+
+
+def register_defense(
+    key: str,
+    factory: Callable[..., "Defense"],
+    capabilities: DefenseCapabilities,
+) -> None:
+    """Register ``factory`` (hierarchy -> Defense) under ``key``."""
+    if key in _DEFENSE_REGISTRY:
+        raise ConfigError(f"defense {key!r} already registered")
+    _DEFENSE_REGISTRY[key] = (factory, capabilities)
+
+
+def defense_keys() -> Tuple[str, ...]:
+    """Registered defense keys, sorted for deterministic iteration."""
+    return tuple(sorted(_DEFENSE_REGISTRY))
+
+
+def make_defense(key: str, hierarchy: "CacheHierarchy") -> "Defense":
+    """Instantiate the registered defense ``key`` on ``hierarchy``."""
+    try:
+        factory, _ = _DEFENSE_REGISTRY[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown defense {key!r}; registered: {', '.join(defense_keys())}"
+        ) from None
+    return factory(hierarchy)
+
+
+def defense_capabilities(key: str) -> DefenseCapabilities:
+    """Capability descriptor of the registered defense ``key``."""
+    try:
+        _, caps = _DEFENSE_REGISTRY[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown defense {key!r}; registered: {', '.join(defense_keys())}"
+        ) from None
+    return caps

@@ -21,7 +21,13 @@ from __future__ import annotations
 from typing import Optional
 
 from ..cache.hierarchy import CacheHierarchy
-from .base import Defense, SquashContext, SquashOutcome
+from .base import (
+    Defense,
+    DefenseCapabilities,
+    SquashContext,
+    SquashOutcome,
+    register_defense,
+)
 from .cleanup_timing import CleanupMode, CleanupTimingModel
 
 
@@ -134,3 +140,12 @@ class CleanupSpec(Defense):
             invalidated_l2=inval_l2,
             restored_l1=restored,
         )
+
+
+register_defense(
+    "cleanupspec",
+    lambda hierarchy: CleanupSpec(hierarchy),
+    # The undo family closes the footprint (flush) channel; the rollback
+    # duration itself stays secret-dependent — exactly the unXpec channel.
+    DefenseCapabilities(family="undo", replay_safe=True, closes_channels=("flush",)),
+)

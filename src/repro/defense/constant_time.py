@@ -18,7 +18,13 @@ from __future__ import annotations
 from typing import Optional
 
 from ..cache.hierarchy import CacheHierarchy
-from .base import Defense, SquashContext, SquashOutcome
+from .base import (
+    Defense,
+    DefenseCapabilities,
+    SquashContext,
+    SquashOutcome,
+    register_defense,
+)
 from .cleanup_timing import CleanupMode, CleanupTimingModel
 from .cleanupspec import CleanupSpec
 
@@ -72,3 +78,12 @@ class ConstantTimeRollback(Defense):
             invalidated_l2=inner.invalidated_l2,
             restored_l1=inner.restored_l1,
         )
+
+
+register_defense(
+    "constant_time",
+    lambda hierarchy: ConstantTimeRollback(hierarchy, constant_cycles=40),
+    # Relaxed padding hides the common-case rollback difference but runs
+    # long for large footprints, so only the flush channel is *claimed*.
+    DefenseCapabilities(family="undo", replay_safe=True, closes_channels=("flush",)),
+)

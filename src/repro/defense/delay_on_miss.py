@@ -27,7 +27,13 @@ On squash there is nothing to roll back.
 
 from __future__ import annotations
 
-from .base import Defense, SquashContext, SquashOutcome
+from .base import (
+    Defense,
+    DefenseCapabilities,
+    SquashContext,
+    SquashOutcome,
+    register_defense,
+)
 
 
 class DelayOnMiss(Defense):
@@ -49,3 +55,12 @@ class DelayOnMiss(Defense):
             stall_cycles=0,
             breakdown={"t3_mshr_clean": 0, "t4_inflight_wait": 0, "t5_rollback": 0},
         )
+
+
+register_defense(
+    "delay_on_miss",
+    lambda hierarchy: DelayOnMiss(hierarchy),
+    DefenseCapabilities(
+        family="invisible", replay_safe=True, closes_channels=("flush", "rollback")
+    ),
+)

@@ -19,7 +19,13 @@ import numpy as np
 
 from ..cache.hierarchy import CacheHierarchy
 from ..common.rng import derive_rng
-from .base import Defense, SquashContext, SquashOutcome
+from .base import (
+    Defense,
+    DefenseCapabilities,
+    SquashContext,
+    SquashOutcome,
+    register_defense,
+)
 from .cleanup_timing import CleanupMode, CleanupTimingModel
 from .cleanupspec import CleanupSpec
 
@@ -69,3 +75,12 @@ class FuzzyCleanup(Defense):
             invalidated_l2=inner.invalidated_l2,
             restored_l1=inner.restored_l1,
         )
+
+
+register_defense(
+    "fuzzy",
+    lambda hierarchy: FuzzyCleanup(hierarchy, max_dummy_cycles=32),
+    # The per-squash RNG draw makes rounds non-replayable (the batched
+    # backend falls back to scalar) and only *blurs* the rollback channel.
+    DefenseCapabilities(family="undo", replay_safe=False, closes_channels=("flush",)),
+)

@@ -8,7 +8,13 @@ secret-dependent line hot. It is also Figure 12's normalisation baseline.
 
 from __future__ import annotations
 
-from .base import Defense, SquashContext, SquashOutcome
+from .base import (
+    Defense,
+    DefenseCapabilities,
+    SquashContext,
+    SquashOutcome,
+    register_defense,
+)
 
 
 class UnsafeBaseline(Defense):
@@ -28,3 +34,10 @@ class UnsafeBaseline(Defense):
             stall_cycles=0,
             breakdown={"t3_mshr_clean": 0, "t4_inflight_wait": 0, "t5_rollback": 0},
         )
+
+
+register_defense(
+    "unsafe",
+    lambda hierarchy: UnsafeBaseline(hierarchy),
+    DefenseCapabilities(family="none", replay_safe=True),
+)

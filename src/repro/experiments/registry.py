@@ -59,5 +59,6 @@ def _ensure_loaded() -> None:
         fig12_overhead,
         fig13_real_cpu,
         leakage_rate,
+        matrix_grid,
         table1_setup,
     )

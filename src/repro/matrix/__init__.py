@@ -1,0 +1,45 @@
+"""Attack x defense x channel scenario matrix (see docs/matrix.md).
+
+The matrix crosses every registered attack scenario with every registered
+defense and judges each pairing under every observation channel; the
+``matrix`` experiment (``python -m repro.experiments matrix``) runs the
+grid through the cached campaign runner and renders the leakage table.
+"""
+
+from .grid import (
+    CellVerdict,
+    MatrixCell,
+    attack_keys,
+    channel_keys,
+    evaluate_cell,
+    grid_pairs,
+    observations_to_rows,
+    render_grid,
+    rows_to_observations,
+    run_cell_trials,
+)
+from .scenarios import (
+    SCENARIOS,
+    AttackScenario,
+    SpectreScenario,
+    UnxpecScenario,
+    make_scenario,
+)
+
+__all__ = [
+    "MatrixCell",
+    "CellVerdict",
+    "attack_keys",
+    "channel_keys",
+    "grid_pairs",
+    "run_cell_trials",
+    "evaluate_cell",
+    "render_grid",
+    "observations_to_rows",
+    "rows_to_observations",
+    "AttackScenario",
+    "UnxpecScenario",
+    "SpectreScenario",
+    "SCENARIOS",
+    "make_scenario",
+]

@@ -1,0 +1,125 @@
+"""The (attack x defense x channel) grid: cells, trial running, verdicts.
+
+The grid's axes come from registries, not hard-coded lists: defenses from
+:func:`repro.defense.base.defense_keys` (every module self-registers with
+a :class:`~repro.defense.base.DefenseCapabilities` descriptor), attacks
+from :data:`repro.matrix.scenarios.SCENARIOS`, channels from
+:data:`repro.attack.channel.CHANNELS`.  Adding a defense module makes a
+new matrix row with zero changes here.
+
+Trials are shared across channels: :func:`run_cell_trials` executes one
+(attack, defense) pair once, and :func:`evaluate_cell` renders each
+channel's verdict from the same observations — so a full matrix costs
+``attacks x defenses`` machine runs, not ``x channels`` more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..attack.channel import CHANNELS, ChannelVerdict, TrialObservation, make_channel
+from ..defense.base import defense_capabilities, defense_keys
+from .scenarios import SCENARIOS, make_scenario
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (attack, defense, channel) coordinate."""
+
+    attack: str
+    defense: str
+    channel: str
+
+
+@dataclass(frozen=True)
+class CellVerdict:
+    """A cell plus its measured verdict and the defense's claim."""
+
+    cell: MatrixCell
+    leaks: bool
+    signal: float
+    accuracy: float
+    #: Whether the defense's capability descriptor claims this channel
+    #: closed — measured leaks on a claimed-closed channel are a check
+    #: failure, the capabilities-vs-measurement consistency the matrix
+    #: exists to enforce.
+    claimed_closed: bool
+
+
+def attack_keys() -> Tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))
+
+
+def channel_keys() -> Tuple[str, ...]:
+    return tuple(sorted(CHANNELS))
+
+
+def grid_pairs() -> List[Tuple[str, str]]:
+    """Every (attack, defense) pair — the unit of machine execution."""
+    return [(a, d) for a in attack_keys() for d in defense_keys()]
+
+
+def run_cell_trials(
+    attack: str, defense: str, n_trials: int, seed: int = 0
+) -> List[TrialObservation]:
+    """Run one (attack, defense) pair's trials on a fresh machine."""
+    scenario = make_scenario(attack, defense, seed=seed)
+    return scenario.run_trials(n_trials)
+
+
+def observations_to_rows(observations: Sequence[TrialObservation]) -> List[list]:
+    """Picklable/JSON-safe form of a trial set (campaign shard payload)."""
+    return [
+        [obs.secret, obs.timing, obs.footprint_guess] for obs in observations
+    ]
+
+
+def rows_to_observations(rows: Sequence[Sequence[object]]) -> List[TrialObservation]:
+    return [
+        TrialObservation(
+            secret=int(secret),
+            timing=float(timing),
+            footprint_guess=None if guess is None else int(guess),
+        )
+        for secret, timing, guess in rows
+    ]
+
+
+def evaluate_cell(
+    attack: str,
+    defense: str,
+    observations: Sequence[TrialObservation],
+) -> List[CellVerdict]:
+    """Each channel's read of one pair's trials, plus the defense's claim."""
+    caps = defense_capabilities(defense)
+    verdicts = []
+    for channel_key in channel_keys():
+        verdict: ChannelVerdict = make_channel(channel_key).verdict(observations)
+        verdicts.append(
+            CellVerdict(
+                cell=MatrixCell(attack=attack, defense=defense, channel=channel_key),
+                leaks=verdict.leaks,
+                signal=verdict.signal,
+                accuracy=verdict.accuracy,
+                claimed_closed=channel_key in caps.closes_channels,
+            )
+        )
+    return verdicts
+
+
+def render_grid(verdicts: Sequence[CellVerdict]) -> Dict[str, Dict[str, str]]:
+    """Pivot verdicts into ``{defense: {"attack/channel": "LEAK|safe"}}``.
+
+    The compact form report tables and the dashboard render: one row per
+    defense, one column per (attack, channel) pairing.
+    """
+    grid: Dict[str, Dict[str, str]] = {}
+    for cv in sorted(
+        verdicts, key=lambda v: (v.cell.defense, v.cell.attack, v.cell.channel)
+    ):
+        column = f"{cv.cell.attack}/{cv.cell.channel}"
+        grid.setdefault(cv.cell.defense, {})[column] = (
+            "LEAK" if cv.leaks else "safe"
+        )
+    return grid

@@ -1,0 +1,137 @@
+"""Attack scenarios: one driver per attack, emitting channel-agnostic trials.
+
+A scenario owns a protected machine (hierarchy + registry-constructed
+defense + core) and runs *trials*; each trial transmits a known secret and
+records everything every channel could observe at once — the squash-visible
+timing and a cache-footprint guess — as a
+:class:`~repro.attack.channel.TrialObservation`.  The matrix then asks each
+:class:`~repro.attack.channel.Channel` for a verdict over the same trial
+set, so "does attack A leak through channel C under defense D" is a pure
+post-processing question and a cell never re-runs the machine per channel.
+
+Two scenarios, mirroring the paper's pairing:
+
+* :class:`UnxpecScenario` — the unXpec sender (Algorithm 2): secret bits
+  0/1, timing is the receiver's ``ts2 - ts1`` bracket around the squash;
+* :class:`SpectreScenario` — classic Spectre v1 (Algorithm 1): secret
+  values from a small alphabet, timing is the round's total squash stall.
+
+Footprint guesses use the hierarchy's *non-mutating* residency checks
+(:meth:`~repro.cache.hierarchy.CacheHierarchy.in_l1` /
+:meth:`~repro.cache.hierarchy.CacheHierarchy.in_l2`), never timed reloads,
+so observing one trial cannot perturb the next.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+from ..attack.channel import TrialObservation
+from ..attack.gadgets import GadgetParams
+from ..attack.spectre import SpectreV1Attack
+from ..attack.unxpec import UnxpecAttack
+from ..common.errors import ConfigError
+from ..defense.base import make_defense
+
+
+class AttackScenario(ABC):
+    """One attack driver; produces channel-agnostic trial observations."""
+
+    #: Matrix key ("unxpec", "spectre").
+    key: str = ""
+    name: str = ""
+
+    @abstractmethod
+    def run_trials(self, n_trials: int) -> List[TrialObservation]:
+        """Run ``n_trials`` rounds, alternating secrets deterministically."""
+
+
+class UnxpecScenario(AttackScenario):
+    """unXpec rounds: bit 0/1 alternating, latency + P-target residency."""
+
+    key = "unxpec"
+    name = "unXpec (Algorithm 2)"
+
+    def __init__(self, defense_key: str, seed: int = 0, n_loads: int = 1) -> None:
+        self.defense_key = defense_key
+        self.n_loads = n_loads
+        self.attack = UnxpecAttack(
+            params=GadgetParams(n_loads=n_loads),
+            defense_factory=lambda h: make_defense(defense_key, h),
+            seed=seed,
+        )
+
+    def run_trials(self, n_trials: int) -> List[TrialObservation]:
+        self.attack.prepare()
+        observations = []
+        for trial in range(n_trials):
+            bit = trial & 1
+            sample = self.attack.sample(bit)
+            observations.append(
+                TrialObservation(
+                    secret=bit,
+                    timing=float(sample.latency),
+                    footprint_guess=self._footprint_guess(),
+                )
+            )
+        return observations
+
+    def _footprint_guess(self) -> int:
+        """Flush+Reload read of the round just run: the round flushes every
+        ``P[64k]`` target before the measured invocation, so post-round
+        residency of any target means the transient loads ran with bit 1
+        and their fills survived the squash."""
+        hierarchy = self.attack.hierarchy
+        layout = self.attack.gadget.layout
+        hot = any(
+            hierarchy.in_l1(layout.p_entry(k)) or hierarchy.in_l2(layout.p_entry(k))
+            for k in range(1, self.n_loads + 1)
+        )
+        return 1 if hot else 0
+
+
+class SpectreScenario(AttackScenario):
+    """Spectre v1 rounds: two alphabet values, squash stall + probe guess."""
+
+    key = "spectre"
+    name = "Spectre v1 (Algorithm 1)"
+
+    #: The two secrets trials alternate between (distinct P lines, both
+    #: clear of the training value 0 and the overrun sentinel).
+    SECRETS = (3, 9)
+
+    def __init__(self, defense_key: str, seed: int = 0, alphabet: int = 16) -> None:
+        self.defense_key = defense_key
+        self.attack = SpectreV1Attack(
+            defense_factory=lambda h: make_defense(defense_key, h),
+            alphabet=alphabet,
+            seed=seed,
+        )
+
+    def run_trials(self, n_trials: int) -> List[TrialObservation]:
+        observations = []
+        for trial in range(n_trials):
+            secret = self.SECRETS[trial % len(self.SECRETS)]
+            result, guess = self.attack.run_measured(secret)
+            timing = float(sum(e.outcome.stall_cycles for e in result.squashes))
+            observations.append(
+                TrialObservation(secret=secret, timing=timing, footprint_guess=guess)
+            )
+        return observations
+
+
+#: Scenario key -> constructor taking (defense_key, seed).
+SCENARIOS = {
+    UnxpecScenario.key: UnxpecScenario,
+    SpectreScenario.key: SpectreScenario,
+}
+
+
+def make_scenario(attack_key: str, defense_key: str, seed: int = 0) -> AttackScenario:
+    """Instantiate the scenario for one matrix cell's (attack, defense)."""
+    if attack_key not in SCENARIOS:
+        raise ConfigError(
+            f"unknown attack {attack_key!r}; registered: {', '.join(sorted(SCENARIOS))}"
+        )
+    return SCENARIOS[attack_key](defense_key, seed=seed)

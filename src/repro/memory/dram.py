@@ -41,6 +41,13 @@ class Dram:
             raise ValueError("DRAM latency must be non-negative")
         if self.size_bytes <= 0:
             raise ValueError("DRAM size must be positive")
+        if self.size_bytes & (self.size_bytes - 1):
+            raise ValueError("DRAM size must be a power of two (address wrap)")
+        #: Address-space mask: the core wraps every computed effective
+        #: address with this before it reaches the hierarchy, so negative
+        #: or overflowed addresses execute deterministically instead of
+        #: escaping as host-level MemoryError_.
+        self.addr_mask = self.size_bytes - 1
         self._words: dict = {}
         #: Optional write journal: when a list is attached (the batched
         #: backend's replay engine does this), every functional write appends

@@ -21,11 +21,16 @@ ways that contract gets broken inside ``src/repro``:
   ``list``/``tuple``/``enumerate``/``iter``): set order depends on
   insertion history and hash seeds.  Wrap in ``sorted(...)``.
 * ``DET006`` — the ``hash()`` builtin (``PYTHONHASHSEED``-dependent).
+* ``DET007`` — a Hypothesis ``@given`` test without a ``@settings(...)``
+  decorator carrying ``derandomize=True``.  Randomized example search
+  makes the suite's pass/fail flip run-to-run; every property test in
+  this repo pins its example stream (run over ``tests/``).
 
 Any finding can be suppressed per-line with a ``# det: allow`` comment;
 :mod:`repro.common.rng` is exempt from DET001/DET002 wholesale.  Run as::
 
     python -m repro.tools.lint_determinism [paths...]   # default: src/repro
+    python -m repro.tools.lint_determinism --only DET007 tests
 
 Exit status 1 when findings exist; wired as ``make lint`` and the CI
 ``lint`` job.
@@ -219,6 +224,41 @@ class _Checker(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # -- hypothesis tests ---------------------------------------------------
+
+    def _check_given(self, node) -> None:
+        has_given = False
+        derandomized = False
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = _dotted(target)[-1] if isinstance(target, ast.Attribute) else (
+                target.id if isinstance(target, ast.Name) else ""
+            )
+            if name == "given":
+                has_given = True
+            elif name == "settings" and isinstance(deco, ast.Call):
+                for kw in deco.keywords:
+                    if kw.arg == "derandomize" and (
+                        isinstance(kw.value, ast.Constant) and kw.value.value is True
+                    ):
+                        derandomized = True
+        if has_given and not derandomized:
+            self._flag(
+                node,
+                "DET007",
+                f"@given test {node.name!r} lacks "
+                "@settings(..., derandomize=True); randomized example "
+                "search makes the suite nondeterministic",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_given(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_given(node)
+        self.generic_visit(node)
+
 
 def _annotate_parents(tree: ast.AST) -> None:
     for parent in ast.walk(tree):
@@ -257,14 +297,27 @@ def lint_paths(paths: Iterable[str]) -> List[LintFinding]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    only: Optional[str] = None
+    if "--only" in args:
+        at = args.index("--only")
+        try:
+            only = args[at + 1]
+        except IndexError:
+            print("lint_determinism: --only requires a code (e.g. DET007)",
+                  file=sys.stderr)
+            return 2
+        del args[at:at + 2]
     paths = args or [os.path.join("src", "repro")]
     findings = lint_paths(paths)
+    if only is not None:
+        findings = [f for f in findings if f.code == only]
     for finding in findings:
         print(finding.render())
     if findings:
         print(f"lint_determinism: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print(f"lint_determinism: clean ({', '.join(paths)})")
+    scope = f"{', '.join(paths)}" + (f", only {only}" if only else "")
+    print(f"lint_determinism: clean ({scope})")
     return 0
 
 

@@ -33,9 +33,11 @@ from repro.common.config import CacheGeometry, CoreConfig, SystemConfig
 from repro.cpu.backend import use_backend
 from repro.cpu.batched import machine_fingerprint, stats_fingerprint
 from repro.cpu.noise import campaign_noise
+from repro.defense.cachesquash import CacheSquash
 from repro.defense.cleanupspec import CleanupSpec
 from repro.defense.constant_time import ConstantTimeRollback
 from repro.defense.delay_on_miss import DelayOnMiss
+from repro.defense.safespec import SafeSpec
 from repro.defense.unsafe import UnsafeBaseline
 from repro.isa import ProgramBuilder
 from repro.obs import Observability, set_default_obs
@@ -62,6 +64,8 @@ _DEFENSES = {
     "unsafe": lambda h: UnsafeBaseline(h),
     "delay": lambda h: DelayOnMiss(h),
     "constant": lambda h: ConstantTimeRollback(h, constant_cycles=40),
+    "safespec": lambda h: SafeSpec(h),
+    "cachesquash": lambda h: CacheSquash(h),
 }
 
 

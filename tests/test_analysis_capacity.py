@@ -31,7 +31,7 @@ class TestBinaryEntropy:
             binary_entropy(1.5)
 
     @given(st.floats(0.0, 1.0))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100, deadline=None, derandomize=True)
     def test_bounded(self, p):
         assert 0.0 <= binary_entropy(p) <= 1.0
 

@@ -54,7 +54,7 @@ class TestThresholdDecoder:
             d.decode_stream([1], samples_per_bit=0)
 
     @given(st.lists(st.floats(0, 1000), min_size=1, max_size=20))
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50, deadline=None, derandomize=True)
     def test_majority_more_samples_never_worse_for_separated(self, noise):
         """For samples all on one side, any vote count decodes the same."""
         d = ThresholdDecoder(500)
@@ -83,7 +83,7 @@ class TestSecrets:
         assert bytes_to_bits(bits_to_bytes(bits), 77) == bits
 
     @given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60, deadline=None, derandomize=True)
     def test_roundtrip_property(self, bits):
         assert bytes_to_bits(bits_to_bytes(bits), len(bits)) == bits
 

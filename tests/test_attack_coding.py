@@ -53,7 +53,7 @@ class TestBlockCode:
 
 class TestStreamCoding:
     @given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60, deadline=None, derandomize=True)
     def test_roundtrip_property(self, bits):
         coded = encode_bits(bits)
         decoded, corrections = decode_bits(coded, len(bits))
@@ -64,7 +64,7 @@ class TestStreamCoding:
         bits=st.lists(st.integers(0, 1), min_size=4, max_size=40),
         error_data=st.data(),
     )
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60, deadline=None, derandomize=True)
     def test_one_error_per_block_corrected(self, bits, error_data):
         coded = encode_bits(bits)
         corrupted = list(coded)

@@ -142,7 +142,7 @@ class TestInvariants:
             st.tuples(st.integers(0, 255), st.booleans()), min_size=1, max_size=200
         )
     )
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40, deadline=None, derandomize=True)
     def test_no_duplicate_lines_and_bounded_occupancy(self, ops):
         """Property: a line is never resident twice; sets never overflow."""
         c = SetAssociativeCache(GEOM, RandomReplacement(make_rng(7)))
@@ -160,7 +160,7 @@ class TestInvariants:
             assert c.set_occupancy(s) <= GEOM.ways
 
     @given(st.integers(0, (1 << 32) - 1))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100, deadline=None, derandomize=True)
     def test_install_then_lookup_hits(self, addr):
         c = make_cache()
         c.install(addr, 0)

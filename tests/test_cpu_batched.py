@@ -23,8 +23,10 @@ from repro.cpu import (
     use_backend,
 )
 from repro.cpu.noise import campaign_noise
+from repro.defense.cachesquash import CacheSquash
 from repro.defense.cleanupspec import CleanupSpec
 from repro.defense.fuzzy import FuzzyCleanup
+from repro.defense.safespec import SafeSpec
 from repro.isa import ProgramBuilder
 
 
@@ -107,6 +109,39 @@ class TestExecutionPaths:
         _, core = _make(defense_cls=lambda h: FuzzyCleanup(h, max_dummy_cycles=32))
         core.run_batch(_loop_program(), 3)
         assert core.last_round_info["mode"] == "scalar"
+
+    def test_shadow_defenses_are_replay_safe(self):
+        # SafeSpec and CacheSquash opted into batch_replay_safe: repeated
+        # rounds must reach the memoized-replay fast path.
+        for factory in (lambda h: SafeSpec(h), lambda h: CacheSquash(h)):
+            _, core = _make(defense_cls=factory)
+            core.run_batch(_loop_program(), 4)
+            assert core.last_round_info["mode"] == "replay"
+
+    @pytest.mark.parametrize(
+        "factory,attrs",
+        [
+            (lambda h: SafeSpec(h), ("total_shadow_fills", "total_shadow_discards")),
+            (lambda h: CacheSquash(h), ("total_cancelled", "total_cancel_stall")),
+        ],
+        ids=["safespec", "cachesquash"],
+    )
+    def test_shadow_counters_replayed_identically(self, factory, attrs):
+        # The new defenses' counters are declared in replay_counter_attrs,
+        # so replayed rounds must advance them exactly like scalar ones.
+        def run(backend):
+            with use_backend(backend):
+                attack = UnxpecAttack(defense_factory=factory, seed=3)
+                attack.prepare()
+                for bit in (0, 1, 1, 0, 1, 1):
+                    attack.sample(bit)
+            return attack
+        scalar = run("scalar")
+        batched = run("batched")
+        assert batched.core.last_round_info["mode"] == "replay"
+        for attr in attrs:
+            assert getattr(scalar.defense, attr) == getattr(batched.defense, attr)
+        assert sum(getattr(batched.defense, a) for a in attrs) > 0
 
     def test_out_of_band_poke_is_part_of_the_key(self):
         h, core = _make()

@@ -15,6 +15,7 @@ MEDIUM = [
     "fig7",
     "fig12",
     "leakage_rate",
+    "matrix",
     "abl_cleanup_mode",
     "abl_replacement",
 ]

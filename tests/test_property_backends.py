@@ -75,13 +75,15 @@ def test_corpus_replays_before_search():
         assert report is None, f"corpus case {case['name']} diverged:\n{report}"
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40, deadline=None, derandomize=True)
 @given(
     specs=_programs,
     config=_configs,
     pokes=_pokes,
     seed=st.integers(0, 7),
-    defense=st.sampled_from(("cleanup", "unsafe", "delay", "constant")),
+    defense=st.sampled_from(
+        ("cleanup", "unsafe", "delay", "constant", "safespec", "cachesquash")
+    ),
 )
 def test_backends_equivalent_on_random_programs(specs, config, pokes, seed, defense):
     case = {

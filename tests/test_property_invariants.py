@@ -14,7 +14,7 @@ addresses = st.integers(0, (1 << 24) - 1)
 
 class TestProbeAccessConsistency:
     @given(st.lists(addresses, min_size=1, max_size=40))
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50, deadline=None, derandomize=True)
     def test_probe_always_predicts_access(self, addrs):
         """probe_latency must agree with the access that follows it.
 
@@ -30,7 +30,7 @@ class TestProbeAccessConsistency:
             assert result.level == level
 
     @given(st.lists(addresses, min_size=1, max_size=40))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30, deadline=None, derandomize=True)
     def test_second_access_is_l1_hit(self, addrs):
         h = CacheHierarchy(seed=11)
         for i, addr in enumerate(addrs):
@@ -38,7 +38,7 @@ class TestProbeAccessConsistency:
             assert h.access(addr, cycle=i).level == "L1"
 
     @given(st.lists(addresses, min_size=1, max_size=30))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30, deadline=None, derandomize=True)
     def test_flush_then_probe_never_l1(self, addrs):
         h = CacheHierarchy(seed=11)
         for addr in addrs:
@@ -67,7 +67,7 @@ def ctx(delta, older=0, inflight=0):
 
 class TestSquashOutcomeInvariants:
     @given(st.lists(st.integers(0, 63), min_size=0, max_size=12))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40, deadline=None, derandomize=True)
     def test_cleanupspec_breakdown_sums_to_stall(self, lines):
         h = CacheHierarchy(seed=3)
         d = CleanupSpec(h)
@@ -79,7 +79,7 @@ class TestSquashOutcomeInvariants:
         st.lists(st.integers(0, 63), min_size=0, max_size=12),
         st.integers(0, 80),
     )
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40, deadline=None, derandomize=True)
     def test_constant_time_floor(self, lines, const):
         h = CacheHierarchy(seed=3)
         d = ConstantTimeRollback(h, const)
@@ -92,7 +92,7 @@ class TestSquashOutcomeInvariants:
         st.lists(st.integers(0, 63), min_size=0, max_size=8),
         st.integers(0, 100),
     )
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40, deadline=None, derandomize=True)
     def test_fuzzy_bounded_above_cleanupspec(self, lines, amplitude):
         h = CacheHierarchy(seed=3)
         inner_ref = CleanupSpec(CacheHierarchy(seed=3))
@@ -105,7 +105,7 @@ class TestSquashOutcomeInvariants:
         assert base <= outcome.stall_cycles <= base + amplitude
 
     @given(st.integers(0, 20), st.integers(0, 400))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40, deadline=None, derandomize=True)
     def test_t4_only_with_work(self, inflight, older):
         """An empty delta never pays the in-flight wait."""
         h = CacheHierarchy(seed=3)
@@ -117,7 +117,7 @@ class TestSquashOutcomeInvariants:
 
 class TestTraceRobustness:
     @given(st.lists(st.integers(0, 63), min_size=1, max_size=20))
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20, deadline=None, derandomize=True)
     def test_render_never_crashes(self, lines):
         from repro.cpu import Core
         from repro.defense import UnsafeBaseline
@@ -141,7 +141,7 @@ class TestShardingInvariants:
     """Campaign sharding: k shards of N trials always cover exactly N."""
 
     @given(st.integers(0, 5000), st.integers(1, 64))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100, deadline=None, derandomize=True)
     def test_split_covers_exactly_n_trials(self, n_trials, n_shards):
         from repro.campaign import split_trials
 
@@ -160,7 +160,7 @@ class TestShardingInvariants:
             assert max(sizes) - min(sizes) <= 1
 
     @given(st.integers(0, 2**62), st.integers(1, 16))
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50, deadline=None, derandomize=True)
     def test_shard_seeds_are_disjoint_substreams(self, parent_seed, n_shards):
         from repro.campaign import shard_seed
 
@@ -172,7 +172,7 @@ class TestShardingInvariants:
         assert not set(seeds) & set(other)
 
     @given(st.integers(0, 2**62), st.integers(1, 16))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30, deadline=None, derandomize=True)
     def test_shard_seeds_deterministic(self, parent_seed, index):
         from repro.campaign import shard_seed
 
@@ -193,7 +193,7 @@ class TestSnapshotMergeInvariants:
             max_size=8,
         )
     )
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60, deadline=None, derandomize=True)
     def test_pooled_moments_match_whole_dataset(self, shards):
         import math
 
@@ -228,7 +228,7 @@ class TestSnapshotMergeInvariants:
         st.lists(st.integers(0, 1000), min_size=1, max_size=8),
         st.lists(st.integers(0, 1000), min_size=1, max_size=8),
     )
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50, deadline=None, derandomize=True)
     def test_counters_sum_exactly(self, a_counts, b_counts):
         from repro.campaign import merge_snapshots
 

@@ -31,7 +31,7 @@ def addr_of(line_number: int) -> int:
     warm=st.lists(line_numbers, max_size=12),
     spec=st.lists(line_numbers, min_size=1, max_size=10),
 )
-@settings(max_examples=120, deadline=None)
+@settings(max_examples=120, deadline=None, derandomize=True)
 def test_rollback_restores_prewindow_l1_state(warm, spec):
     h = CacheHierarchy(seed=13)
     d = CleanupSpec(h)
@@ -72,7 +72,7 @@ def test_rollback_restores_prewindow_l1_state(warm, spec):
 
 
 @given(spec=st.lists(line_numbers, min_size=1, max_size=10))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60, deadline=None, derandomize=True)
 def test_rollback_timing_positive_iff_state_changed(spec):
     h = CacheHierarchy(seed=13)
     d = CleanupSpec(h)
@@ -99,7 +99,7 @@ def test_rollback_timing_positive_iff_state_changed(spec):
     warm=st.lists(line_numbers, max_size=12),
     spec=st.lists(line_numbers, min_size=1, max_size=10),
 )
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60, deadline=None, derandomize=True)
 def test_repeated_windows_preserve_l1_state(warm, spec):
     """Every round observes the same pre-window L1 state.
 

@@ -69,7 +69,7 @@ def build(specs):
     return b.build()
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60, deadline=None, derandomize=True)
 @given(_programs)
 def test_dynamic_events_covered_by_static_findings(specs):
     program = build(specs)
@@ -83,7 +83,7 @@ def test_dynamic_events_covered_by_static_findings(specs):
         )
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25, deadline=None, derandomize=True)
 @given(_programs)
 def test_analysis_is_deterministic(specs):
     program = build(specs)

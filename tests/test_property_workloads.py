@@ -43,7 +43,7 @@ def profiles(draw):
 
 
 @given(profiles(), st.integers(0, 5))
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25, deadline=None, derandomize=True)
 def test_synthesis_always_valid_and_deterministic(profile, seed):
     a = synthesize(profile, instructions=800, seed=seed)
     b = synthesize(profile, instructions=800, seed=seed)
@@ -56,7 +56,7 @@ def test_synthesis_always_valid_and_deterministic(profile, seed):
 
 
 @given(profiles())
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15, deadline=None, derandomize=True)
 def test_execution_deterministic_and_mispredicts_bounded(profile):
     workload = synthesize(profile, instructions=800, seed=1)
 
