@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-core coverage experiments report quick-report campaign-smoke campaign-fault-smoke campaign-top matrix-smoke stats examples lint specct-smoke clean
+.PHONY: install test bench bench-core coverage experiments report quick-report campaign-smoke campaign-fault-smoke campaign-top matrix-smoke synth-smoke stats examples lint specct-smoke clean
 
 # Execution backend for campaign-smoke (scalar | batched); results are
 # bit-identical either way — CI runs the smoke once per backend.
@@ -87,6 +87,27 @@ matrix-smoke:
 	    'matrix grid diverged across jobs counts / backends'; \
 	    print('matrix-smoke: jobs- and backend-invariant')"
 
+# Synthesis smoke (docs/static-analysis.md "Gadget synthesis"): the
+# generate -> explorer-filter -> simulator-confirm pipeline at quick
+# scale — jobs=1 vs jobs=4 and scalar vs batched must produce
+# byte-identical result JSON, and every discovery/agreement check must
+# pass (>= 3 distinct confirmed gadgets beyond the hand-written pair).
+# CI uploads the rendered report.
+synth-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments synth --quick --jobs 1 --no-cache \
+	    --backend scalar --json synth-jobs1-scalar.json > REPORT-synth.md
+	@cat REPORT-synth.md
+	PYTHONPATH=src $(PYTHON) -m repro.experiments synth --quick --jobs 4 --no-cache \
+	    --backend scalar --json synth-jobs4-scalar.json
+	PYTHONPATH=src $(PYTHON) -m repro.experiments synth --quick --jobs 4 --no-cache \
+	    --backend batched --json synth-jobs4-batched.json
+	$(PYTHON) -c "import json; ref, *rest = [json.load(open(p)) for p in \
+	    ('synth-jobs1-scalar.json', 'synth-jobs4-scalar.json', \
+	     'synth-jobs4-batched.json')]; \
+	    assert all(r == ref for r in rest), \
+	    'synth results diverged across jobs counts / backends'; \
+	    print('synth-smoke: jobs- and backend-invariant')"
+
 # Live dashboard over an --events-out stream (EVENTS=path to override).
 EVENTS ?= campaign-events.jsonl
 campaign-top:
@@ -160,5 +181,6 @@ clean:
 	rm -rf .pytest_cache .hypothesis build dist *.egg-info REPORT.md REPORT-faults.md
 	rm -f REPORT-campaign-jobs*.md campaign-stats-jobs*.json \
 	    campaign-metrics-jobs*.prom campaign-metrics-jobs*.prom.folded \
-	    campaign-events-jobs*.jsonl REPORT-matrix.md matrix-jobs*.json
+	    campaign-events-jobs*.jsonl REPORT-matrix.md matrix-jobs*.json \
+	    REPORT-synth.md synth-jobs*.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

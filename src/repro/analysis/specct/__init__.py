@@ -8,11 +8,18 @@ conditions) and — specific to this paper — a per-branch bound on
 secret-dependent cache-state mutations inside the speculation window (the
 rollback-time channel).  See ``docs/static-analysis.md``.
 
+On top of the single-CFG fixpoint, :mod:`.explorer` adds bounded
+multi-path exploration: forks at every conditional branch with a
+lightweight path condition (:mod:`.constraints`), infeasible-path
+pruning, per-path cache-delta bounds, and witness traces that
+:mod:`.dynamic` replays concretely.
+
 CLI::
 
     python -m repro.analysis.specct gadget:round --n-loads 2
     python -m repro.analysis.specct workload:mcf --format json
     python -m repro.analysis.specct victim.s --secret 0x18280:0x18288
+    python -m repro.analysis.specct gadget:round --explore --replay
     python -m repro.analysis.specct --crossval --quick
     unxpec lint-program gadget:round        # same thing, via the main CLI
 """
@@ -25,6 +32,7 @@ from .analyzer import (
     normalize_ranges,
 )
 from .cfg import Cfg, CfgNode
+from .constraints import ConstraintStore, Fact
 from .crossval import (
     CaseResult,
     CrossValReport,
@@ -35,6 +43,15 @@ from .crossval import (
     workload_cases,
 )
 from .dynamic import DynamicTaintInterpreter, DynEvent, dynamic_events
+from .explorer import (
+    ExplorerConfig,
+    ExplorerReport,
+    PathDeltaBound,
+    SpecExplorer,
+    explore_program,
+    replay_findings,
+    replay_witness,
+)
 from .findings import (
     ALL_KINDS,
     CACHE_DELTA,
@@ -42,9 +59,12 @@ from .findings import (
     TAINTED_FLUSH_ADDR,
     TAINTED_LOAD_ADDR,
     TAINTED_STORE_ADDR,
+    BranchDecision,
+    ExplorerFinding,
     Finding,
     Report,
     SpecWindow,
+    Witness,
     severity_of,
 )
 from .lattice import AbsState, Value, overlaps_secret, value_alu, value_of
@@ -53,15 +73,23 @@ __all__ = [
     "ALL_KINDS",
     "AbsState",
     "AnalyzerConfig",
+    "BranchDecision",
     "CACHE_DELTA",
     "CaseResult",
     "Cfg",
     "CfgNode",
+    "ConstraintStore",
     "CrossValReport",
     "DynEvent",
     "DynamicTaintInterpreter",
+    "ExplorerConfig",
+    "ExplorerFinding",
+    "ExplorerReport",
+    "Fact",
     "Finding",
+    "PathDeltaBound",
     "Report",
+    "SpecExplorer",
     "SecretRanges",
     "SignCheck",
     "SpecCTAnalyzer",
@@ -71,13 +99,17 @@ __all__ = [
     "TAINTED_LOAD_ADDR",
     "TAINTED_STORE_ADDR",
     "Value",
+    "Witness",
     "analyze_program",
     "cross_validate",
     "dynamic_events",
+    "explore_program",
     "fig3_sign_checks",
     "gadget_cases",
     "normalize_ranges",
     "overlaps_secret",
+    "replay_findings",
+    "replay_witness",
     "severity_of",
     "value_alu",
     "value_of",

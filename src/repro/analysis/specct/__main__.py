@@ -38,7 +38,13 @@ def _parse_range(text: str) -> Tuple[int, int]:
 
 
 def _resolve_target(args: argparse.Namespace):
-    """(program, default_secret_ranges) for the requested target."""
+    """(program, default_secret_ranges, replay_memory) for the target.
+
+    ``replay_memory`` is the concrete victim memory image witness replay
+    runs against (attack targets provide their data structures — the OOB
+    table entry is what makes the concrete leak fire); None for targets
+    without one (files, workloads), which replay against zeroed memory.
+    """
     target: str = args.target
     if target.startswith("gadget:"):
         from ...attack.gadgets import GadgetParams, UnxpecGadget
@@ -52,15 +58,15 @@ def _resolve_target(args: argparse.Namespace):
         )
         which = target.split(":", 1)[1]
         if which == "round":
-            return gadget.build_round(), gadget.secret_ranges()
+            return gadget.build_round(), gadget.secret_ranges(), gadget.memory_image(1)
         if which == "setup":
-            return gadget.build_setup(), gadget.secret_ranges()
+            return gadget.build_setup(), gadget.secret_ranges(), gadget.memory_image(1)
         raise ReproError(f"unknown gadget program {which!r} (want round or setup)")
     if target == "spectre:round":
         from ...attack.spectre import SpectreV1Attack
 
         attack = SpectreV1Attack()
-        return attack.build_round(), attack.secret_ranges()
+        return attack.build_round(), attack.secret_ranges(), attack.memory_image(3)
     if target.startswith("workload:"):
         from ...attack.layout import DEFAULT_LAYOUT
         from ...workloads import get_profile, synthesize
@@ -69,13 +75,13 @@ def _resolve_target(args: argparse.Namespace):
         workload = synthesize(
             profile, instructions=args.instructions, seed=args.seed
         )
-        return workload.program, (DEFAULT_LAYOUT.secret_range,)
+        return workload.program, (DEFAULT_LAYOUT.secret_range,), None
     # Anything else: a path to textual assembly.
     from ...isa.asm import assemble
 
     with open(target) as fh:
         text = fh.read()
-    return assemble(text, name=target), ()
+    return assemble(text, name=target), (), None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -120,6 +126,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--format", choices=("text", "json"), default="text", help="output format"
     )
     parser.add_argument(
+        "--explore",
+        action="store_true",
+        help="run the multi-path explorer (path-sensitive findings, "
+        "infeasible-path pruning, witness traces) instead of the fixpoint",
+    )
+    parser.add_argument(
+        "--max-paths",
+        type=int,
+        default=None,
+        help="explorer: path/fork budget (default: %s)" % "1024",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        help="explorer: total instruction-step budget (default: %s)" % "100000",
+    )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="explorer: concretely validate each witness with the dynamic "
+        "taint interpreter (against the target's memory image, if it has one)",
+    )
+    parser.add_argument(
         "--n-loads", type=int, default=1, help="gadget: in-branch transient loads"
     )
     parser.add_argument(
@@ -155,11 +185,55 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.target:
         parser.error("a target is required unless --crossval is given")
     try:
-        program, default_ranges = _resolve_target(args)
+        program, default_ranges, replay_memory = _resolve_target(args)
     except (ReproError, OSError) as exc:
         print(f"specct: {exc}", file=sys.stderr)
         return 2
     ranges = args.secret if args.secret is not None else list(default_ranges)
+
+    if args.explore:
+        from .explorer import ExplorerConfig, SpecExplorer, replay_findings
+
+        overrides = {"window": args.window}
+        if args.max_paths is not None:
+            overrides["max_paths"] = args.max_paths
+        if args.max_steps is not None:
+            overrides["max_steps"] = args.max_steps
+        ereport = SpecExplorer(
+            program, ranges, ExplorerConfig(**overrides)
+        ).explore()
+        replay = None
+        if args.replay:
+            replay = replay_findings(ereport, program, memory=replay_memory)
+        if args.format == "json":
+            import json
+
+            payload = ereport.to_dict()
+            if replay is not None:
+                payload["replay"] = [
+                    {
+                        "kind": kind,
+                        "pc": pc,
+                        "transient": transient,
+                        "confirmed": ok,
+                    }
+                    for (kind, pc, transient), ok in sorted(replay.items())
+                ]
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(ereport.render_text())
+            if replay is not None:
+                confirmed = sum(1 for ok in replay.values() if ok)
+                print(
+                    f"witness replay: {confirmed}/{len(replay)} finding(s) "
+                    "confirmed by the dynamic interpreter"
+                )
+                for (kind, pc, transient), ok in sorted(replay.items()):
+                    mode = "transient" if transient else "architectural"
+                    verdict = "CONFIRMED" if ok else "not reproduced"
+                    print(f"  {kind} @ {program.name}:{pc} ({mode}): {verdict}")
+        return 0 if ereport.clean else 1
+
     report = SpecCTAnalyzer(
         program, ranges, AnalyzerConfig(window=args.window)
     ).analyze()

@@ -201,6 +201,17 @@ class SpecCTAnalyzer:
         # Fence / Nop / Halt / Jump neither touch registers nor memory taint.
         return st, events
 
+    def transfer(
+        self, pc: int, inst: Instruction, state: AbsState
+    ) -> Tuple[AbsState, List[_Event]]:
+        """Public alias of the transfer function.
+
+        The multi-path explorer reuses exactly this transfer so the
+        single-CFG fixpoint and the path-sensitive exploration cannot
+        drift apart semantically.
+        """
+        return self._transfer(pc, inst, state)
+
     # ------------------------------------------------------------------
     # pass 1: architectural fixpoint
     # ------------------------------------------------------------------

@@ -1,0 +1,189 @@
+"""Lightweight path-condition domain for the multi-path explorer.
+
+No external solver: a :class:`ConstraintStore` keeps, per register, one
+:class:`Fact` — an inclusive unsigned interval ``[lo, hi]`` over the
+machine's 64-bit word range plus a small set of excluded values — derived
+from branch decisions whose *other* operand is a known constant of the
+flat-constant lattice.  Because the lattice's constants are exact (a
+register is either a known machine value or ⊤), every fact recorded on a
+path holds for any concrete execution that takes the same branch
+directions, which is what makes infeasible-path pruning sound with
+respect to the dynamic reference interpreter.
+
+Facts support:
+
+* ``assume(cond, reg, const, reg_is_lhs)`` — refine with one branch
+  outcome; returns ``None`` when the refined fact is unsatisfiable
+  (the path is infeasible and may be pruned).
+* translation through ``IntOpImm add/sub`` when the destination equals
+  the source (interval shift, dropped on wrap-around), so equality/range
+  facts survive simple address arithmetic.
+* ``pinned(reg)`` — the single concrete value a fact pins a register to,
+  if any, letting the explorer fold branch-derived equalities back into
+  the constant lattice.
+
+Dropping a fact is always sound (the store over-approximates the set of
+reachable concrete states); the store therefore caps the excluded-value
+set and simply widens when arithmetic would overflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ...isa.registers import WORD_MASK
+
+#: Cap on per-register excluded values; further ``ne`` facts are dropped.
+MAX_EXCLUDED = 8
+
+
+@dataclass(frozen=True)
+class Fact:
+    """Unsigned interval + exclusions constraining one register."""
+
+    lo: int = 0
+    hi: int = WORD_MASK
+    excluded: FrozenSet[int] = frozenset()
+
+    def is_unsat(self) -> bool:
+        if self.lo > self.hi:
+            return True
+        span = self.hi - self.lo + 1
+        if span <= len(self.excluded):
+            return all(
+                self.lo + i in self.excluded for i in range(span)
+            )
+        return False
+
+    def pinned(self) -> Optional[int]:
+        """The single admissible value, when the fact pins one."""
+        if self.lo == self.hi and self.lo not in self.excluded:
+            return self.lo
+        return None
+
+    def admits(self, value: int) -> bool:
+        return self.lo <= value <= self.hi and value not in self.excluded
+
+    def shifted(self, delta: int) -> Optional[Fact]:
+        """The fact for ``reg + delta``; None when the interval would wrap."""
+        lo, hi = self.lo + delta, self.hi + delta
+        if lo < 0 or hi > WORD_MASK:
+            return None
+        moved = frozenset(
+            v + delta for v in self.excluded if 0 <= v + delta <= WORD_MASK
+        )
+        return Fact(lo, hi, moved)
+
+    def describe(self) -> str:
+        parts = []
+        if self.lo == self.hi:
+            parts.append(f"== {self.lo:#x}")
+        else:
+            if self.lo > 0:
+                parts.append(f">= {self.lo:#x}")
+            if self.hi < WORD_MASK:
+                parts.append(f"<= {self.hi:#x}")
+        for v in sorted(self.excluded):
+            parts.append(f"!= {v:#x}")
+        return " and ".join(parts) if parts else "unconstrained"
+
+
+def _refine(fact: Fact, cond: str, const: int) -> Optional[Fact]:
+    """Refine ``fact`` with ``reg <cond> const``; None when unsatisfiable."""
+    lo, hi, excluded = fact.lo, fact.hi, fact.excluded
+    if cond == "eq":
+        if not fact.admits(const):
+            return None
+        return Fact(const, const, frozenset())
+    if cond == "ne":
+        if fact.pinned() == const:
+            return None
+        if len(excluded) >= MAX_EXCLUDED:
+            return fact  # drop the refinement; over-approximate
+        excluded = excluded | {const}
+    elif cond == "lt":
+        hi = min(hi, const - 1)
+    elif cond == "le":
+        hi = min(hi, const)
+    elif cond == "gt":
+        lo = max(lo, const + 1)
+    elif cond == "ge":
+        lo = max(lo, const)
+    else:  # pragma: no cover - Branch validates its condition
+        raise ValueError(f"unknown branch condition {cond!r}")
+    refined = Fact(lo, hi, frozenset(v for v in excluded if lo <= v <= hi))
+    if refined.is_unsat():
+        return None
+    return refined
+
+
+#: cond as seen with the register on the *right* (const <cond> reg).
+_FLIP = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le", "eq": "eq", "ne": "ne"}
+
+
+@dataclass(frozen=True)
+class ConstraintStore:
+    """Immutable map register → :class:`Fact` along one explored path."""
+
+    facts: Dict[str, Fact] = field(default_factory=dict)
+
+    def fact(self, reg: str) -> Fact:
+        return self.facts.get(reg, Fact())
+
+    def pinned(self, reg: str) -> Optional[int]:
+        f = self.facts.get(reg)
+        return f.pinned() if f is not None else None
+
+    def assume(
+        self, cond: str, reg: str, const: int, reg_is_lhs: bool
+    ) -> Optional["ConstraintStore"]:
+        """Record ``reg <cond> const`` (or ``const <cond> reg``).
+
+        Returns the refined store, or ``None`` when the assumption
+        contradicts the facts already on this path.
+        """
+        if not reg_is_lhs:
+            cond = _FLIP[cond]
+        refined = _refine(self.fact(reg), cond, const & WORD_MASK)
+        if refined is None:
+            return None
+        if refined == Fact():
+            if reg not in self.facts:
+                return self
+            facts = dict(self.facts)
+            del facts[reg]
+            return ConstraintStore(facts)
+        facts = dict(self.facts)
+        facts[reg] = refined
+        return ConstraintStore(facts)
+
+    def forget(self, reg: str) -> "ConstraintStore":
+        """Drop the fact for ``reg`` (it was overwritten)."""
+        if reg not in self.facts:
+            return self
+        facts = dict(self.facts)
+        del facts[reg]
+        return ConstraintStore(facts)
+
+    def shift(self, dst: str, src: str, delta: int) -> "ConstraintStore":
+        """Translate ``src``'s fact through ``dst = src + delta``.
+
+        Keeps equality/range facts alive across ``IntOpImm`` add/sub
+        address arithmetic; the fact is dropped when the shift could wrap.
+        """
+        src_fact = self.facts.get(src)
+        facts = dict(self.facts)
+        facts.pop(dst, None)
+        if src_fact is not None:
+            moved = src_fact.shifted(delta)
+            if moved is not None and moved != Fact():
+                facts[dst] = moved
+        if facts == self.facts:
+            return self
+        return ConstraintStore(facts)
+
+    def describe(self) -> Tuple[str, ...]:
+        return tuple(
+            f"{reg} {self.facts[reg].describe()}" for reg in sorted(self.facts)
+        )

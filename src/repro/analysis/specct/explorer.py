@@ -1,0 +1,725 @@
+"""Bounded multi-path speculative explorer (pitchfork-style).
+
+Where :class:`~.analyzer.SpecCTAnalyzer` joins both sides of every branch
+into one abstract state per pc, the explorer *forks*: it walks concrete
+paths through the program with the same constant×taint transfer
+function, keeping a lightweight path condition
+(:class:`~.constraints.ConstraintStore`) refined at every branch
+decision.  Paths whose condition becomes unsatisfiable are pruned and
+counted — this is what lets the explorer prove a leak sitting behind
+contradictory branch guards unreachable, where the single-CFG fixpoint
+reports a false positive.
+
+Speculation is modeled exactly like the dynamic reference interpreter
+(:mod:`.dynamic`): at every architecturally executed branch the machine
+may mispredict, so for each feasible architectural direction ``d`` the
+explorer spawns a transient *window walk* down the opposite direction
+``!d``, seeded with ``d``'s refined state (the real machine's registers
+satisfy ``d`` while it wrongly fetches ``!d``), bounded by
+``config.window`` instructions and terminated by ``mfence``.  Inside a
+window, nested branches follow their statically determined direction
+when the operands are known (matching concrete execution — no nested
+misprediction) and fork otherwise.
+
+Every violation carries a :class:`~.findings.Witness` — the pc trace and
+branch decisions of the path that reached it — which
+:func:`replay_witness` validates by running the dynamic interpreter
+concretely against a memory image and checking an event of the same
+identity occurs.  Exploration is budgeted (total paths, total steps,
+per-path length); budget exhaustion is reported explicitly, never
+silently.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ...common.errors import AnalysisError
+from ...isa.instructions import (
+    Branch,
+    Fence,
+    Halt,
+    Instruction,
+    IntOp,
+    IntOpImm,
+    Jump,
+    Load,
+    LoadImm,
+    ReadTimer,
+    branch_eval,
+)
+from ...isa.program import Program
+from ...obs import get_default_obs
+from .analyzer import AnalyzerConfig, SecretRanges, SpecCTAnalyzer, normalize_ranges
+from .constraints import ConstraintStore
+from .dynamic import DynEvent, dynamic_events
+from .findings import (
+    CACHE_DELTA,
+    BranchDecision,
+    ExplorerFinding,
+    Witness,
+    severity_of,
+)
+from .lattice import AbsState, Value
+
+#: Branch condition that holds on the *fall-through* (not-taken) side.
+_NEGATE = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt", "eq": "ne", "ne": "eq"}
+
+
+@dataclass(frozen=True)
+class ExplorerConfig:
+    """Budgets and semantics knobs of one exploration."""
+
+    #: Max transient instructions per speculative window (as the analyzer).
+    window: int = 64
+    #: Max paths materialized over the whole exploration (architectural
+    #: forks + spawned windows); exceeding it sets ``budget_exhausted``.
+    max_paths: int = 1024
+    #: Max instructions executed over the whole exploration.
+    max_steps: int = 100_000
+    #: Max architectural instructions along any one path (loop backstop).
+    max_path_len: int = 4096
+    unknown_addr_may_alias_secret: bool = True
+    fence_blocks_speculation: bool = True
+    addr_space_bytes: int = 1 << 32
+
+    def __post_init__(self) -> None:
+        if self.max_paths < 1 or self.max_steps < 1 or self.max_path_len < 1:
+            raise AnalysisError("explorer budgets must be at least 1")
+
+    def analyzer_config(self) -> AnalyzerConfig:
+        return AnalyzerConfig(
+            window=self.window,
+            unknown_addr_may_alias_secret=self.unknown_addr_may_alias_secret,
+            fence_blocks_speculation=self.fence_blocks_speculation,
+            addr_space_bytes=self.addr_space_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class PathDeltaBound:
+    """Per-path cache-delta bounds of one branch's speculative windows.
+
+    ``min_delta``/``max_delta`` are taken over every *completed* window
+    path spawned at this branch — sharper than the single-CFG bound,
+    which joins all window paths into one count.
+    """
+
+    branch_pc: int
+    instruction: str
+    min_delta: int
+    max_delta: int
+    window_paths: int
+
+    def to_dict(self) -> dict:
+        return {
+            "branch_pc": self.branch_pc,
+            "instruction": self.instruction,
+            "min_delta": self.min_delta,
+            "max_delta": self.max_delta,
+            "window_paths": self.window_paths,
+        }
+
+
+@dataclass
+class ExplorerReport:
+    """Everything one :class:`SpecExplorer` run concluded."""
+
+    program: str
+    instructions: int
+    window: int
+    secret_ranges: SecretRanges
+    findings: List[ExplorerFinding] = field(default_factory=list)
+    deltas: List[PathDeltaBound] = field(default_factory=list)
+    #: Architectural paths run to completion (Halt / program exit).
+    explored_paths: int = 0
+    #: Transient window paths run to their end (fence/halt/window edge).
+    explored_windows: int = 0
+    #: Paths discarded because their path condition was unsatisfiable.
+    pruned_infeasible: int = 0
+    #: Paths cut short by a budget (path/step/length), not by semantics.
+    truncated_paths: int = 0
+    budget_exhausted: bool = False
+    steps_used: int = 0
+    paths_spawned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def complete(self) -> bool:
+        """True when no budget interfered: the exploration is exhaustive."""
+        return not self.budget_exhausted and self.truncated_paths == 0
+
+    @property
+    def cache_delta_bound(self) -> int:
+        return max((d.max_delta for d in self.deltas), default=0)
+
+    def by_kind(self, kind: str) -> List[ExplorerFinding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def transient_findings(self) -> List[ExplorerFinding]:
+        return [f for f in self.findings if f.transient]
+
+    def render_text(self) -> str:
+        lines = [
+            f"specct-explorer: {self.program} — {self.instructions} instructions, "
+            f"window {self.window}, {len(self.secret_ranges)} secret range(s)"
+        ]
+        for lo, hi in self.secret_ranges:
+            lines.append(f"  secret [{lo:#x}, {hi:#x})")
+        lines.append(
+            f"explored {self.explored_paths} architectural path(s), "
+            f"{self.explored_windows} speculative window path(s); "
+            f"pruned {self.pruned_infeasible} infeasible, "
+            f"truncated {self.truncated_paths} "
+            f"({self.steps_used} step(s), {self.paths_spawned} path(s) spawned)"
+        )
+        if self.budget_exhausted:
+            lines.append(
+                "WARNING: budget exhausted — exploration is incomplete; "
+                "a clean verdict below is not a proof"
+            )
+        if self.clean:
+            lines.append("CLEAN: no path-sensitive violations found")
+        else:
+            lines.append(f"{len(self.findings)} finding(s):")
+            for f in self.findings:
+                lines.append("  " + f.render(self.program))
+        hot = [d for d in self.deltas if d.max_delta]
+        if hot:
+            lines.append(
+                f"cache-state delta bound: {self.cache_delta_bound} "
+                "secret-dependent install(s) on the worst window path"
+            )
+            for d in hot:
+                lines.append(
+                    f"  branch {self.program}:{d.branch_pc} ({d.instruction}): "
+                    f"delta in [{d.min_delta}, {d.max_delta}] over "
+                    f"{d.window_paths} window path(s)"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "instructions": self.instructions,
+            "window": self.window,
+            "secret_ranges": [list(r) for r in self.secret_ranges],
+            "clean": self.clean,
+            "complete": self.complete,
+            "cache_delta_bound": self.cache_delta_bound,
+            "explored_paths": self.explored_paths,
+            "explored_windows": self.explored_windows,
+            "pruned_infeasible": self.pruned_infeasible,
+            "truncated_paths": self.truncated_paths,
+            "budget_exhausted": self.budget_exhausted,
+            "steps_used": self.steps_used,
+            "paths_spawned": self.paths_spawned,
+            "findings": [f.to_dict() for f in self.findings],
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+class _Path:
+    """One in-flight exploration path (architectural or window walk)."""
+
+    __slots__ = (
+        "pc",
+        "state",
+        "store",
+        "trace",
+        "decisions",
+        "steps",
+        "spec_branch",
+        "spec_remaining",
+        "installs",
+    )
+
+    def __init__(
+        self,
+        pc: int,
+        state: AbsState,
+        store: ConstraintStore,
+        trace: List[int],
+        decisions: List[BranchDecision],
+        steps: int = 0,
+        spec_branch: Optional[int] = None,
+        spec_remaining: int = 0,
+    ) -> None:
+        self.pc = pc
+        self.state = state
+        self.store = store
+        self.trace = trace
+        self.decisions = decisions
+        self.steps = steps
+        self.spec_branch = spec_branch
+        self.spec_remaining = spec_remaining
+        self.installs = 0
+
+    @property
+    def transient(self) -> bool:
+        return self.spec_branch is not None
+
+
+class SpecExplorer:
+    """Bounded multi-path exploration of one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        secret_ranges: Iterable[Tuple[int, int]] = (),
+        config: ExplorerConfig = ExplorerConfig(),
+    ) -> None:
+        self.program = program
+        self.ranges = normalize_ranges(secret_ranges)
+        self.config = config
+        # Reuse the analyzer's transfer function and CFG verbatim so the
+        # fixpoint and path-sensitive views share one semantics.
+        self._analyzer = SpecCTAnalyzer(
+            program, self.ranges, config.analyzer_config()
+        )
+        self.cfg = self._analyzer.cfg
+
+    # ------------------------------------------------------------------
+
+    def explore(self) -> ExplorerReport:
+        report = ExplorerReport(
+            program=self.program.name,
+            instructions=len(self.program),
+            window=self.config.window,
+            secret_ranges=self.ranges,
+        )
+        self._report = report
+        self._findings: Dict[Tuple[str, int, bool], ExplorerFinding] = {}
+        self._window_deltas: Dict[int, List[int]] = {}
+        self._work: deque = deque()
+        if len(self.program):
+            report.paths_spawned = 1
+            self._work.append(_Path(0, AbsState(), ConstraintStore(), [], []))
+        while self._work:
+            self._run_path(self._work.popleft())
+        for branch_pc in sorted(self._window_deltas):
+            counts = self._window_deltas[branch_pc]
+            report.deltas.append(
+                PathDeltaBound(
+                    branch_pc=branch_pc,
+                    instruction=str(self.program[branch_pc]),
+                    min_delta=min(counts),
+                    max_delta=max(counts),
+                    window_paths=len(counts),
+                )
+            )
+        for d in report.deltas:
+            if d.max_delta:
+                self._findings[(CACHE_DELTA, d.branch_pc, True)] = ExplorerFinding(
+                    kind=CACHE_DELTA,
+                    pc=d.branch_pc,
+                    instruction=d.instruction,
+                    severity=severity_of(CACHE_DELTA),
+                    transient=True,
+                    branch_pc=d.branch_pc,
+                    detail=(
+                        f"secret-dependent cache installs on window paths of "
+                        f"this branch: delta in [{d.min_delta}, {d.max_delta}] "
+                        f"over {d.window_paths} explored path(s) — rollback "
+                        "duration after a squash depends on the secret"
+                    ),
+                )
+        report.findings = sorted(
+            self._findings.values(), key=lambda f: (f.pc, f.kind, f.transient)
+        )
+        self._count(report)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _spawn(self, path: _Path) -> None:
+        rep = self._report
+        if rep.paths_spawned >= self.config.max_paths:
+            rep.budget_exhausted = True
+            rep.truncated_paths += 1
+            return
+        rep.paths_spawned += 1
+        self._work.append(path)
+
+    def _finalize(self, path: _Path) -> None:
+        rep = self._report
+        if path.transient:
+            rep.explored_windows += 1
+            self._window_deltas.setdefault(path.spec_branch, []).append(
+                path.installs
+            )
+        else:
+            rep.explored_paths += 1
+
+    def _record(self, path: _Path, kind: str, detail: str) -> None:
+        depth = (
+            self.config.window - path.spec_remaining + 1 if path.transient else None
+        )
+        key = (kind, path.pc, path.transient)
+        if key in self._findings:
+            return
+        witness = Witness(
+            kind=kind,
+            pc=path.pc,
+            transient=path.transient,
+            branch_pc=path.spec_branch,
+            depth=depth,
+            trace=tuple(path.trace),
+            decisions=tuple(path.decisions),
+            path_condition=path.store.describe(),
+        )
+        self._findings[key] = ExplorerFinding(
+            kind=kind,
+            pc=path.pc,
+            instruction=str(self.program[path.pc]),
+            severity=severity_of(kind),
+            transient=path.transient,
+            branch_pc=path.spec_branch,
+            depth=depth,
+            detail=detail,
+            witness=witness,
+        )
+
+    @staticmethod
+    def _invalidate(store: ConstraintStore, inst: Instruction) -> ConstraintStore:
+        """Keep the constraint store consistent with a register write."""
+        if isinstance(inst, IntOpImm) and inst.op in ("add", "sub"):
+            delta = inst.imm if inst.op == "add" else -inst.imm
+            return store.shift(inst.dst, inst.src1, delta)
+        if isinstance(inst, (LoadImm, IntOp, IntOpImm, Load, ReadTimer)):
+            return store.forget(inst.dst)
+        return store
+
+    def _effective_const(self, path: _Path, reg: str) -> Optional[int]:
+        value = path.state.get(reg)
+        if value.const is not None:
+            return value.const
+        return path.store.pinned(reg)
+
+    def _run_path(self, p: _Path) -> None:
+        cfg = self.config
+        rep = self._report
+        n = len(self.program)
+        while True:
+            if rep.steps_used >= cfg.max_steps:
+                rep.budget_exhausted = True
+                rep.truncated_paths += 1
+                return
+            if p.transient:
+                if p.spec_remaining <= 0:
+                    self._finalize(p)
+                    return
+            elif p.steps >= cfg.max_path_len:
+                rep.budget_exhausted = True
+                rep.truncated_paths += 1
+                return
+            pc = p.pc
+            inst = self.cfg.node(pc).instruction
+            if (
+                p.transient
+                and isinstance(inst, Fence)
+                and cfg.fence_blocks_speculation
+            ):
+                self._finalize(p)
+                return
+            rep.steps_used += 1
+            p.steps += 1
+            p.trace.append(pc)
+            new_state, events = self._analyzer.transfer(pc, inst, p.state)
+            for kind, detail, is_install in events:
+                self._record(p, kind, detail)
+                if is_install and p.transient:
+                    p.installs += 1
+            p.state = new_state
+            p.store = self._invalidate(p.store, inst)
+            if p.transient:
+                p.spec_remaining -= 1
+            if isinstance(inst, Halt):
+                self._finalize(p)
+                return
+            if isinstance(inst, Jump):
+                target = self.cfg.node(pc).target
+                if target is None or target >= n:
+                    self._finalize(p)
+                    return
+                p.pc = target
+                continue
+            if isinstance(inst, Branch):
+                if not self._branch(p, pc, inst):
+                    return
+                continue
+            nxt = pc + 1
+            if nxt >= n:
+                self._finalize(p)
+                return
+            p.pc = nxt
+
+    # ------------------------------------------------------------------
+
+    def _direction_pc(self, pc: int, taken: bool) -> Optional[int]:
+        n = len(self.program)
+        if taken:
+            target = self.cfg.node(pc).target
+            return target if target is not None and target < n else None
+        nxt = pc + 1
+        return nxt if nxt < n else None
+
+    def _assume(
+        self, p: _Path, inst: Branch, taken: bool
+    ) -> Optional[Tuple[AbsState, ConstraintStore]]:
+        """State and store refined by taking direction ``taken``.
+
+        Returns ``None`` when the direction contradicts the path
+        condition (the direction is statically infeasible).
+        """
+        cond = inst.cond if taken else _NEGATE[inst.cond]
+        c1 = self._effective_const(p, inst.src1)
+        c2 = self._effective_const(p, inst.src2)
+        store = p.store
+        if c1 is not None and c2 is not None:
+            # Fully determined: feasible iff the constants agree.
+            return (p.state, store) if branch_eval(cond, c1, c2) else None
+        if c1 is not None:
+            refined = store.assume(cond, inst.src2, c1, reg_is_lhs=False)
+            reg = inst.src2
+        elif c2 is not None:
+            refined = store.assume(cond, inst.src1, c2, reg_is_lhs=True)
+            reg = inst.src1
+        else:
+            return (p.state, store)  # both unknown: no refinement possible
+        if refined is None:
+            return None
+        state = p.state
+        pinned = refined.pinned(reg)
+        if pinned is not None and state.get(reg).const is None:
+            # A branch equality pins the register: fold it back into the
+            # constant lattice (taint is untouched — facts constrain the
+            # value, not its provenance).
+            state = state.copy()
+            state.set(reg, Value(pinned, state.get(reg).taint))
+        return (state, refined)
+
+    def _branch(self, p: _Path, pc: int, inst: Branch) -> bool:
+        """Handle a branch on path ``p``.
+
+        Returns True when ``p`` continues in-line (the caller's loop keeps
+        running it), False when the path ended here.
+        """
+        rep = self._report
+        c1 = self._effective_const(p, inst.src1)
+        c2 = self._effective_const(p, inst.src2)
+        determined = c1 is not None and c2 is not None
+        outcomes: List[Tuple[bool, AbsState, ConstraintStore]] = []
+        if determined:
+            taken = branch_eval(inst.cond, c1, c2)
+            outcomes.append((taken, p.state, p.store))
+            # The contradicted direction is architecturally infeasible
+            # (reachable only transiently, via the window spawned below).
+            rep.pruned_infeasible += 1
+        else:
+            for taken in (False, True):
+                refined = self._assume(p, inst, taken)
+                if refined is None:
+                    rep.pruned_infeasible += 1
+                    continue
+                outcomes.append((taken, refined[0], refined[1]))
+        if p.transient:
+            # Inside a window: follow feasible directions concretely — no
+            # nested misprediction, exactly like the dynamic reference.
+            survivors: List[_Path] = []
+            for i, (taken, state, store) in enumerate(outcomes):
+                nxt = self._direction_pc(pc, taken)
+                if i == 0:
+                    p.state, p.store = state, store
+                    p.decisions.append(BranchDecision(pc, taken, True))
+                    if nxt is None:
+                        self._finalize(p)
+                    else:
+                        p.pc = nxt
+                        survivors.append(p)
+                else:
+                    if nxt is None:
+                        # A forked direction that immediately exits still
+                        # counts as a completed window path.
+                        fork = self._fork(p, nxt=pc, taken=taken, transient=True)
+                        fork.state, fork.store = state, store
+                        self._finalize(fork)
+                        continue
+                    fork = self._fork(p, nxt=nxt, taken=taken, transient=True)
+                    fork.state, fork.store = state, store
+                    self._spawn(fork)
+            if not outcomes:
+                # Every direction infeasible (contradictory constants can
+                # only arise from an unsat store upstream); end the path.
+                self._finalize(p)
+                return False
+            return bool(survivors)
+        # Architectural: continue down the first feasible direction
+        # in-line, fork the rest, and spawn one speculative window per
+        # feasible direction down its *opposite* side.
+        for taken, state, store in outcomes:
+            wrong = not taken
+            wrong_pc = self._direction_pc(pc, wrong)
+            if wrong_pc is not None:
+                window = _Path(
+                    pc=wrong_pc,
+                    state=state.copy(),
+                    store=store,
+                    trace=list(p.trace),
+                    decisions=list(p.decisions)
+                    + [BranchDecision(pc, wrong, True)],
+                    steps=p.steps,
+                    spec_branch=pc,
+                    spec_remaining=self.config.window,
+                )
+                self._spawn(window)
+        continued = False
+        for i, (taken, state, store) in enumerate(outcomes):
+            nxt = self._direction_pc(pc, taken)
+            if i == 0:
+                p.state, p.store = state, store
+                p.decisions.append(BranchDecision(pc, taken, False))
+                if nxt is None:
+                    self._finalize(p)
+                else:
+                    p.pc = nxt
+                    continued = True
+            else:
+                fork = self._fork(p, nxt=nxt, taken=taken, transient=False)
+                fork.state, fork.store = state, store
+                if nxt is None:
+                    self._finalize(fork)
+                else:
+                    self._spawn(fork)
+        if not outcomes:
+            self._finalize(p)
+            return False
+        return continued
+
+    def _fork(
+        self, p: _Path, nxt: Optional[int], taken: bool, transient: bool
+    ) -> _Path:
+        decisions = p.decisions[:-1] if p.decisions else []
+        # The parent already appended its own decision for this branch;
+        # the fork replaces it with its direction.
+        return _Path(
+            pc=nxt if nxt is not None else p.pc,
+            state=p.state,
+            store=p.store,
+            trace=list(p.trace),
+            decisions=list(decisions) + [BranchDecision(p.trace[-1], taken, transient)],
+            steps=p.steps,
+            spec_branch=p.spec_branch,
+            spec_remaining=p.spec_remaining,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _count(report: ExplorerReport) -> None:
+        obs = get_default_obs()
+        if obs is None:
+            return
+        reg = obs.registry
+        reg.counter("specct.explorer.programs", "programs explored").inc()
+        reg.counter("specct.explorer.paths", "architectural paths completed").inc(
+            report.explored_paths
+        )
+        reg.counter("specct.explorer.windows", "window paths completed").inc(
+            report.explored_windows
+        )
+        reg.counter("specct.explorer.pruned", "infeasible paths pruned").inc(
+            report.pruned_infeasible
+        )
+        reg.counter("specct.explorer.truncated", "paths cut by budgets").inc(
+            report.truncated_paths
+        )
+        reg.counter("specct.explorer.findings", "path-sensitive findings").inc(
+            len(report.findings)
+        )
+        if report.clean:
+            reg.counter("specct.explorer.clean", "programs with no findings").inc()
+
+
+# ---------------------------------------------------------------------------
+# convenience API
+# ---------------------------------------------------------------------------
+
+
+def explore_program(
+    program: Program,
+    secret_ranges: Iterable[Tuple[int, int]] = (),
+    config: Optional[ExplorerConfig] = None,
+) -> ExplorerReport:
+    """One-call convenience wrapper around :class:`SpecExplorer`."""
+    return SpecExplorer(program, secret_ranges, config or ExplorerConfig()).explore()
+
+
+def _event_matches(event: DynEvent, witness: Witness) -> bool:
+    if (event.kind, event.pc, event.transient) != (
+        witness.kind,
+        witness.pc,
+        witness.transient,
+    ):
+        return False
+    if witness.transient and witness.branch_pc is not None:
+        return event.branch_pc == witness.branch_pc
+    return True
+
+
+def replay_witness(
+    program: Program,
+    witness: Witness,
+    secret_ranges: Iterable[Tuple[int, int]] = (),
+    memory: Optional[Mapping[int, int]] = None,
+    window: int = ExplorerConfig.window,
+    fence_blocks_speculation: bool = True,
+    addr_space_bytes: int = 1 << 32,
+) -> bool:
+    """Concretely validate a witness with the dynamic reference interpreter.
+
+    Runs the program on the dynamic taint interpreter (optionally against
+    a concrete ``memory`` image — gadgets need their victim data
+    structures in place for the concrete leak to fire) and confirms an
+    event with the witness's identity (kind, pc, transient, exposing
+    branch) is observed.  The static trace itself is the *explanation*;
+    the replay confirms the finding is not a static-only artifact.
+    """
+    events = dynamic_events(
+        program,
+        secret_ranges,
+        window=window,
+        fence_blocks_speculation=fence_blocks_speculation,
+        memory=memory,
+        addr_space_bytes=addr_space_bytes,
+    )
+    return any(_event_matches(e, witness) for e in events)
+
+
+def replay_findings(
+    report: ExplorerReport,
+    program: Program,
+    memory: Optional[Mapping[int, int]] = None,
+) -> Dict[Tuple[str, int, bool], bool]:
+    """Replay every witnessed finding; map finding identity → confirmed."""
+    out: Dict[Tuple[str, int, bool], bool] = {}
+    for f in report.findings:
+        if f.witness is None:
+            continue
+        out[(f.kind, f.pc, f.transient)] = replay_witness(
+            program,
+            f.witness,
+            report.secret_ranges,
+            memory=memory,
+            window=report.window,
+        )
+    return out

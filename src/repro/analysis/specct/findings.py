@@ -101,6 +101,101 @@ class Finding:
 
 
 @dataclass(frozen=True)
+class BranchDecision:
+    """One resolved branch direction along an explored path."""
+
+    pc: int
+    #: True when the path followed the branch's taken edge.
+    taken: bool
+    #: True when the decision happened inside a speculative window (the
+    #: first transient decision of a window is the misprediction itself).
+    transient: bool
+
+    def to_dict(self) -> dict:
+        return {"pc": self.pc, "taken": self.taken, "transient": self.transient}
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Concrete path explanation of one path-sensitive finding.
+
+    The trace is the exact pc sequence the explorer walked from program
+    entry to the violating instruction (architectural prefix plus, for
+    transient findings, the speculative window suffix), with the branch
+    directions it committed to and the path condition those decisions
+    imply.  ``replay_witness`` validates the finding by running the
+    dynamic reference interpreter concretely and checking it observes an
+    event of the same identity.
+    """
+
+    kind: str
+    pc: int
+    transient: bool
+    branch_pc: Optional[int]
+    depth: Optional[int]
+    trace: Tuple[int, ...]
+    decisions: Tuple[BranchDecision, ...]
+    #: Human-readable register facts in force at the violation.
+    path_condition: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "pc": self.pc,
+            "transient": self.transient,
+            "branch_pc": self.branch_pc,
+            "depth": self.depth,
+            "trace": list(self.trace),
+            "decisions": [d.to_dict() for d in self.decisions],
+            "path_condition": list(self.path_condition),
+        }
+
+
+@dataclass(frozen=True)
+class ExplorerFinding:
+    """One path-sensitive violation with its witness trace."""
+
+    kind: str
+    pc: int
+    instruction: str
+    severity: str
+    transient: bool
+    branch_pc: Optional[int] = None
+    depth: Optional[int] = None
+    detail: str = ""
+    witness: Optional[Witness] = None
+
+    def render(self, program: str) -> str:
+        mode = "transient" if self.transient else "architectural"
+        via = ""
+        if self.transient and self.branch_pc is not None:
+            via = f" via branch {self.branch_pc}"
+            if self.depth is not None:
+                via += f" (+{self.depth})"
+        text = f"{program}:{self.pc}: [{self.severity}] {self.kind} ({mode}{via})"
+        text += f"  {self.instruction}"
+        if self.detail:
+            text += f"  — {self.detail}"
+        if self.witness is not None:
+            text += f"  [witness: {len(self.witness.trace)} step(s), "
+            text += f"{len(self.witness.decisions)} decision(s)]"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "pc": self.pc,
+            "instruction": self.instruction,
+            "severity": self.severity,
+            "transient": self.transient,
+            "branch_pc": self.branch_pc,
+            "depth": self.depth,
+            "detail": self.detail,
+            "witness": None if self.witness is None else self.witness.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
 class SpecWindow:
     """What one branch's bounded speculative window can do to the cache."""
 

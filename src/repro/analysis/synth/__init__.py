@@ -1,0 +1,47 @@
+"""``repro.analysis.synth`` — automated speculative-gadget synthesis.
+
+Closes the ROADMAP's gadget-discovery loop on top of the specct
+multi-path explorer: a deterministic, seeded generator emits candidate
+programs over the specct instruction vocabulary (typed holes around
+load/branch/flush skeletons), the explorer filters them statically for
+speculative leaks, and the cycle-accurate simulator confirms which
+candidates actually modulate the CleanupSpec rollback duration with the
+secret — the unXpec channel.  Confirmed leakers are mutated for further
+coverage and greedily minimized to exemplar form.
+
+Wired into the campaign engine as the ``synth`` experiment::
+
+    python -m repro.experiments synth --quick
+"""
+
+from .generator import (
+    Candidate,
+    GeneratorConfig,
+    Holes,
+    build_candidate,
+    generate_batch,
+    mutate,
+)
+from .pipeline import (
+    CandidateOutcome,
+    PipelineConfig,
+    evaluate_candidate,
+    minimize_program,
+    remove_instruction,
+    simulate_delta,
+)
+
+__all__ = [
+    "Candidate",
+    "CandidateOutcome",
+    "GeneratorConfig",
+    "Holes",
+    "PipelineConfig",
+    "build_candidate",
+    "evaluate_candidate",
+    "generate_batch",
+    "minimize_program",
+    "mutate",
+    "remove_instruction",
+    "simulate_delta",
+]

@@ -1,0 +1,204 @@
+"""Seeded candidate-gadget generator over the specct vocabulary.
+
+Candidates are built from one parameterized skeleton with *typed holes*
+— the degrees of freedom that decide whether the program leaks through
+the unXpec rollback channel and how:
+
+* a **warm phase** (optional) makes the in-bounds transient target a
+  cache hit, so only the secret-selected line misses and the rollback
+  length becomes secret-dependent;
+* a **guard load** from a cold line (plus an ALU pad chain) opens a wide
+  speculation window before the branch resolves;
+* a **branch** that architecturally skips the leak body; a fresh 2-bit
+  predictor starts weakly-not-taken, so the taken branch mispredicts and
+  the body runs transiently;
+* a **leak body**: the secret (or a public decoy) scaled by a stride and
+  used as a load / store / flush address, with optional ALU padding, an
+  optional second access, and an optional leading fence.
+
+Holes are sampled from small closed sets with a
+:func:`repro.common.rng.derive_rng` substream, so generation is a pure
+function of ``(seed, batch)`` — the property the campaign engine's
+jobs-invariance rests on.  :func:`mutate` perturbs one hole of a
+confirmed leaker at a time, giving the search cheap local moves around
+known-good programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from ...attack.layout import DEFAULT_LAYOUT, AttackLayout
+from ...common.rng import derive_rng
+from ...isa.builder import ProgramBuilder
+from ...isa.program import Program
+
+#: Cold line the guard load misses on (never touched elsewhere).
+GUARD_ADDR = 0x60000
+#: Cold public line used by the ``public`` (non-leaking) decoy source.
+PUBLIC_ADDR = 0x61000
+
+#: Closed hole domains (sorted; sampled by index for determinism).
+STRIDES: Tuple[int, ...] = (5, 6, 7, 8)
+GUARD_PADS: Tuple[int, ...] = (0, 2, 4, 6)
+ALU_PADS: Tuple[int, ...] = (0, 1, 2)
+N_ACCESSES: Tuple[int, ...] = (1, 2)
+LEAK_OPS: Tuple[str, ...] = ("load", "store", "flush")
+SOURCES: Tuple[str, ...] = ("secret", "public")
+
+
+@dataclass(frozen=True)
+class Holes:
+    """One assignment of the skeleton's typed holes."""
+
+    #: log2 of the byte stride multiplying the secret (>= 6 crosses lines).
+    stride: int = 6
+    #: ALU chain after the guard load, delaying branch resolution.
+    guard_pad: int = 4
+    #: Transient memory accesses in the leak body.
+    n_accesses: int = 1
+    #: What the body does with the secret-derived address.
+    leak_op: str = "load"
+    #: mfence at the top of the body (blocks the static window; the
+    #: simulated machine still shows a small residual timing difference —
+    #: the static/dynamic disagreement the pipeline tallies as a FN).
+    fence_body: bool = False
+    #: Warm the in-bounds transient target before the timed section.
+    warm_target: bool = True
+    #: ``secret`` reads the secret word; ``public`` is the clean decoy.
+    source: str = "secret"
+    #: ALU padding inside the body before the accesses.
+    alu_pad: int = 0
+
+    def label(self) -> str:
+        return (
+            f"s{self.stride}-g{self.guard_pad}-n{self.n_accesses}-"
+            f"{self.leak_op}-{'f' if self.fence_body else 'x'}-"
+            f"{'w' if self.warm_target else 'c'}-{self.source}-a{self.alu_pad}"
+        )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One generated program plus the holes that produced it."""
+
+    name: str
+    holes: Holes
+    program: Program
+    #: 0 for fresh generations; parents' generation + 1 for mutants.
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Scale of one generation batch."""
+
+    candidates: int = 8
+    mutants_per_leaker: int = 2
+    layout: AttackLayout = DEFAULT_LAYOUT
+
+
+def build_candidate(
+    holes: Holes, layout: AttackLayout = DEFAULT_LAYOUT, tag: str = "synth"
+) -> Candidate:
+    """Materialize one hole assignment into a concrete program."""
+    b = ProgramBuilder(f"{tag}[{holes.label()}]")
+    b.li("r1", layout.p_base)
+    src_addr = layout.secret_addr if holes.source == "secret" else PUBLIC_ADDR
+    b.li("r4", src_addr)
+    b.li("r2", GUARD_ADDR)
+    if holes.warm_target:
+        b.load("r9", "r1", 0)  # warm P[0]: the in-bounds target hits
+    b.load("r5", "r4", 0)  # warm + read the (secret) source word
+    b.fence()  # drain the warm phase before the timed section
+    b.load("r3", "r2", 0)  # guard: cold miss opens the window
+    for _ in range(holes.guard_pad):
+        b.opi("add", "r3", "r3", 0)
+    # r3 loaded 0 from zeroed memory: the branch is architecturally taken
+    # (skipping the body), but a fresh weakly-not-taken predictor fetches
+    # the body — the body only ever runs transiently.
+    b.branch("eq", "r3", "r0", "skip")
+    if holes.fence_body:
+        b.fence()
+    for _ in range(holes.alu_pad):
+        b.opi("add", "r8", "r8", 1)
+    b.opi("shl", "r7", "r5", holes.stride)
+    b.op("add", "r7", "r1", "r7")
+    for i in range(holes.n_accesses):
+        offset = i * 128  # successive accesses touch distinct lines
+        if holes.leak_op == "load":
+            b.load("r10", "r7", offset)
+        elif holes.leak_op == "store":
+            b.store("r8", "r7", offset)
+        else:
+            b.flush("r7", offset)
+    b.label("skip")
+    b.halt()
+    program = b.build()
+    return Candidate(name=program.name, holes=holes, program=program)
+
+
+def _sample_holes(rng) -> Holes:
+    return Holes(
+        stride=STRIDES[int(rng.integers(len(STRIDES)))],
+        guard_pad=GUARD_PADS[int(rng.integers(len(GUARD_PADS)))],
+        n_accesses=N_ACCESSES[int(rng.integers(len(N_ACCESSES)))],
+        leak_op=LEAK_OPS[int(rng.integers(len(LEAK_OPS)))],
+        fence_body=bool(rng.integers(4) == 0),
+        warm_target=bool(rng.integers(4) != 0),
+        source=SOURCES[0] if rng.integers(4) != 0 else SOURCES[1],
+        alu_pad=ALU_PADS[int(rng.integers(len(ALU_PADS)))],
+    )
+
+
+def generate_batch(
+    seed: int, batch: int, config: GeneratorConfig = GeneratorConfig()
+) -> List[Candidate]:
+    """Deterministically generate one batch of fresh candidates.
+
+    A pure function of ``(seed, batch, config)`` — batches are the
+    campaign shards, so two shards never share a substream.
+    """
+    rng = derive_rng(seed, f"synth-gen-{batch}")
+    out: List[Candidate] = []
+    seen = set()
+    attempts = 0
+    while len(out) < config.candidates and attempts < config.candidates * 16:
+        attempts += 1
+        holes = _sample_holes(rng)
+        if holes in seen:
+            continue
+        seen.add(holes)
+        out.append(build_candidate(holes, config.layout, tag=f"synth{batch}"))
+    return out
+
+
+def mutate(
+    candidate: Candidate,
+    seed: int,
+    index: int,
+    layout: AttackLayout = DEFAULT_LAYOUT,
+) -> Candidate:
+    """One seeded single-hole mutation of a confirmed leaker."""
+    rng = derive_rng(seed, f"synth-mut-{candidate.name}-{index}")
+    holes = candidate.holes
+    field = ("stride", "guard_pad", "n_accesses", "leak_op", "alu_pad")[
+        int(rng.integers(5))
+    ]
+    domains = {
+        "stride": STRIDES,
+        "guard_pad": GUARD_PADS,
+        "n_accesses": N_ACCESSES,
+        "leak_op": LEAK_OPS,
+        "alu_pad": ALU_PADS,
+    }
+    domain = [v for v in domains[field] if v != getattr(holes, field)]
+    mutated = replace(holes, **{field: domain[int(rng.integers(len(domain)))]})
+    built = build_candidate(mutated, layout, tag=f"mut{index}")
+    return Candidate(
+        name=built.name,
+        holes=mutated,
+        program=built.program,
+        generation=candidate.generation + 1,
+    )

@@ -107,6 +107,17 @@ class UnxpecGadget:
         """The victim's secret changes between rounds; only it is rewritten."""
         dram.poke(self.layout.secret_addr, secret_bit & 1)
 
+    def memory_image(self, secret_bit: int = 0) -> dict:
+        """The :meth:`init_memory` contents as a plain word→value map.
+
+        Lets the static analysis replay witnesses against the same victim
+        data structures the simulator runs with (the OOB table entry is
+        what makes the concrete transient leak fire).
+        """
+        dram = Dram()
+        self.init_memory(dram, secret_bit)
+        return dram.image()
+
     # ------------------------------------------------------------------
     # setup program (run once)
     # ------------------------------------------------------------------

@@ -86,9 +86,23 @@ class SpectreV1Attack:
 
     # ------------------------------------------------------------------
 
+    def memory_image(self, secret_value: int) -> dict:
+        """The victim data structures as a plain word→value map.
+
+        Same contents :meth:`_init_memory` pokes into the simulator's
+        DRAM; used by the static analysis to replay witnesses concretely.
+        """
+        from ..memory.dram import Dram
+
+        dram = Dram()
+        self._write_memory(dram, secret_value)
+        return dram.image()
+
     def _init_memory(self, secret_value: int) -> None:
+        self._write_memory(self.hierarchy.dram, secret_value)
+
+    def _write_memory(self, dram, secret_value: int) -> None:
         lay = self.layout
-        dram = self.hierarchy.dram
         dram.poke(lay.a_base, 0)  # training value -> P[0]
         # Wrong-path overrun sentinel: A[1] maps past the probed alphabet.
         dram.poke(lay.a_base + 8 * _SENTINEL_INDEX, self.alphabet)

@@ -60,5 +60,6 @@ def _ensure_loaded() -> None:
         fig13_real_cpu,
         leakage_rate,
         matrix_grid,
+        synth_gadgets,
         table1_setup,
     )

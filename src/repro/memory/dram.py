@@ -105,6 +105,16 @@ class Dram:
         self._check(addr)
         return self._words.get(addr // WORD_SIZE * WORD_SIZE, 0)
 
+    def image(self) -> dict:
+        """Snapshot of the populated words (word address → value).
+
+        Used to hand a concrete memory image to the static analysis's
+        dynamic reference interpreter (witness replay): the same victim
+        data structures the simulator runs against, without the timing
+        model.
+        """
+        return dict(self._words)
+
     def poke(self, addr: int, value: int) -> None:
         """Write without touching statistics (for experiment setup)."""
         self._check(addr)

@@ -1,0 +1,19 @@
+# Fenced variant of the unXpec gadget (statically clean).
+#
+# Identical to unxpec.s except an mfence heads the mispredicted body:
+# the static speculation window closes at the fence, so the secret-
+# scaled load is unreachable on every explored path.  Analyze with
+# --secret 0x40:0x48; expected: zero findings.
+  li   r1, 0x1000
+  li   r2, 0x40
+  ld   r5, 0(r2)       # architectural read of the secret
+  li   r3, 0x2000
+  ld   r4, 0(r3)
+  li   r4, 0
+  beq  r4, r0, skip    # taken architecturally, mispredicted
+  mfence               # closes the speculation window
+  shli r6, r5, 6
+  add  r6, r1, r6
+  ld   r7, 0(r6)       # dead: never reached architecturally or transiently
+skip:
+  halt

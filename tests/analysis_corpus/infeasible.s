@@ -1,0 +1,21 @@
+# Infeasible-path non-leaker (clean only under path-sensitive analysis).
+#
+# The "leak" body sits behind two constant branches whose directions
+# contradict each other: blt never reaches mid architecturally (5 < 3 is
+# false), and even the transient window entering mid immediately takes
+# bge (5 >= 4) past the body.  The single-CFG fixpoint merges both arms
+# and reports the body; the multi-path explorer prunes it (expected:
+# zero findings, pruned_infeasible >= 1).  Analyze with --secret 0x40:0x48.
+  li   r1, 5
+  li   r2, 3
+  li   r3, 4
+  blt  r1, r2, mid     # 5 < 3: architecturally never taken
+  j    end
+mid:
+  bge  r1, r3, end     # 5 >= 4: always taken, skips the body
+  li   r4, 0x40
+  ld   r5, 0(r4)       # would read the secret
+  shli r6, r5, 6
+  ld   r7, 0(r6)       # would leak it
+end:
+  halt

@@ -1,0 +1,19 @@
+# Classic Spectre-v1 bounds-check bypass (leaks).
+#
+# array1 has 8 words at 0x0; index 8 is out of bounds and lands exactly
+# on the secret word at 0x40.  The bounds check is architecturally taken
+# (8 >= 8), so both loads of the body run only transiently.  Analyze
+# with --secret 0x40:0x48.
+  li   r1, 8           # attacker-controlled index (== length)
+  li   r2, 8           # array1 length
+  li   r3, 0x0         # array1 base
+  li   r4, 0x1000      # probe array base
+  bge  r1, r2, done    # bounds check: arch-taken, mispredicted
+  shli r5, r1, 3
+  add  r5, r3, r5      # &array1[8] == 0x40: the secret word
+  ld   r6, 0(r5)       # transient out-of-bounds read
+  shli r6, r6, 6
+  add  r6, r4, r6
+  ld   r7, 0(r6)       # transient secret-dependent probe access
+done:
+  halt

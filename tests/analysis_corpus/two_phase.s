@@ -1,0 +1,17 @@
+# Two-phase leaker: the secret access hides behind TWO branch decisions
+# (leaks).  Reaching the leak needs the outer branch mispredicted AND the
+# nested branch resolved not-taken inside the window — a multi-decision
+# witness only path-sensitive exploration attributes correctly.  Analyze
+# with --secret 0x40:0x48.
+  li   r1, 0x1000
+  li   r2, 0x40
+  ld   r5, 0(r2)       # architectural read of the secret
+  li   r4, 0
+  beq  r4, r0, skip    # phase 1: arch-taken, mispredicted
+  ld   r6, 0(r1)       # unknown public word
+  beq  r6, r0, skip    # phase 2: nested, unresolved -> both paths explored
+  shli r7, r5, 6
+  add  r7, r1, r7
+  ld   r8, 0(r7)       # transient leak, two decisions deep
+skip:
+  halt

@@ -1,0 +1,19 @@
+# unXpec-style rollback gadget (leaks).
+#
+# The branch is architecturally taken (r4 is the constant 0) but a fresh
+# weakly-not-taken predictor fetches the fall-through body, so the
+# secret-scaled load only ever executes transiently.  Under an undo
+# defense the rollback duration then depends on the secret — the paper's
+# channel.  Analyze with --secret 0x40:0x48.
+  li   r1, 0x1000      # probe array base
+  li   r2, 0x40        # secret word address
+  ld   r5, 0(r2)       # architectural read of the secret
+  li   r3, 0x2000      # cold guard line
+  ld   r4, 0(r3)       # guard miss: keeps the window open (timing only)
+  li   r4, 0
+  beq  r4, r0, skip    # taken architecturally, mispredicted
+  shli r6, r5, 6       # secret * 64: one cache line per value
+  add  r6, r1, r6
+  ld   r7, 0(r6)       # transient secret-dependent access
+skip:
+  halt

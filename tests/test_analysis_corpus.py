@@ -1,0 +1,86 @@
+"""The `.s` analysis corpus: CLI path + golden explorer reports.
+
+Each corpus program exercises one explorer behavior end to end through
+the textual-assembly CLI (``python -m repro.analysis.specct file.s
+--explore``): the two leakers are flagged with witnesses, the fenced and
+infeasible variants come back clean, and the full JSON report matches
+the checked-in golden byte for byte (regenerate from
+``tests/analysis_corpus`` with the command in golden/README).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.specct.__main__ import main
+
+CORPUS = Path(__file__).parent / "analysis_corpus"
+SECRET = "0x40:0x48"
+
+#: (stem, exit status): 1 = findings reported, 0 = clean.
+CASES = [
+    ("unxpec", 1),
+    ("spectre_v1", 1),
+    ("two_phase", 1),
+    ("fenced_safe", 0),
+    ("infeasible", 0),
+]
+
+
+def _run(argv, capsys):
+    status = main(argv)
+    return status, capsys.readouterr().out
+
+
+@pytest.mark.parametrize("stem,expected_status", CASES)
+def test_corpus_matches_golden_report(stem, expected_status, capsys, monkeypatch):
+    monkeypatch.chdir(CORPUS)  # report names the file as given on argv
+    status, out = _run(
+        [f"{stem}.s", "--explore", "--secret", SECRET, "--format", "json"], capsys
+    )
+    assert status == expected_status
+    golden = json.loads((CORPUS / "golden" / f"{stem}.json").read_text())
+    assert json.loads(out) == golden
+
+
+@pytest.mark.parametrize("stem,expected_status", CASES)
+def test_corpus_text_mode_exit_status(stem, expected_status, capsys, monkeypatch):
+    monkeypatch.chdir(CORPUS)
+    status, out = _run([f"{stem}.s", "--explore", "--secret", SECRET], capsys)
+    assert status == expected_status
+    assert ("CLEAN" in out) == (expected_status == 0)
+
+
+def test_leakers_carry_witnesses():
+    for stem in ("unxpec", "spectre_v1", "two_phase"):
+        report = json.loads((CORPUS / "golden" / f"{stem}.json").read_text())
+        witnesses = [
+            f["witness"] for f in report["findings"] if f["witness"] is not None
+        ]
+        assert witnesses, stem
+        assert all(w["decisions"] for w in witnesses)
+
+
+def test_two_phase_witness_needs_two_decisions():
+    report = json.loads((CORPUS / "golden" / "two_phase.json").read_text())
+    depths = [
+        len(f["witness"]["decisions"])
+        for f in report["findings"]
+        if f["witness"] is not None
+    ]
+    assert max(depths) >= 2
+
+
+def test_infeasible_is_clean_only_path_sensitively(capsys, monkeypatch):
+    """The fixpoint false-positives where the explorer prunes."""
+    monkeypatch.chdir(CORPUS)
+    explored, _ = _run(
+        ["infeasible.s", "--explore", "--secret", SECRET], capsys
+    )
+    fixpoint, _ = _run(["infeasible.s", "--secret", SECRET], capsys)
+    assert explored == 0
+    assert fixpoint == 1
+    report = json.loads((CORPUS / "golden" / "infeasible.json").read_text())
+    assert report["pruned_infeasible"] >= 1
+    assert report["complete"]

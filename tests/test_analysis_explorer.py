@@ -1,0 +1,214 @@
+"""Multi-path explorer: gadget detection, pruning, budgets, replay.
+
+The acceptance surface of the explorer: both hand-written attack
+programs are flagged with a concretely-replayable transient witness,
+every safe workload stays clean, a statically infeasible leak path is
+pruned (where the single-CFG fixpoint false-positives), and exhausted
+budgets are reported rather than silently truncated.
+"""
+
+import pytest
+
+from repro.analysis.specct import (
+    SpecCTAnalyzer,
+    analyze_program,
+    dynamic_events,
+    explore_program,
+    replay_witness,
+)
+from repro.analysis.specct.constraints import ConstraintStore, Fact
+from repro.analysis.specct.explorer import ExplorerConfig, SpecExplorer
+from repro.attack.gadgets import UnxpecGadget
+from repro.attack.spectre import SpectreV1Attack
+from repro.isa import ProgramBuilder
+from repro.workloads import safe_programs
+
+SECRET = (0x40, 0x48)
+
+
+def _transient(report):
+    return [f for f in report.findings if f.transient and f.witness is not None]
+
+
+# ---------------------------------------------------------------------------
+# hand-written gadgets
+# ---------------------------------------------------------------------------
+
+
+def test_unxpec_gadget_flagged_with_replayable_witness():
+    gadget = UnxpecGadget()
+    program = gadget.build_round()
+    report = explore_program(program, gadget.secret_ranges())
+    found = _transient(report)
+    assert found, report.render_text()
+    assert any(f.kind == "tainted_load_addr" for f in found)
+    replayed = [
+        f
+        for f in found
+        if replay_witness(
+            program, f.witness, gadget.secret_ranges(), memory=gadget.memory_image(1)
+        )
+    ]
+    assert replayed, "no transient witness reproduced on the dynamic interpreter"
+
+
+def test_spectre_gadget_flagged_with_replayable_witness():
+    attack = SpectreV1Attack()
+    program = attack.build_round()
+    report = explore_program(program, attack.secret_ranges())
+    found = _transient(report)
+    assert any(f.kind == "tainted_load_addr" for f in found), report.render_text()
+    assert any(
+        replay_witness(
+            program, f.witness, attack.secret_ranges(), memory=attack.memory_image(3)
+        )
+        for f in found
+    )
+
+
+def test_witness_decisions_record_the_misprediction():
+    gadget = UnxpecGadget()
+    report = explore_program(gadget.build_round(), gadget.secret_ranges())
+    for f in _transient(report):
+        mispredicted = [d for d in f.witness.decisions if d.transient]
+        assert mispredicted, "transient witness without a mispredicted decision"
+        assert f.witness.branch_pc == mispredicted[0].pc
+
+
+# ---------------------------------------------------------------------------
+# safe programs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,program", list(safe_programs()), ids=lambda p: getattr(p, "name", p)
+)
+def test_safe_programs_are_clean(name, program):
+    report = explore_program(
+        program, [SECRET], ExplorerConfig(max_steps=50_000)
+    )
+    # Workloads are hundreds of instructions with data-dependent branches,
+    # so the path budget may exhaust — exhaustion must be *reported*, and
+    # every explored path must stay clean.
+    assert report.clean, f"{name}: {report.render_text()}"
+    assert report.complete or report.budget_exhausted
+
+
+# ---------------------------------------------------------------------------
+# infeasible-path pruning: explorer beats the fixpoint
+# ---------------------------------------------------------------------------
+
+
+def _infeasible_program():
+    """Leak body behind two mutually-contradicting constant branches."""
+    b = ProgramBuilder("infeasible")
+    b.li("r1", 5)
+    b.li("r2", 3)
+    b.li("r3", 4)
+    b.branch("lt", "r1", "r2", "mid")  # 5 < 3: never taken
+    b.jump("end")
+    b.label("mid")
+    b.branch("ge", "r1", "r3", "end")  # 5 >= 4: always taken
+    b.li("r4", SECRET[0])
+    b.load("r5", "r4", 0)
+    b.opi("shl", "r6", "r5", 6)
+    b.load("r7", "r6", 0)
+    b.label("end")
+    b.halt()
+    return b.build()
+
+
+def test_explorer_prunes_statically_infeasible_leak_path():
+    program = _infeasible_program()
+    report = explore_program(program, [SECRET])
+    assert report.clean, report.render_text()
+    assert report.pruned_infeasible >= 1
+    assert report.complete
+    # The path-insensitive fixpoint merges the contradicting arms and
+    # false-positives on the dead body — the precision the explorer buys.
+    assert not analyze_program(program, [SECRET]).clean
+    # Ground truth agrees with the explorer: nothing ever executes there.
+    assert not dynamic_events(program, [SECRET])
+
+
+# ---------------------------------------------------------------------------
+# budgets
+# ---------------------------------------------------------------------------
+
+
+def test_step_budget_exhaustion_is_reported():
+    gadget = UnxpecGadget()
+    report = explore_program(
+        gadget.build_round(),
+        gadget.secret_ranges(),
+        ExplorerConfig(max_steps=20),
+    )
+    assert report.budget_exhausted
+    assert not report.complete
+    assert report.steps_used <= 20
+
+
+def test_path_budget_exhaustion_is_reported():
+    b = ProgramBuilder("forks")
+    b.li("r1", 0x100)
+    for i in range(8):  # 8 unresolved branches: exponential fork demand
+        b.load("r2", "r1", 8 * i)
+        b.branch("eq", "r2", "r0", f"l{i}")
+        b.label(f"l{i}")
+    b.halt()
+    report = explore_program(b.build(), [SECRET], ExplorerConfig(max_paths=4))
+    assert report.budget_exhausted
+    assert report.truncated_paths >= 1
+    assert not report.complete
+
+
+def test_explorer_is_deterministic():
+    gadget = UnxpecGadget()
+    program = gadget.build_round()
+    first = explore_program(program, gadget.secret_ranges()).to_dict()
+    second = explore_program(program, gadget.secret_ranges()).to_dict()
+    assert first == second
+
+
+def test_explorer_reuses_analyzer_transfer():
+    gadget = UnxpecGadget()
+    explorer = SpecExplorer(gadget.build_round(), gadget.secret_ranges())
+    assert (
+        explorer._analyzer.transfer.__func__
+        is SpecCTAnalyzer.transfer
+    )
+
+
+# ---------------------------------------------------------------------------
+# constraint domain
+# ---------------------------------------------------------------------------
+
+
+def test_fact_refinement_narrows_and_detects_unsat():
+    store = ConstraintStore()
+    lt = store.assume("lt", "r1", 10, reg_is_lhs=True)
+    assert lt is not None and lt.fact("r1").hi == 9
+    ge = lt.assume("ge", "r1", 10, reg_is_lhs=True)
+    assert ge is None  # r1 < 10 and r1 >= 10 contradict
+
+
+def test_fact_equality_pins_constant():
+    store = ConstraintStore().assume("eq", "r1", 42, reg_is_lhs=True)
+    assert store.pinned("r1") == 42
+
+
+def test_fact_shifts_through_immediate_add():
+    store = ConstraintStore().assume("eq", "r1", 42, reg_is_lhs=True)
+    shifted = store.shift("r2", "r1", 8)
+    assert shifted.pinned("r2") == 50
+    assert shifted.pinned("r1") == 42
+
+
+def test_fact_ne_exclusion():
+    fact = Fact()
+    store = ConstraintStore(facts={"r1": fact}).assume(
+        "ne", "r1", 7, reg_is_lhs=True
+    )
+    assert store is not None
+    assert not store.fact("r1").admits(7)
+    assert store.fact("r1").admits(8)

@@ -16,6 +16,7 @@ MEDIUM = [
     "fig12",
     "leakage_rate",
     "matrix",
+    "synth",
     "abl_cleanup_mode",
     "abl_replacement",
 ]

@@ -343,6 +343,22 @@ GOLDEN_CAMPAIGN_DIGEST = {
             "unxpec_rollback_gap_cleanupspec": 22.0,
         },
     },
+    "synth": {
+        "checks": "PPPPP",
+        "metrics": {
+            "agreement_rate": 0.65,
+            "candidates": 20.0,
+            "confirmed": 3.0,
+            "distinct_confirmed": 3.0,
+            "dynamic_leaky": 4.0,
+            "false_negatives": 1.0,
+            "false_positives": 6.0,
+            "mean_confirmed_delta": 1.0,
+            "min_gadget_instructions": 7.0,
+            "static_leaky": 9.0,
+            "witness_replay_rate": 1.0,
+        },
+    },
     "table1": {
         "checks": "PPPPPP",
         "metrics": {

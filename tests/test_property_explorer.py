@@ -1,0 +1,60 @@
+"""Property: explorer findings cover the dynamic taint reference.
+
+Same program strategy as test_property_specct_dynamic.py, but against
+the path-sensitive explorer: on every *completely* explored program
+(no budget truncation), each event the concrete interpreter observes —
+architectural or transient — must be matched by an explorer finding at
+the same ``(kind, pc, transient)``.  This is the soundness contract that
+licenses infeasible-path pruning: dropping unsatisfiable paths may never
+drop a reachable event.  Derandomized per DET007.
+"""
+
+from hypothesis import given, settings
+
+from repro.analysis.specct import analyze_program, dynamic_events, explore_program
+
+from tests.test_property_specct_dynamic import SECRET, _programs, build
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(_programs)
+def test_dynamic_events_covered_by_explorer_findings(specs):
+    program = build(specs)
+    report = explore_program(program, [SECRET])
+    if not report.complete:
+        return  # a truncated exploration makes no coverage claim
+    covered = {(f.kind, f.pc, f.transient) for f in report.findings}
+    for event in dynamic_events(program, [SECRET]):
+        assert (event.kind, event.pc, event.transient) in covered, (
+            f"dynamic {event.kind} at pc {event.pc} "
+            f"(transient={event.transient}, branch={event.branch_pc}) has no "
+            f"explorer finding\n{program.listing()}\n{report.render_text()}"
+        )
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(_programs)
+def test_explorer_never_flags_more_sites_than_the_fixpoint(specs):
+    """Pruning only removes findings relative to the path-insensitive pass."""
+    program = build(specs)
+    report = explore_program(program, [SECRET])
+    if not report.complete:
+        return
+    fixpoint = {(f.kind, f.pc) for f in analyze_program(program, [SECRET]).findings}
+    explored = {
+        (f.kind, f.pc) for f in report.findings if f.kind != "cache_delta"
+    }
+    assert explored <= fixpoint, (
+        f"explorer found sites the fixpoint missed: {explored - fixpoint}\n"
+        f"{program.listing()}"
+    )
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(_programs)
+def test_explorer_report_is_deterministic(specs):
+    program = build(specs)
+    assert (
+        explore_program(program, [SECRET]).to_dict()
+        == explore_program(program, [SECRET]).to_dict()
+    )
