@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-core coverage experiments report quick-report campaign-smoke campaign-fault-smoke campaign-top matrix-smoke synth-smoke stats examples lint specct-smoke clean
+.PHONY: install test bench bench-core coverage experiments report quick-report campaign-smoke campaign-fault-smoke campaign-top matrix-smoke rewind-smoke interference-smoke synth-smoke stats examples lint specct-smoke clean
 
 # Execution backend for campaign-smoke (scalar | batched); results are
 # bit-identical either way — CI runs the smoke once per backend.
@@ -86,6 +86,44 @@ matrix-smoke:
 	    assert all(r == ref for r in rest), \
 	    'matrix grid diverged across jobs counts / backends'; \
 	    print('matrix-smoke: jobs- and backend-invariant')"
+
+# SpectreRewind smoke (docs/channels.md): the divider-contention channel
+# per defense at quick scale — jobs=1 vs jobs=4 and scalar vs batched
+# must produce byte-identical result JSON, and every divider-delta check
+# must pass (leak under CleanupSpec/SafeSpec, covered by CacheSquash).
+rewind-smoke:
+	$(PYTHON) -m repro.experiments ext_rewind --quick --jobs 1 --no-cache \
+	    --backend scalar --json rewind-jobs1-scalar.json > REPORT-rewind.md
+	@cat REPORT-rewind.md
+	$(PYTHON) -m repro.experiments ext_rewind --quick --jobs 4 --no-cache \
+	    --backend scalar --json rewind-jobs4-scalar.json
+	$(PYTHON) -m repro.experiments ext_rewind --quick --jobs 4 --no-cache \
+	    --backend batched --json rewind-jobs4-batched.json
+	$(PYTHON) -c "import json; ref, *rest = [json.load(open(p)) for p in \
+	    ('rewind-jobs1-scalar.json', 'rewind-jobs4-scalar.json', \
+	     'rewind-jobs4-batched.json')]; \
+	    assert all(r == ref for r in rest), \
+	    'rewind results diverged across jobs counts / backends'; \
+	    print('rewind-smoke: jobs- and backend-invariant')"
+
+# Two-context interference smoke (docs/channels.md): the shared-port
+# channel per defense — the harness pins scalar cores internally, so the
+# backend flag exercises the demotion contract rather than two code
+# paths; byte-identity across jobs and backends is still asserted.
+interference-smoke:
+	$(PYTHON) -m repro.experiments ext_interference --quick --jobs 1 --no-cache \
+	    --backend scalar --json interference-jobs1-scalar.json > REPORT-interference.md
+	@cat REPORT-interference.md
+	$(PYTHON) -m repro.experiments ext_interference --quick --jobs 4 --no-cache \
+	    --backend scalar --json interference-jobs4-scalar.json
+	$(PYTHON) -m repro.experiments ext_interference --quick --jobs 4 --no-cache \
+	    --backend batched --json interference-jobs4-batched.json
+	$(PYTHON) -c "import json; ref, *rest = [json.load(open(p)) for p in \
+	    ('interference-jobs1-scalar.json', 'interference-jobs4-scalar.json', \
+	     'interference-jobs4-batched.json')]; \
+	    assert all(r == ref for r in rest), \
+	    'interference results diverged across jobs counts / backends'; \
+	    print('interference-smoke: jobs- and backend-invariant')"
 
 # Synthesis smoke (docs/static-analysis.md "Gadget synthesis"): the
 # generate -> explorer-filter -> simulator-confirm pipeline at quick
@@ -182,5 +220,6 @@ clean:
 	rm -f REPORT-campaign-jobs*.md campaign-stats-jobs*.json \
 	    campaign-metrics-jobs*.prom campaign-metrics-jobs*.prom.folded \
 	    campaign-events-jobs*.jsonl REPORT-matrix.md matrix-jobs*.json \
-	    REPORT-synth.md synth-jobs*.json
+	    REPORT-synth.md synth-jobs*.json REPORT-rewind.md rewind-jobs*.json \
+	    REPORT-interference.md interference-jobs*.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -76,6 +76,28 @@ def fig3_round_seconds(
     return best
 
 
+def interference_round_seconds(rounds: int = 20, repeats: int = 5) -> float:
+    """Best-of-N seconds per two-context interference round (ext_interference).
+
+    One round = victim mistraining + recorded victim run + attacker probe
+    replay — the scalar-only hot path of the shared-port channel (the
+    harness pins scalar cores; there is no batched variant to time).
+    """
+    from repro.attack import InterferenceHarness
+
+    harness = InterferenceHarness(defense_key="safespec", seed=0)
+    harness.prepare()
+    for bit in (0, 1):  # warmup: decode + fault in the working set
+        harness.sample(bit)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for i in range(rounds):
+            harness.sample(i & 1)
+        best = min(best, (time.perf_counter() - t0) / rounds)
+    return best
+
+
 def synthetic_ips(instructions: int = 20_000, repeats: int = 5):
     """Best-of-N committed instructions per second on a gcc_r workload."""
     from repro.cache import CacheHierarchy
@@ -101,6 +123,8 @@ def measure(cal: BenchCalibration) -> dict:
     cal.refresh()
     batched_s = fig3_round_seconds(backend="batched")
     cal.refresh()
+    interference_s = interference_round_seconds()
+    cal.refresh()
     ips, committed = synthetic_ips()
     seconds = cal.refresh()
     return {
@@ -110,6 +134,8 @@ def measure(cal: BenchCalibration) -> dict:
         "fig3_round_batched_ms": batched_s * 1e3,
         "fig3_round_batched_normalized": batched_s / seconds,
         "batched_speedup_vs_scalar": round_s / batched_s,
+        "interference_round_ms": interference_s * 1e3,
+        "interference_round_normalized": interference_s / seconds,
         "synthetic_ips": ips,
         "synthetic_instructions": committed,
         "synthetic_ips_normalized": ips * seconds,
@@ -156,6 +182,14 @@ def test_bench_core_and_gate(bench_calibration):
             f"BENCH_core.json: {measured['synthetic_ips_normalized']:.1f} < "
             f"{floor:.1f} (baseline {baseline['synthetic_ips_normalized']:.1f})"
         )
+        if "interference_round_normalized" in baseline:
+            limit = baseline["interference_round_normalized"] * REGRESSION_FACTOR
+            assert measured["interference_round_normalized"] <= limit, (
+                "two-context interference round regressed >25% vs committed "
+                f"BENCH_core.json: {measured['interference_round_normalized']:.4f}"
+                f" > {limit:.4f} "
+                f"(baseline {baseline['interference_round_normalized']:.4f})"
+            )
         if "fig3_round_batched_normalized" in baseline:
             limit = baseline["fig3_round_batched_normalized"] * REGRESSION_FACTOR
             assert measured["fig3_round_batched_normalized"] <= limit, (

@@ -6,6 +6,7 @@ from .channel import (
     CHANNELS,
     Channel,
     ChannelVerdict,
+    ContentionTimingChannel,
     FlushReloadChannel,
     RollbackTimingChannel,
     ThresholdDecoder,
@@ -29,7 +30,12 @@ from .eviction_sets import (
     partition_ways,
     reduce_eviction_set,
 )
-from .gadgets import GadgetParams, UnxpecGadget
+from .gadgets import GadgetParams, RewindGadget, RewindParams, UnxpecGadget
+from .interference import (
+    InterferenceHarness,
+    InterferenceParams,
+    InterferenceSample,
+)
 from .layout import DEFAULT_LAYOUT, DEFAULT_REGS, AttackLayout, Regs, chain_pointers
 from .replacement_probe import (
     AgeProbeResult,
@@ -37,6 +43,7 @@ from .replacement_probe import (
     probe_accuracy_under_policy,
 )
 from .secrets import bits_to_bytes, bits_to_text, bytes_to_bits, hamming_distance, random_bits
+from .rewind import RewindAttack, RewindSample
 from .spectre import ProbeReading, SpectreResult, SpectreV1Attack
 from .unxpec import RoundSample, UnxpecAttack
 
@@ -48,6 +55,13 @@ __all__ = [
     "chain_pointers",
     "GadgetParams",
     "UnxpecGadget",
+    "RewindParams",
+    "RewindGadget",
+    "RewindAttack",
+    "RewindSample",
+    "InterferenceParams",
+    "InterferenceHarness",
+    "InterferenceSample",
     "EvictionSet",
     "find_eviction_set",
     "build_prime_addresses",
@@ -61,6 +75,7 @@ __all__ = [
     "TrialObservation",
     "RollbackTimingChannel",
     "FlushReloadChannel",
+    "ContentionTimingChannel",
     "CHANNELS",
     "make_channel",
     "encode_bits",

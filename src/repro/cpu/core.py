@@ -64,6 +64,7 @@ from ..isa.decoded import (
 from ..isa.program import Program
 from ..isa.registers import WORD_MASK, RegisterFile
 from ..obs import Observability, get_default_obs
+from .fu import FU_DIV, FuPool
 from .noise import NoiseModel
 from .predictor import BimodalPredictor, WEAK_TAKEN
 from .timing import InstructionTiming, RunResult, SquashEvent
@@ -124,6 +125,22 @@ class Core:
         #: Wrong-path execution is bounded by the ROB (an instruction can
         #: only issue speculatively if it fits behind the branch).
         self.max_wrong_path = self.config.rob_entries
+        #: Two-context interference hooks (repro.cpu.fu.OccupancyTimeline).
+        #: ``port_timeline`` — this core *records* the busy intervals its
+        #: beyond-L1 traffic (committed loads, wrong-path fills, shadow
+        #: fills) puts on the shared L2/memory port. ``contended_timeline``
+        #: — this core's committed beyond-L1 loads wait out another
+        #: context's recorded intervals before being serviced. Both default
+        #: to None (no-op; timing is bit-identical to a hook-free core) and
+        #: are assigned by the interference harness between runs. A core
+        #: carrying either is demoted to scalar by the batched backend:
+        #: the timelines couple *separate* runs, which memoized replay
+        #: cannot see.
+        self.port_timeline = None
+        self.contended_timeline = None
+        #: Divider occupancy of the most recent run (repro.cpu.fu.FuPool);
+        #: fresh per run, shared between committed and wrong path within it.
+        self.fu_pool: Optional[FuPool] = None
         #: Observability: explicit > hierarchy's > process default > None.
         self.obs = obs or hierarchy.obs or get_default_obs()
         if self.obs is not None:
@@ -209,11 +226,21 @@ class Core:
         predictor = self.predictor
         alu_latency = cfg.alu_latency
         mul_latency = cfg.mul_latency
+        div_latency = cfg.div_latency
         branch_latency = cfg.branch_latency
         flush_latency = cfg.flush_latency
         timer_latency = cfg.timer_latency
         dispatch_width = cfg.dispatch_width
         squash_delay = self.squash_delay
+        # Divider occupancy is per-run (the machine quiesces between runs,
+        # like the MSHR drain below) — which is also what keeps the batched
+        # backend's memoized round replay bit-identical with no extra
+        # signature state: replaying a round replays its divider schedule.
+        fu_pool = FuPool()
+        self.fu_pool = fu_pool
+        acquire_div = fu_pool.acquire_div
+        port_timeline = self.port_timeline
+        contended = self.contended_timeline
 
         # ROB back-pressure state (see repro.cpu.rob.RobModel for the same
         # recurrence in documented, unit-tested form).
@@ -275,18 +302,25 @@ class Core:
             next_pc = pc + 1
 
             if op == OP_INT_OP_IMM:
-                # (dst, src1, imm, fn, is_mul)
+                # (dst, src1, imm, fn, fu)
                 src1 = ins[2]
                 start = ready_get(src1, 0)
                 if dispatch > start:
                     start = dispatch
-                complete = start + (mul_latency if ins[5] else alu_latency)
+                fu = ins[5]
+                if fu == FU_DIV:
+                    # Non-pipelined: queue behind any in-flight division —
+                    # including a *transient* one (the SpectreRewind leak).
+                    start = acquire_div(start, div_latency)
+                    complete = start + div_latency
+                else:
+                    complete = start + (mul_latency if fu else alu_latency)
                 dst = ins[1]
                 raw[dst] = ins[4](raw_get(src1, 0), ins[3]) & WORD_MASK
                 ready[dst] = complete
 
             elif op == OP_INT_OP:
-                # (dst, src1, src2, fn, is_mul)
+                # (dst, src1, src2, fn, fu)
                 src1 = ins[2]
                 src2 = ins[3]
                 start = ready_get(src1, 0)
@@ -295,7 +329,12 @@ class Core:
                     start = r2
                 if dispatch > start:
                     start = dispatch
-                complete = start + (mul_latency if ins[5] else alu_latency)
+                fu = ins[5]
+                if fu == FU_DIV:
+                    start = acquire_div(start, div_latency)
+                    complete = start + div_latency
+                else:
+                    complete = start + (mul_latency if fu else alu_latency)
                 dst = ins[1]
                 raw[dst] = ins[4](raw_get(src1, 0), raw_get(src2, 0)) & WORD_MASK
                 ready[dst] = complete
@@ -312,15 +351,27 @@ class Core:
                 if delay_misses and start < max_branch_resolve:
                     # Invisible-family delay-on-miss: an L1 miss issued under
                     # an unresolved branch waits for the branch to resolve.
-                    _, probe_level = hierarchy.probe_latency(addr)
+                    # The miss prediction is MSHR-pressure-aware, matching
+                    # the wrong-path predict_latency call — probe_latency
+                    # here would disagree with what access() charges when
+                    # the MSHR file is full (same level, so the *decision*
+                    # is unchanged; kept aligned so it stays that way).
+                    _, probe_level = hierarchy.predict_latency(addr, start)
                     if probe_level != "L1":
                         start = max_branch_resolve
                 access = hier_access(addr, cycle=start)
                 latency = access.latency
-                if access.level == "MEM":
-                    latency = max(1, latency + noise_jitter(noise_rng))
-                complete = start + latency
                 level = access.level
+                if level == "MEM":
+                    latency = max(1, latency + noise_jitter(noise_rng))
+                if level != "L1":
+                    if contended is not None:
+                        # Two-context interference: wait out the other
+                        # context's recorded traffic on the shared port.
+                        latency += contended.next_free(start) - start
+                    if port_timeline is not None:
+                        port_timeline.record(start, latency)
+                complete = start + latency
                 dst = ins[1]
                 raw[dst] = dram_peek(addr) & WORD_MASK
                 ready[dst] = complete
@@ -609,6 +660,11 @@ class Core:
         predictor_counter = self.predictor.counter
         alu_latency = cfg.alu_latency
         mul_latency = cfg.mul_latency
+        div_latency = cfg.div_latency
+        # Shared with the committed path: a transient division occupies the
+        # same physical divider, and the squash does not release it.
+        try_acquire_div = self.fu_pool.try_acquire_div
+        port_timeline = self.port_timeline
         dispatch_width = cfg.dispatch_width
         max_wrong_path = self.max_wrong_path
         allows_install = getattr(self.defense, "allows_speculative_install", True)
@@ -633,7 +689,24 @@ class Core:
                 if v1 is None:
                     v1 = raw_get(src1, 0)
                 spec_values[ins[1]] = ins[4](v1, ins[3]) & WORD_MASK
-                spec_ready[ins[1]] = start + (mul_latency if ins[5] else alu_latency)
+                fu = ins[5]
+                if fu == FU_DIV:
+                    # Divider occupancy is a real side effect, so it gets
+                    # the same squash-point gate as OP_LOAD — but on the
+                    # *issue slot*, not the operand-ready time: a transient
+                    # division still queued behind a busy divider at the
+                    # squash is killed in the reservation station like any
+                    # un-issued uop (operands readying past the squash, or
+                    # never via the NEVER sentinel, gate the same way). One
+                    # that reaches the unit in time occupies it past the
+                    # squash — the squash cannot recall an in-flight
+                    # division.
+                    issued = try_acquire_div(start, div_latency, squash_point)
+                    spec_ready[ins[1]] = (
+                        NEVER if issued is None else issued + div_latency
+                    )
+                else:
+                    spec_ready[ins[1]] = start + (mul_latency if fu else alu_latency)
 
             elif op == OP_INT_OP:
                 src1 = ins[2]
@@ -651,7 +724,14 @@ class Core:
                 if v2 is None:
                     v2 = raw_get(src2, 0)
                 spec_values[ins[1]] = ins[4](v1, v2) & WORD_MASK
-                spec_ready[ins[1]] = start + (mul_latency if ins[5] else alu_latency)
+                fu = ins[5]
+                if fu == FU_DIV:
+                    issued = try_acquire_div(start, div_latency, squash_point)
+                    spec_ready[ins[1]] = (
+                        NEVER if issued is None else issued + div_latency
+                    )
+                else:
+                    spec_ready[ins[1]] = start + (mul_latency if fu else alu_latency)
 
             elif op == OP_LOAD:
                 base = ins[2]
@@ -682,6 +762,11 @@ class Core:
                     elif shadow_fills:
                         if probed == "MEM":
                             latency = max(1, latency + noise_jitter(noise_rng))
+                        if port_timeline is not None:
+                            # Shadow fills never touch real cache state, but
+                            # they DO occupy the shared downstream port while
+                            # in flight — the interference-attack observation.
+                            port_timeline.record(start, latency)
                         complete = start + latency
                         out.loads_issued += 1
                         out.shadow_fills += 1
@@ -694,6 +779,14 @@ class Core:
                             spec_values[dst] = hierarchy.dram.peek(addr)
                             spec_ready[dst] = complete
                     else:
+                        # Delay-on-miss: the miss is never issued downstream
+                        # (no port occupancy, no fill). Burn the jitter draw
+                        # the other defense families make for this would-be
+                        # memory access, so per-round RNG draw counts are
+                        # family-invariant and the BatchedCore draw-count
+                        # guard can't spuriously demote one family.
+                        if probed == "MEM":
+                            noise_jitter(noise_rng)
                         spec_ready[dst] = NEVER
                 else:
                     vb = spec_values_get(base)
@@ -708,6 +801,10 @@ class Core:
                     if level == "MEM":
                         jitter = noise_jitter(noise_rng)
                         latency = max(1, latency + jitter)
+                    if level != "L1" and port_timeline is not None:
+                        # The fill occupies the shared port whether it lands
+                        # before the squash or is cleaned out of the MSHR.
+                        port_timeline.record(start, latency)
                     complete = start + latency
                     out.loads_issued += 1
                     if complete <= squash_point or level == "L1":

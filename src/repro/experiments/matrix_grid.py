@@ -12,7 +12,11 @@ story reduces to one table:
 * undo-based schemes close the footprint but open the rollback-timing
   channel (CleanupSpec's ~22-cycle secret-dependent squash — unXpec);
 * SafeSpec-style shadow structures and CacheSquash-style cancellable
-  requests close both channels, at near-baseline workload cost;
+  requests close both *cache* channels, at near-baseline workload cost —
+  but the non-cache contention channels stay open: SpectreRewind's
+  divider occupancy leaks under CleanupSpec and SafeSpec, and the
+  two-context interference probe leaks under SafeSpec and CacheSquash
+  (no cache-centric defense claims the contention channel closed);
 * every defense's *measured* row must be consistent with its registered
   :class:`~repro.defense.base.DefenseCapabilities` claim.
 
@@ -49,7 +53,9 @@ class MatrixGrid(ShardableExperiment):
     paper_claim = (
         "Undo schemes close the flush+reload footprint but leak through "
         "rollback timing; shadow-structure and cancellable-request schemes "
-        "close both channels at near-baseline cost"
+        "close both cache channels at near-baseline cost yet still leak "
+        "through non-cache contention (divider occupancy, shared-port "
+        "interference)"
     )
 
     def _trials(self, quick: bool) -> int:
@@ -175,8 +181,14 @@ class MatrixGrid(ShardableExperiment):
             for cv in verdicts
         }
 
-        def leaks_anywhere(defense: str) -> bool:
-            return any(v for (_, d, _), v in leak.items() if d == defense)
+        def leaks_cache_channels(defense: str) -> bool:
+            """Any flush/rollback leak — the channels cache-centric
+            defenses actually claim; contention is judged separately."""
+            return any(
+                v
+                for (_, d, c), v in leak.items()
+                if d == defense and c in ("flush", "rollback")
+            )
 
         result.metric(
             "unxpec_rollback_gap_cleanupspec",
@@ -206,16 +218,37 @@ class MatrixGrid(ShardableExperiment):
             "unXpec reads the secret off CleanupSpec's rollback duration",
         )
         result.check(
-            "shadow_closes_both_channels",
-            not leaks_anywhere("safespec"),
+            "shadow_closes_cache_channels",
+            not leaks_cache_channels("safespec"),
             "SafeSpec-style shadow fills leave neither footprint nor "
             "secret-dependent squash timing",
         )
         result.check(
-            "cancellable_closes_both_channels",
-            not leaks_anywhere("cachesquash"),
+            "cancellable_closes_cache_channels",
+            not leaks_cache_channels("cachesquash"),
             "coalesced cancellation quantizes squash timing and installs "
             "nothing",
+        )
+        result.check(
+            "rewind_contention_survives_undo_and_shadow",
+            leak[("rewind", "cleanupspec", "contention")]
+            and leak[("rewind", "safespec", "contention")],
+            "a committed division queues behind transient divider "
+            "occupancy whether the cache state is undone or shadowed — "
+            "no cache defense touches the functional units",
+        )
+        result.check(
+            "interference_contention_survives_shadow_and_cancel",
+            leak[("interference", "safespec", "contention")]
+            and leak[("interference", "cachesquash", "contention")],
+            "shadow and cancellable fills still occupy shared port "
+            "bandwidth while in flight; the second context times it",
+        )
+        result.check(
+            "delay_on_miss_closes_interference",
+            not leak[("interference", "delay_on_miss", "contention")],
+            "delaying speculative misses at issue means the transient "
+            "burst never reaches the shared port at all",
         )
         result.check(
             "capabilities_match_measurement",

@@ -45,7 +45,9 @@ def _ensure_loaded() -> None:
     from . import (  # noqa: F401
         ablations,
         ext_fuzzy_defense,
+        ext_interference,
         ext_invisible_vs_undo,
+        ext_rewind,
         ext_spectre_blocked,
         fig1_timeline,
         fig2_branch_resolution,

@@ -45,7 +45,7 @@ from .instructions import (
 from .program import Program
 
 _MEM_RE = re.compile(r"^(-?\d+)\((r\d+)\)$")
-_ALU_OPS = ("add", "sub", "mul", "and", "or", "xor", "shl", "shr")
+_ALU_OPS = ("add", "sub", "mul", "div", "and", "or", "xor", "shl", "shr")
 _BRANCH_CONDS = ("lt", "le", "gt", "ge", "eq", "ne")
 
 

@@ -84,6 +84,10 @@ class ProgramBuilder:
     def mul(self, dst: str, src1: str, src2: str) -> "ProgramBuilder":
         return self.op("mul", dst, src1, src2)
 
+    def div(self, dst: str, src1: str, src2: str) -> "ProgramBuilder":
+        """Unsigned divide — issues to the non-pipelined divider."""
+        return self.op("div", dst, src1, src2)
+
     def shli(self, dst: str, src1: str, imm: int) -> "ProgramBuilder":
         """Shift-left by an immediate via a scratch-free immediate op."""
         return self.opi("shl", dst, src1, imm)

@@ -10,7 +10,9 @@ into a dense per-pc table of plain tuples:
 * the remaining elements are pre-resolved operands: register *names* (the
   register file is a dict keyed by name), label targets resolved to
   instruction indices, ALU/branch *callables* looked up from the operation
-  tables, and a pre-computed ``is_mul`` flag for latency selection.
+  tables, and a pre-computed functional-unit id (``repro.cpu.fu``) for
+  latency/occupancy selection (``FU_ALU`` is 0/falsy and ``FU_MUL`` 1/truthy,
+  preserving the historical ``is_mul`` truthiness).
 
 Decoding is purely structural — it evaluates nothing — so a decoded program
 is bit-identical in behaviour to interpreting the instruction objects. The
@@ -40,6 +42,29 @@ from .instructions import (
     branch_fn,
 )
 
+# Functional-unit ids carried in ALU-op tuples (element 5). They live here —
+# not in repro.cpu.fu, which re-exports them — because decode assigns them and
+# repro.cpu imports this module (the reverse import would be circular).
+# FU_ALU is falsy and FU_MUL truthy on purpose: the historical
+# ``mul_latency if ins[5] else alu_latency`` arms stay bit-identical for the
+# pipelined units.
+FU_ALU = 0
+FU_MUL = 1
+FU_DIV = 2
+
+#: ALU mnemonic -> functional unit. Everything not listed issues to the
+#: fully-pipelined ALU.
+FU_BY_OP = {
+    "mul": FU_MUL,
+    "div": FU_DIV,
+}
+
+
+def fu_for_op(op: str) -> int:
+    """Functional-unit id for ALU mnemonic ``op`` (default: the ALU)."""
+    return FU_BY_OP.get(op, FU_ALU)
+
+
 # Opcodes — contiguous small ints so the core's if/elif chain compares fast.
 OP_HALT = 0
 OP_LOAD_IMM = 1
@@ -57,8 +82,8 @@ OP_BRANCH = 11
 #: Decoded tuple layouts, by opcode (element 0 is always the opcode):
 #:   OP_HALT        ()
 #:   OP_LOAD_IMM    (dst, imm)  # raw; the architectural write path masks
-#:   OP_INT_OP      (dst, src1, src2, fn, is_mul)
-#:   OP_INT_OP_IMM  (dst, src1, imm, fn, is_mul)
+#:   OP_INT_OP      (dst, src1, src2, fn, fu)
+#:   OP_INT_OP_IMM  (dst, src1, imm, fn, fu)
 #:   OP_LOAD        (dst, base, offset)
 #:   OP_STORE       (src, base, offset)
 #:   OP_FLUSH       (base, offset)
@@ -83,11 +108,11 @@ def decode_program(program) -> List[DecodedInstruction]:
             code.append((OP_LOAD_IMM, inst.dst, inst.imm))
         elif isinstance(inst, IntOp):
             code.append(
-                (OP_INT_OP, inst.dst, inst.src1, inst.src2, alu_fn(inst.op), inst.op == "mul")
+                (OP_INT_OP, inst.dst, inst.src1, inst.src2, alu_fn(inst.op), fu_for_op(inst.op))
             )
         elif isinstance(inst, IntOpImm):
             code.append(
-                (OP_INT_OP_IMM, inst.dst, inst.src1, inst.imm, alu_fn(inst.op), inst.op == "mul")
+                (OP_INT_OP_IMM, inst.dst, inst.src1, inst.imm, alu_fn(inst.op), fu_for_op(inst.op))
             )
         elif isinstance(inst, Load):
             code.append((OP_LOAD, inst.dst, inst.base, inst.offset))

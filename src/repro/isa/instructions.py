@@ -34,6 +34,9 @@ _ALU_OPS: dict = {
     "add": operator.add,
     "sub": operator.sub,
     "mul": operator.mul,
+    # Unsigned divide; div-by-zero saturates to all-ones (no faults in this
+    # machine). Issues to the non-pipelined divider (see repro.cpu.fu).
+    "div": lambda a, b: (a // b) if b else WORD_MASK,
     "and": operator.and_,
     "or": operator.or_,
     "xor": operator.xor,
@@ -123,7 +126,7 @@ class LoadImm(Instruction):
 
 @dataclass(frozen=True)
 class IntOp(Instruction):
-    """``dst <- src1 <op> src2`` with ``op`` in add/sub/mul/and/or/xor/shl/shr."""
+    """``dst <- src1 <op> src2`` with ``op`` in add/sub/mul/div/and/or/xor/shl/shr."""
 
     op: str
     dst: str

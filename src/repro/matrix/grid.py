@@ -71,19 +71,27 @@ def run_cell_trials(
 def observations_to_rows(observations: Sequence[TrialObservation]) -> List[list]:
     """Picklable/JSON-safe form of a trial set (campaign shard payload)."""
     return [
-        [obs.secret, obs.timing, obs.footprint_guess] for obs in observations
+        [obs.secret, obs.timing, obs.footprint_guess, obs.contention_timing]
+        for obs in observations
     ]
 
 
 def rows_to_observations(rows: Sequence[Sequence[object]]) -> List[TrialObservation]:
-    return [
-        TrialObservation(
-            secret=int(secret),
-            timing=float(timing),
-            footprint_guess=None if guess is None else int(guess),
+    observations = []
+    for row in rows:
+        # Rows serialized before the contention channel existed have three
+        # elements; treat the missing measurement as "not taken".
+        secret, timing, guess = row[0], row[1], row[2]
+        contention = row[3] if len(row) > 3 else None
+        observations.append(
+            TrialObservation(
+                secret=int(secret),
+                timing=float(timing),
+                footprint_guess=None if guess is None else int(guess),
+                contention_timing=None if contention is None else float(contention),
+            )
         )
-        for secret, timing, guess in rows
-    ]
+    return observations
 
 
 def evaluate_cell(

@@ -9,12 +9,18 @@ timing and a cache-footprint guess — as a
 set, so "does attack A leak through channel C under defense D" is a pure
 post-processing question and a cell never re-runs the machine per channel.
 
-Two scenarios, mirroring the paper's pairing:
+Four scenarios:
 
 * :class:`UnxpecScenario` — the unXpec sender (Algorithm 2): secret bits
   0/1, timing is the receiver's ``ts2 - ts1`` bracket around the squash;
 * :class:`SpectreScenario` — classic Spectre v1 (Algorithm 1): secret
-  values from a small alphabet, timing is the round's total squash stall.
+  values from a small alphabet, timing is the round's total squash stall;
+* :class:`RewindScenario` — SpectreRewind divider contention: the
+  ``contention_timing`` observable is a committed post-squash division
+  queueing behind transient divider occupancy (no cache state involved);
+* :class:`InterferenceScenario` — two-context shared-port interference:
+  ``contention_timing`` is a second context's probe latency against the
+  victim's recorded port occupancy.
 
 Footprint guesses use the hierarchy's *non-mutating* residency checks
 (:meth:`~repro.cache.hierarchy.CacheHierarchy.in_l1` /
@@ -29,6 +35,8 @@ from typing import List
 
 from ..attack.channel import TrialObservation
 from ..attack.gadgets import GadgetParams
+from ..attack.interference import InterferenceHarness
+from ..attack.rewind import RewindAttack
 from ..attack.spectre import SpectreV1Attack
 from ..attack.unxpec import UnxpecAttack
 from ..common.errors import ConfigError
@@ -121,10 +129,81 @@ class SpectreScenario(AttackScenario):
         return observations
 
 
+class RewindScenario(AttackScenario):
+    """SpectreRewind rounds: bits 0/1, committed-division contention.
+
+    ``timing`` carries the squash stall (the rollback observable — the
+    gadget keeps it secret-independent under the shadow/invisible
+    families) and ``contention_timing`` carries the committed-division
+    latency; there is no cache-footprint probe (the gadget leaves no
+    secret-dependent footprint even with no defense at all), so the
+    flush channel judges every trial's guess absent.
+    """
+
+    key = "rewind"
+    name = "SpectreRewind (divider contention)"
+
+    def __init__(self, defense_key: str, seed: int = 0) -> None:
+        self.defense_key = defense_key
+        self.attack = RewindAttack(
+            defense_factory=lambda h: make_defense(defense_key, h),
+            seed=seed,
+        )
+
+    def run_trials(self, n_trials: int) -> List[TrialObservation]:
+        self.attack.prepare()
+        observations = []
+        for trial in range(n_trials):
+            bit = trial & 1
+            sample = self.attack.sample(bit)
+            observations.append(
+                TrialObservation(
+                    secret=bit,
+                    timing=float(sample.stall),
+                    contention_timing=float(sample.latency),
+                )
+            )
+        return observations
+
+
+class InterferenceScenario(AttackScenario):
+    """Two-context rounds: bits 0/1, second-context probe latency.
+
+    ``timing`` is the victim-side squash stall; ``contention_timing`` is
+    the attacker context's probe latency against the victim's recorded
+    port occupancy. No footprint probe: the attacker never shares cache
+    state with the victim at all.
+    """
+
+    key = "interference"
+    name = "Speculative interference (two contexts)"
+
+    def __init__(self, defense_key: str, seed: int = 0) -> None:
+        self.defense_key = defense_key
+        self.harness = InterferenceHarness(defense_key=defense_key, seed=seed)
+
+    def run_trials(self, n_trials: int) -> List[TrialObservation]:
+        self.harness.prepare()
+        observations = []
+        for trial in range(n_trials):
+            bit = trial & 1
+            sample = self.harness.sample(bit)
+            observations.append(
+                TrialObservation(
+                    secret=bit,
+                    timing=float(sample.victim_stall),
+                    contention_timing=float(sample.probe_latency),
+                )
+            )
+        return observations
+
+
 #: Scenario key -> constructor taking (defense_key, seed).
 SCENARIOS = {
     UnxpecScenario.key: UnxpecScenario,
     SpectreScenario.key: SpectreScenario,
+    RewindScenario.key: RewindScenario,
+    InterferenceScenario.key: InterferenceScenario,
 }
 
 

@@ -9,7 +9,19 @@ import pytest
 
 from repro.experiments import all_ids, get
 
-FAST = ["table1", "fig1", "fig2", "fig3", "fig9", "fig13", "ext_spectre", "abl_window", "abl_geometry"]
+FAST = [
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig9",
+    "fig13",
+    "ext_spectre",
+    "ext_rewind",
+    "ext_interference",
+    "abl_window",
+    "abl_geometry",
+]
 MEDIUM = [
     "fig6",
     "fig7",

@@ -193,6 +193,23 @@ GOLDEN_CAMPAIGN_DIGEST = {
             "overhead_max_dummy_pct": 65.510266,
         },
     },
+    "ext_interference": {
+        "checks": "PPPP",
+        # The two-context probe delta: the attacker's dependent chase
+        # slips past the victim's committed condition chase *and* the
+        # transient burst's recorded port intervals (67 = the chained
+        # next_free displacement, not the raw busy-cycle sum). Zero under
+        # delay-on-miss: the burst never issues downstream.
+        "metrics": {
+            "probe_delta_cachesquash": 67.0,
+            "probe_delta_cleanupspec": 67.0,
+            "probe_delta_constant_time": 67.0,
+            "probe_delta_delay_on_miss": 0.0,
+            "probe_delta_fuzzy": 67.0,
+            "probe_delta_safespec": 67.0,
+            "probe_delta_unsafe": 67.0,
+        },
+    },
     "ext_invisible": {
         "checks": "PPP",
         # Overhead metrics moved with the same MSHR-full-penalty fix as
@@ -202,6 +219,23 @@ GOLDEN_CAMPAIGN_DIGEST = {
             "overhead_delay_on_miss_pct": 53.395156,
             "unxpec_diff_cleanupspec": 22.0,
             "unxpec_diff_delay_on_miss": 0.0,
+        },
+    },
+    "ext_rewind": {
+        "checks": "PPPP",
+        # 15 = the committed receiver division queueing behind the last
+        # transient division's tail (secret 0) vs issuing immediately
+        # (secret 1, whose data-dependent divisor never readies before
+        # the squash). Zero where a fixed post-squash delay (cachesquash
+        # 16, constant-time 40, fuzzy's jittered floor) covers the tail.
+        "metrics": {
+            "divider_delta_cachesquash": 0.0,
+            "divider_delta_cleanupspec": 15.0,
+            "divider_delta_constant_time": 0.0,
+            "divider_delta_delay_on_miss": 15.0,
+            "divider_delta_fuzzy": 0.0,
+            "divider_delta_safespec": 15.0,
+            "divider_delta_unsafe": 15.0,
         },
     },
     "ext_spectre": {
@@ -332,7 +366,13 @@ GOLDEN_CAMPAIGN_DIGEST = {
         },
     },
     "matrix": {
-        "checks": "PPPPPP",
+        # Check vector grew 6 -> 9 when the grid gained the rewind and
+        # interference attack rows plus the contention channel column:
+        # the shadow/cancellable "closes both channels" checks narrowed
+        # to the cache channels they actually claim, and three contention
+        # checks were added. Every overhead metric is unchanged — the
+        # non-cache channels ride the same trial machinery.
+        "checks": "PPPPPPPPP",
         "metrics": {
             "overhead_cachesquash_pct": 9.89891,
             "overhead_cleanupspec_pct": 3.532581,

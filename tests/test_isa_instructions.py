@@ -28,6 +28,8 @@ class TestAluEval:
             ("add", 2, 3, 5),
             ("sub", 5, 3, 2),
             ("mul", 4, 6, 24),
+            ("div", 24, 6, 4),
+            ("div", 7, 2, 3),  # unsigned floor division
             ("and", 0b1100, 0b1010, 0b1000),
             ("or", 0b1100, 0b1010, 0b1110),
             ("xor", 0b1100, 0b1010, 0b0110),
@@ -44,9 +46,13 @@ class TestAluEval:
     def test_shift_modulo_64(self):
         assert alu_eval("shl", 1, 64) == 1  # shift count masked to 0
 
+    def test_div_by_zero_saturates(self):
+        # No faults on this machine: x / 0 == all-ones.
+        assert alu_eval("div", 123, 0) == (1 << 64) - 1
+
     def test_unknown_op(self):
         with pytest.raises(IsaError):
-            alu_eval("div", 1, 1)
+            alu_eval("mod", 1, 1)
 
 
 class TestBranchEval:

@@ -13,6 +13,7 @@ import pytest
 
 from repro.attack.channel import (
     CHANNELS,
+    ContentionTimingChannel,
     FlushReloadChannel,
     RollbackTimingChannel,
     TrialObservation,
@@ -98,10 +99,42 @@ class TestFlushReloadChannel:
             FlushReloadChannel().verdict([])
 
 
+class TestContentionTimingChannel:
+    def _obs_contention(self, pairs):
+        return [
+            TrialObservation(secret=s, timing=0.0, contention_timing=float(t))
+            for s, t in pairs
+        ]
+
+    def test_separable_populations_leak(self):
+        obs = self._obs_contention([(0, 61), (1, 46), (0, 61), (1, 46)])
+        verdict = ContentionTimingChannel().verdict(obs)
+        assert verdict.leaks
+        assert verdict.signal == pytest.approx(15.0)
+        assert verdict.accuracy == 1.0
+
+    def test_constant_contention_is_safe(self):
+        obs = self._obs_contention([(0, 46), (1, 46), (0, 46), (1, 46)])
+        assert not ContentionTimingChannel().verdict(obs).leaks
+
+    def test_absent_measurement_is_safe(self):
+        # Scenarios without a contention probe (unxpec, spectre) leave
+        # contention_timing unset — the channel reads "closed", keeping
+        # the historical grid cells total rather than erroring.
+        obs = _obs([(0, 138), (1, 160), (0, 138), (1, 160)])
+        verdict = ContentionTimingChannel().verdict(obs)
+        assert not verdict.leaks
+        assert verdict.accuracy == 0.0
+
+    def test_empty_trials_rejected(self):
+        with pytest.raises(CalibrationError):
+            ContentionTimingChannel().verdict([])
+
+
 class TestChannelRegistry:
     def test_keys(self):
-        assert set(CHANNELS) == {"rollback", "flush"}
-        assert channel_keys() == ("flush", "rollback")
+        assert set(CHANNELS) == {"rollback", "flush", "contention"}
+        assert channel_keys() == ("contention", "flush", "rollback")
 
     def test_make_channel(self):
         assert make_channel("rollback").key == "rollback"
@@ -111,7 +144,7 @@ class TestChannelRegistry:
 
 class TestGrid:
     def test_axes_come_from_registries(self):
-        assert attack_keys() == ("spectre", "unxpec")
+        assert attack_keys() == ("interference", "rewind", "spectre", "unxpec")
         assert set(defense_keys()) >= {
             "unsafe",
             "cleanupspec",
@@ -127,7 +160,18 @@ class TestGrid:
 
     def test_observation_row_roundtrip(self):
         obs = _obs([(0, 138.0), (1, 160.0)], guesses=[None, 1])
+        obs.append(
+            TrialObservation(secret=1, timing=0.0, contention_timing=61.0)
+        )
         assert rows_to_observations(observations_to_rows(obs)) == obs
+
+    def test_legacy_three_element_rows_hydrate(self):
+        # Shard payloads serialized before the contention channel carried
+        # three elements; they must still deserialize (cache hydration).
+        assert rows_to_observations([[0, 138.0, None], [1, 160.0, 1]]) == [
+            TrialObservation(secret=0, timing=138.0),
+            TrialObservation(secret=1, timing=160.0, footprint_guess=1),
+        ]
 
     def test_evaluate_cell_carries_capability_claims(self):
         obs = _obs([(0, 138), (1, 160)] * 2, guesses=[0, 1, 0, 1])

@@ -31,7 +31,7 @@ REGS = ("r1", "r2", "r3", "r4")
 ADDRS = (0x0, 0x38, 0x40, 0x48, 0x100, 0x1000, 0x1040)
 
 _reg = st.sampled_from(REGS)
-_alu = st.sampled_from(("add", "sub", "mul", "xor", "shl"))
+_alu = st.sampled_from(("add", "sub", "mul", "div", "xor", "shl"))
 _cond = st.sampled_from(("lt", "ge", "eq", "ne"))
 
 _instr = st.one_of(
